@@ -1,0 +1,101 @@
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "topology/metrics.hpp"
+
+namespace bgpsim::bench {
+
+BenchEnv make_env(const char* bench_name) {
+  const auto scale = static_cast<std::uint32_t>(env_u64("BGPSIM_SCALE", 8000));
+  const auto seed = env_u64("BGPSIM_SEED", 2014);
+
+  ScenarioParams params;
+  params.topology.total_ases = scale;
+  params.topology.seed = seed;
+  BenchEnv env(Scenario::generate(params));
+  env.scale = scale;
+  env.seed = seed;
+  env.outdir = env_string("BGPSIM_OUTDIR", ".");
+
+  const AsGraph& g = env.scenario.graph();
+  std::printf("================================================================\n");
+  std::printf("%s\n", bench_name);
+  std::printf("  topology: %u ASes / %llu links (paper: 42697 / 139156), seed %llu\n",
+              g.num_ases(), static_cast<unsigned long long>(g.num_links()),
+              static_cast<unsigned long long>(env.seed));
+  std::printf("  tier-1 clique: %zu, transit: %zu (%.1f%%), regions: %u\n",
+              env.scenario.tiers().tier1.size(), env.scenario.transit().size(),
+              100.0 * env.scenario.transit().size() / g.num_ases(),
+              g.num_regions());
+  std::printf("  (scale with BGPSIM_SCALE=<n>, e.g. 42697 for full paper scale)\n");
+  std::printf("================================================================\n");
+  return env;
+}
+
+AsId representative_target(const Scenario& scenario, TargetQuery query, Rng& rng) {
+  const AsGraph& g = scenario.graph();
+  std::vector<AsId> matches;
+  while (true) {
+    matches = find_targets(g, scenario.tiers(), scenario.depth(), query);
+    if (!matches.empty() || query.depth == 0) break;
+    --query.depth;  // fall back to the deepest populated profile
+  }
+  if (matches.empty()) {
+    // Last resort: any stub.
+    for (AsId v = 0; v < g.num_ases(); ++v) {
+      if (is_stub(g, v)) matches.push_back(v);
+    }
+  }
+  if (matches.size() == 1) return matches.front();
+  if (matches.size() > 32) {
+    matches = rng.sample_without_replacement(matches, 32);
+  }
+
+  // Median vulnerability over a small sampled attacker set.
+  VulnerabilityAnalyzer analyzer(g, scenario.sim_config());
+  const auto& transits = scenario.transit();
+  const std::size_t n_attackers = std::min<std::size_t>(transits.size(), 48);
+  const auto attackers = rng.sample_without_replacement(transits, n_attackers);
+
+  std::vector<std::pair<double, AsId>> scored;
+  scored.reserve(matches.size());
+  for (const AsId candidate : matches) {
+    const auto curve = analyzer.sweep(candidate, attackers);
+    scored.emplace_back(curve.stats.mean(), candidate);
+  }
+  std::sort(scored.begin(), scored.end());
+  return scored[scored.size() / 2].second;
+}
+
+void print_ccdf(const VulnerabilityCurve& curve, std::size_t max_points) {
+  const auto compact = downsample_ccdf(curve.curve, max_points);
+  std::printf("    pollution>=  attackers\n");
+  for (const CcdfPoint& point : compact) {
+    std::printf("    %10.0f  %9llu\n", point.threshold,
+                static_cast<unsigned long long>(point.count));
+  }
+}
+
+void print_paper_row(const char* metric, const char* paper_value,
+                     const std::string& measured) {
+  std::printf("  %-52s paper: %-18s measured: %s\n", metric, paper_value,
+              measured.c_str());
+}
+
+std::string fmt(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  return buffer;
+}
+
+std::string fmt_count_pct(double value, double fraction, int digits) {
+  return fmt(value, digits) + " (" + fmt(100.0 * fraction, digits) + "%)";
+}
+
+std::string out_path(const BenchEnv& env, const std::string& file) {
+  return env.outdir + "/" + file;
+}
+
+}  // namespace bgpsim::bench

@@ -1,0 +1,53 @@
+// Shared environment for the paper-reproduction benches.
+//
+// Every bench binary regenerates one table/figure of the paper on a
+// deterministic synthetic Internet. Environment knobs:
+//   BGPSIM_SCALE  — topology size (default 8000; the paper used 42697)
+//   BGPSIM_SEED   — topology/workload seed (default 2014)
+//   BGPSIM_OUTDIR — where CSV/SVG artifacts are written (default ".")
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/vulnerability.hpp"
+#include "core/scenario.hpp"
+#include "support/env.hpp"
+#include "support/rng.hpp"
+
+namespace bgpsim::bench {
+
+struct BenchEnv {
+  explicit BenchEnv(Scenario s) : scenario(std::move(s)) {}
+
+  Scenario scenario;
+  std::uint32_t scale = 8000;
+  std::uint64_t seed = 2014;
+  std::string outdir = ".";
+};
+
+/// Build the standard bench scenario and print the run header.
+BenchEnv make_env(const char* bench_name);
+
+/// Representative target for a topological profile: among the profile's
+/// matches, the one with median estimated vulnerability (the paper's AS 98 /
+/// AS 35 / AS 55857 are explicitly *representatives* of their classes).
+/// Falls back to shallower depths when the profile is unpopulated.
+AsId representative_target(const Scenario& scenario, TargetQuery query, Rng& rng);
+
+/// Print a CCDF curve as a compact two-column series.
+void print_ccdf(const VulnerabilityCurve& curve, std::size_t max_points = 16);
+
+/// Print one paper-vs-measured comparison row.
+void print_paper_row(const char* metric, const char* paper_value,
+                     const std::string& measured);
+
+/// Fixed-point formatting for bench tables ("86.7", not "86.700000").
+std::string fmt(double value, int digits = 1);
+
+/// "<value> (<pct>%)" convenience.
+std::string fmt_count_pct(double value, double fraction, int digits = 1);
+
+std::string out_path(const BenchEnv& env, const std::string& file);
+
+}  // namespace bgpsim::bench

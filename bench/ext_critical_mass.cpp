@@ -1,0 +1,60 @@
+// Extension bench: the minimal deployment ("critical mass") needed for a
+// required protection level — §I's headline question made quantitative.
+//
+// For a ladder of protection targets, binary-search the smallest
+// top-k-by-degree origin-validation core that reduces mean pollution (over a
+// victim panel spanning the depth classes, against all transit attackers) by
+// the required factor. The paper's qualitative claim: "a small critical mass
+// is required to enable a reasonable level of protection" — here is the
+// curve.
+#include <cstdio>
+
+#include "analysis/critical_mass.hpp"
+#include "bench_common.hpp"
+
+using namespace bgpsim;
+using namespace bgpsim::bench;
+
+int main() {
+  BenchEnv env = make_env("Extension — critical mass for a protection target");
+  const Scenario& scenario = env.scenario;
+  const AsGraph& g = scenario.graph();
+  Rng rng(derive_seed(env.seed, 99));
+
+  // Victim panel: representative stubs at depths 1..5.
+  std::vector<AsId> victims;
+  for (const std::uint16_t d : {std::uint16_t{1}, std::uint16_t{2},
+                                std::uint16_t{3}, std::uint16_t{5}}) {
+    TargetQuery query;
+    query.depth = d;
+    victims.push_back(representative_target(scenario, query, rng));
+  }
+  std::printf("\nvictim panel:");
+  for (const AsId v : victims) {
+    std::printf(" AS%u(d%u)", g.asn(v), scenario.depth()[v]);
+  }
+  std::printf("\nattackers: all %zu transit ASes\n", scenario.transit().size());
+
+  // Attacker sample keeps the binary search affordable at default scale.
+  auto attackers = scenario.transit();
+  if (attackers.size() > 400) {
+    attackers = rng.sample_without_replacement(attackers, 400);
+  }
+
+  std::printf("\n%12s %12s %12s %16s %16s\n", "target", "core size", "(% ases)",
+              "baseline avg", "defended avg");
+  for (const double target : {0.50, 0.75, 0.90, 0.95, 0.99}) {
+    const auto result =
+        find_critical_mass(g, scenario.sim_config(), victims, attackers, target,
+                           default_sweep_threads());
+    std::printf("%11.0f%% %12u %11.2f%% %16.1f %16.1f%s\n", 100.0 * target,
+                result.core_size, 100.0 * result.core_fraction,
+                result.baseline_mean, result.defended_mean,
+                result.achievable ? "" : "  (not achievable)");
+  }
+
+  std::printf("\ncontext: the paper's ladders stop at the 299-AS degree>=100\n"
+              "core (0.70%% of 42697 ASes), which achieved ~97%% reduction for\n"
+              "its targets — compare with the 95%% row above.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 5: incremental defense deployment for a relatively attack-resistant
+// target — a depth-1 stub in the tier-1 hierarchy (the AS 98 profile).
+//
+// Paper milestones (42,697-AS topology): baseline -> tier-1 filtering gives
+// avg 5084 polluted (12%), the 62-AS degree>=500 core gives 1076 (2.5%), and
+// the ladder continues 378 / 228 / 66. Random deployment of 100 or 500
+// filters "barely moves away from the baseline".
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "incremental_common.hpp"
+#include "viz/series_writer.hpp"
+
+using namespace bgpsim;
+using namespace bgpsim::bench;
+
+int main() {
+  BenchEnv env = make_env(
+      "Figure 5 — incremental deployment, attack-resistant depth-1 target");
+  const Scenario& scenario = env.scenario;
+  const AsGraph& g = scenario.graph();
+  Rng rng(derive_seed(env.seed, 5));
+
+  TargetQuery query;
+  query.depth = 1;
+  query.attached_tier = 1;
+  query.multi_homed = true;
+  const AsId target = representative_target(scenario, query, rng);
+  std::printf("\ntarget: AS %u (depth %u stub, degree %u) — AS 98 profile\n",
+              g.asn(target), scenario.depth()[target], g.degree(target));
+
+  const auto plans = paper_strategy_ladder(env, rng);
+  const auto outcomes = run_ladder(env, target, plans);
+
+  const double base = outcomes[0].curve.stats.mean();
+  const double rand500 = outcomes[2].curve.stats.mean();
+  const double tier1 = outcomes[3].curve.stats.mean();
+  const double core62 = outcomes[4].curve.stats.mean();
+  const double core299 = outcomes[7].curve.stats.mean();
+
+  std::printf("\nshape checks vs the paper:\n");
+  print_paper_row("random-500 barely moves from baseline", "negligible/minor",
+                  rand500 > 0.5 * base ? "yes" : "NO (better than paper)");
+  print_paper_row("tier-1 filtering: first real gain", "avg 5084 (12% of ases)",
+                  fmt_count_pct(tier1, tier1 / g.num_ases()));
+  print_paper_row("62-core (deg>=500): marked improvement", "avg 1076 (2.5%)",
+                  fmt_count_pct(core62, core62 / g.num_ases()));
+  print_paper_row("299-core (deg>=100): excellent", "avg 66 (0.15%)",
+                  fmt_count_pct(core299, core299 / g.num_ases()));
+  print_paper_row("gain is non-linear at the core threshold",
+                  "cross-over at the 62-core",
+                  (base - core62) > 3.0 * (base - tier1) ||
+                          core62 < 0.5 * tier1
+                      ? "yes"
+                      : "partial");
+
+  std::vector<VulnerabilityCurve> curves;
+  for (const auto& outcome : outcomes) curves.push_back(outcome.curve);
+  const std::string csv = out_path(env, "fig5_incremental_resistant.csv");
+  write_ccdf_family_csv(csv, curves);
+  std::printf("\n  wrote %s\n", csv.c_str());
+  return 0;
+}

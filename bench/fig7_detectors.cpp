@@ -1,0 +1,100 @@
+// Figure 7 + §VI case tables: three hijack-detector configurations, each
+// subject to the same batch of random transit-to-transit attacks (the paper
+// ran 8000).
+//
+//   case 1: 17 tier-1 probes            — paper: 34% of attacks fully missed
+//   case 2: 24 BGPmon-style probes      — paper: 11% missed
+//   case 3: the degree>=500 core probes — paper:  3% missed
+//
+// For each case: histogram of attacks by number of probes triggered, average
+// attack size per bucket (the paper's line graph), and the top-5 undetected
+// attacks.
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/detector_experiment.hpp"
+#include "bench_common.hpp"
+#include "viz/series_writer.hpp"
+
+using namespace bgpsim;
+using namespace bgpsim::bench;
+
+int main() {
+  BenchEnv env = make_env("Figure 7 — detector configurations vs 8000 random attacks");
+  const Scenario& scenario = env.scenario;
+  const AsGraph& g = scenario.graph();
+
+  const auto attacks = static_cast<std::uint32_t>(env_u64("BGPSIM_ATTACKS", 8000));
+  DetectorExperiment experiment(g, scenario.sim_config(), default_sweep_threads());
+  Rng rng(derive_seed(env.seed, 7));
+  const auto samples = experiment.sample_transit_attacks(attacks, rng);
+
+  Rng probe_rng(derive_seed(env.seed, 77));
+  const std::vector<ProbeSet> probe_sets{
+      ProbeSet::tier1(scenario.tiers()),
+      ProbeSet::bgpmon_style(g, 24, probe_rng),
+      ProbeSet::degree_core(g, scenario.scaled_degree(500)),
+  };
+
+  const auto results = experiment.run(samples, probe_sets);
+
+  const char* paper_missed[] = {"2717 (34%), avg 2344, max 20306",
+                                "879 (11%), avg 1521, max 12542",
+                                "239 (3%), avg 202, max 2804"};
+  for (std::size_t c = 0; c < results.size(); ++c) {
+    const auto& r = results[c];
+    std::printf("\n=== case %zu: %s ===\n", c + 1, r.label.c_str());
+    std::printf("  probes-triggered histogram (bucket: attacks, avg pollution):\n");
+    // Compact print: buckets 0..9 then the tail aggregated.
+    const std::size_t head = std::min<std::size_t>(r.histogram.size(), 10);
+    for (std::size_t k = 0; k < head; ++k) {
+      if (r.histogram[k] == 0 && k > 0) continue;
+      std::printf("    %3zu probes: %6u attacks   avg pollution %8.0f\n", k,
+                  r.histogram[k], r.avg_pollution_by_triggered[k]);
+    }
+    std::uint64_t tail_attacks = 0;
+    double tail_weighted = 0;
+    for (std::size_t k = head; k < r.histogram.size(); ++k) {
+      tail_attacks += r.histogram[k];
+      tail_weighted += r.histogram[k] * r.avg_pollution_by_triggered[k];
+    }
+    if (tail_attacks > 0) {
+      std::printf("    10+ probes: %6llu attacks   avg pollution %8.0f\n",
+                  static_cast<unsigned long long>(tail_attacks),
+                  tail_weighted / tail_attacks);
+    }
+    std::printf("  missed completely: %u of %u (%.1f%%), avg pollution %.0f, max %.0f\n",
+                r.missed, r.attacks, 100.0 * r.missed_fraction,
+                r.missed_pollution.mean(), r.missed_pollution.max());
+    print_paper_row("case miss profile", paper_missed[c],
+                    std::to_string(r.missed) + " (" + fmt(100.0 * r.missed_fraction) + "%)");
+    if (!r.top_undetected.empty()) {
+      std::printf("  top undetected attacks (attacker, target, pollution):\n");
+      for (const auto& row : r.top_undetected) {
+        std::printf("    %8u %8u %10u\n", row.attacker_asn, row.target_asn,
+                    row.pollution);
+      }
+    }
+  }
+
+  std::printf("\nshape checks vs the paper:\n");
+  print_paper_row("tier-1 probes are surprisingly weak", "34% missed",
+                  results[0].missed_fraction > results[2].missed_fraction
+                      ? "yes (worst of the three)"
+                      : "NO");
+  print_paper_row("degree core is the strongest configuration", "3% missed",
+                  results[2].missed <= results[0].missed &&
+                          results[2].missed <= results[1].missed
+                      ? "yes"
+                      : "NO");
+  print_paper_row("larger attacks trigger more probes", "line slope positive",
+                  results[2].avg_pollution_by_triggered.front() <
+                          results[2].avg_pollution_by_triggered.back()
+                      ? "yes"
+                      : "check histogram");
+
+  const std::string csv = out_path(env, "fig7_detectors.csv");
+  write_detector_csv(csv, results);
+  std::printf("\n  wrote %s\n", csv.c_str());
+  return 0;
+}

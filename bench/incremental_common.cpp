@@ -1,0 +1,49 @@
+#include "incremental_common.hpp"
+
+#include <cstdio>
+
+#include "viz/series_writer.hpp"
+
+namespace bgpsim::bench {
+
+std::vector<DeploymentPlan> paper_strategy_ladder(const BenchEnv& env, Rng& rng) {
+  const Scenario& scenario = env.scenario;
+  const AsGraph& g = scenario.graph();
+  const auto transit_count =
+      static_cast<std::uint32_t>(scenario.transit().size());
+
+  std::vector<DeploymentPlan> plans;
+  plans.push_back(custom_deployment("baseline (no protection)", {}));
+  plans.push_back(random_transit_deployment(
+      g, std::min(scenario.scaled_count(100), transit_count), rng));
+  plans.push_back(random_transit_deployment(
+      g, std::min(scenario.scaled_count(500), transit_count), rng));
+  plans.push_back(tier1_deployment(scenario.tiers()));
+  for (const std::uint32_t full_scale_degree : {500u, 300u, 200u, 100u}) {
+    plans.push_back(degree_threshold_deployment(
+        g, scenario.scaled_degree(full_scale_degree)));
+  }
+  return plans;
+}
+
+std::vector<DeploymentOutcome> run_ladder(const BenchEnv& env, AsId target,
+                                          const std::vector<DeploymentPlan>& plans) {
+  const Scenario& scenario = env.scenario;
+  const AsGraph& g = scenario.graph();
+
+  DeploymentExperiment experiment(g, scenario.sim_config(), default_sweep_threads());
+  const auto outcomes = experiment.run(target, scenario.transit(), plans);
+
+  const std::uint32_t big_attack = g.num_ases() / 5;  // "large" = 20% of the net
+  std::printf("\n%-36s %8s %14s %10s %18s\n", "strategy", "deployed",
+              "avg polluted", "(% ases)", ">=20%-net attacks");
+  for (const auto& outcome : outcomes) {
+    std::printf("%-36s %8u %14.1f %9.1f%% %18u\n", outcome.label.c_str(),
+                outcome.deployed_ases, outcome.curve.stats.mean(),
+                100.0 * outcome.curve.stats.mean() / g.num_ases(),
+                outcome.curve.attackers_at_least(big_attack));
+  }
+  return outcomes;
+}
+
+}  // namespace bgpsim::bench

@@ -1,0 +1,22 @@
+// Shared driver for the figure 5/6 incremental-deployment benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/deployment_experiment.hpp"
+#include "bench_common.hpp"
+
+namespace bgpsim::bench {
+
+/// The paper's §V strategy ladder, scaled to the bench topology:
+/// baseline, random-100, random-500, 17 tier-1s, degree cores
+/// >=500 (62 ASes at full scale), >=300 (124), >=200 (166), >=100 (299).
+std::vector<DeploymentPlan> paper_strategy_ladder(const BenchEnv& env, Rng& rng);
+
+/// Run the ladder against one target over the transit attackers and print
+/// the paper-style table. Returns the outcomes for follow-up checks.
+std::vector<DeploymentOutcome> run_ladder(const BenchEnv& env, AsId target,
+                                          const std::vector<DeploymentPlan>& plans);
+
+}  // namespace bgpsim::bench

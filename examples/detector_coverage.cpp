@@ -1,0 +1,55 @@
+// detector_coverage: evaluate hijack-detector vantage-point sets (§VI) and
+// expose their blind spots.
+//
+//   ./examples/detector_coverage [total_ases] [seed] [attacks]
+#include <cstdio>
+
+#include "analysis/detector_experiment.hpp"
+#include "core/scenario.hpp"
+#include "support/strings.hpp"
+
+using namespace bgpsim;
+
+int main(int argc, char** argv) {
+  ScenarioParams params;
+  params.topology.total_ases =
+      argc > 1 ? static_cast<std::uint32_t>(*parse_u64(argv[1])) : 4000;
+  params.topology.seed = argc > 2 ? *parse_u64(argv[2]) : 42;
+  const auto attacks =
+      argc > 3 ? static_cast<std::uint32_t>(*parse_u64(argv[3])) : 2000;
+
+  const Scenario scenario = Scenario::generate(params);
+  const AsGraph& g = scenario.graph();
+
+  DetectorExperiment experiment(g, scenario.sim_config());
+  Rng rng(derive_seed(params.topology.seed, 7));
+  const auto samples = experiment.sample_transit_attacks(attacks, rng);
+
+  Rng probe_rng(derive_seed(params.topology.seed, 8));
+  const std::vector<ProbeSet> probe_sets{
+      ProbeSet::tier1(scenario.tiers()),
+      ProbeSet::bgpmon_style(g, 24, probe_rng),
+      ProbeSet::degree_core(g, scenario.scaled_degree(500)),
+  };
+
+  const auto results = experiment.run(samples, probe_sets);
+  for (const auto& result : results) {
+    std::printf("\n=== %s (%zu probes, %u attacks) ===\n", result.label.c_str(),
+                result.probe_count, result.attacks);
+    std::printf("  missed completely : %u (%.1f%%)\n", result.missed,
+                100.0 * result.missed_fraction);
+    if (result.missed > 0) {
+      std::printf("  missed avg pollution %.0f, max %.0f\n",
+                  result.missed_pollution.mean(), result.missed_pollution.max());
+      std::printf("  worst undetected attacks (attacker -> target, pollution):\n");
+      for (const auto& row : result.top_undetected) {
+        std::printf("    AS%-6u -> AS%-6u  %u\n", row.attacker_asn, row.target_asn,
+                    row.pollution);
+      }
+    }
+  }
+  std::printf(
+      "\nrecommendation (paper §VI): peer detectors with as many high-degree,\n"
+      "non-overlapping ASes as possible rather than with random ASes.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// rov_adoption: explore the joint adoption surface of the two RPKI roles —
+// victims publishing ROAs and networks deploying route-origin validation.
+// Neither helps alone; this prints the interaction matrix.
+//
+//   ./examples/rov_adoption [total_ases] [seed]
+#include <cstdio>
+
+#include "core/scenario.hpp"
+#include "defense/deployment.hpp"
+#include "rpki/roa.hpp"
+#include "support/stats.hpp"
+#include "support/strings.hpp"
+
+using namespace bgpsim;
+
+int main(int argc, char** argv) {
+  ScenarioParams params;
+  params.topology.total_ases =
+      argc > 1 ? static_cast<std::uint32_t>(*parse_u64(argv[1])) : 3000;
+  params.topology.seed = argc > 2 ? *parse_u64(argv[2]) : 42;
+
+  const Scenario scenario = Scenario::generate(params);
+  const AsGraph& g = scenario.graph();
+  const PrefixAllocation allocation = allocate_prefixes(g);
+  HijackSimulator sim = scenario.make_simulator();
+
+  Rng rng(derive_seed(params.topology.seed, 17));
+  const auto& transits = scenario.transit();
+  std::vector<std::pair<AsId, AsId>> pairs;
+  while (pairs.size() < 200) {
+    const AsId target = transits[rng.bounded(transits.size())];
+    const AsId attacker = transits[rng.bounded(transits.size())];
+    if (target != attacker) pairs.emplace_back(target, attacker);
+  }
+
+  std::vector<AsId> everyone(g.num_ases());
+  for (AsId v = 0; v < g.num_ases(); ++v) everyone[v] = v;
+
+  std::printf("mean polluted ASes per sub-prefix hijack (%u attacks, %u ASes)\n",
+              static_cast<unsigned>(pairs.size()), g.num_ases());
+  std::printf("rows: ROA publication; columns: ROV deployment (top-k by degree)\n\n");
+  std::printf("%12s", "publish\\rov");
+  const std::size_t rov_budgets[] = {0, 10, 40, 160};
+  for (const auto k : rov_budgets) std::printf(" %9zu", k);
+  std::printf("\n");
+
+  for (const double publish_fraction : {0.0, 0.5, 1.0}) {
+    Rng pub_rng(derive_seed(params.topology.seed, 18));
+    const auto publishers = pub_rng.sample_without_replacement(
+        everyone, static_cast<std::size_t>(publish_fraction * g.num_ases()));
+    const RoaDatabase db = publish_roas(g, allocation, publishers, 0);
+    const RpkiContext rpki{&db, &allocation};
+
+    std::printf("%11.0f%%", 100.0 * publish_fraction);
+    for (const auto k : rov_budgets) {
+      if (k == 0) {
+        sim.set_validators(std::nullopt);
+      } else {
+        sim.set_validators(to_filter_set(g, top_k_deployment(g, k)).bitset());
+      }
+      RunningStats stats;
+      for (const auto& [target, attacker] : pairs) {
+        AttackOptions sub;
+        sub.kind = AttackKind::SubPrefix;
+        stats.add(sim.attack_ex(target, attacker, sub, &rpki).polluted_ases);
+      }
+      std::printf(" %9.0f", stats.mean());
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nthe corner matters: publication without validators (bottom-left) and\n"
+      "validators without publication (top-right) both leave hijacks intact —\n"
+      "the paper's §VII: \"The simple act of publishing creates leverage.\"\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+#include "analysis/correlation.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/assert.hpp"
+#include "support/stats.hpp"
+
+namespace bgpsim {
+
+CorrelationReport correlate_vulnerability(const AsGraph& graph, SimConfig config,
+                                          const std::vector<std::uint16_t>& depth,
+                                          std::uint32_t sampled_targets,
+                                          std::uint32_t attacks_per_target,
+                                          Rng& rng) {
+  BGPSIM_REQUIRE(graph.num_ases() >= 4, "graph too small to correlate");
+  HijackSimulator simulator(graph, std::move(config));
+
+  std::vector<double> target_depths, target_vuln;
+  std::map<AsId, RunningStats> per_attacker;  // pollution achieved by attacker
+  std::map<std::uint16_t, RunningStats> by_depth;
+
+  for (std::uint32_t t = 0; t < sampled_targets; ++t) {
+    const AsId target = static_cast<AsId>(rng.bounded(graph.num_ases()));
+    if (depth[target] == kUnreachableDepth) continue;
+    RunningStats pollution;
+    for (std::uint32_t a = 0; a < attacks_per_target; ++a) {
+      AsId attacker = static_cast<AsId>(rng.bounded(graph.num_ases()));
+      if (attacker == target) attacker = (attacker + 1) % graph.num_ases();
+      const auto result = simulator.attack(target, attacker);
+      pollution.add(result.polluted_ases);
+      per_attacker[attacker].add(result.polluted_ases);
+    }
+    target_depths.push_back(depth[target]);
+    target_vuln.push_back(pollution.mean());
+    by_depth[depth[target]].add(pollution.mean());
+  }
+
+  CorrelationReport report;
+  report.sampled_targets = static_cast<std::uint32_t>(target_depths.size());
+  report.attacks_per_target = attacks_per_target;
+  report.target_depth_vs_vulnerability = spearman(target_depths, target_vuln);
+
+  std::vector<double> attacker_depths, attacker_reach, aggressiveness;
+  for (const auto& [attacker, stats] : per_attacker) {
+    if (depth[attacker] == kUnreachableDepth || stats.count() < 2) continue;
+    attacker_depths.push_back(depth[attacker]);
+    attacker_reach.push_back(static_cast<double>(reach(graph, attacker)));
+    aggressiveness.push_back(stats.mean());
+  }
+  report.attacker_depth_vs_aggressiveness =
+      spearman(attacker_depths, aggressiveness);
+  report.attacker_reach_vs_aggressiveness =
+      spearman(attacker_reach, aggressiveness);
+
+  if (!by_depth.empty()) {
+    const std::uint16_t max_depth = by_depth.rbegin()->first;
+    report.mean_pollution_by_target_depth.assign(max_depth + 1, 0.0);
+    for (const auto& [d, stats] : by_depth) {
+      report.mean_pollution_by_target_depth[d] = stats.mean();
+    }
+  }
+  return report;
+}
+
+}  // namespace bgpsim

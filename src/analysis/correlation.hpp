@@ -1,0 +1,42 @@
+// §IV correlation metrics: how vulnerability correlates with target depth,
+// and how attacker aggressiveness anti-correlates with attacker depth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hijack/hijack_simulator.hpp"
+#include "support/rng.hpp"
+#include "topology/metrics.hpp"
+
+namespace bgpsim {
+
+struct CorrelationReport {
+  std::uint32_t sampled_targets = 0;
+  std::uint32_t attacks_per_target = 0;
+
+  /// Spearman rank correlation of (target depth, mean pollution when that
+  /// target is attacked). The paper finds a strong positive correlation.
+  double target_depth_vs_vulnerability = 0.0;
+
+  /// Spearman of (attacker depth, mean pollution that attacker achieves).
+  /// The paper: "attacker aggressiveness has a strong negative correlation
+  /// with attacker depth".
+  double attacker_depth_vs_aggressiveness = 0.0;
+
+  /// Spearman of (attacker reach, aggressiveness) — reach is the secondary
+  /// factor the paper cites.
+  double attacker_reach_vs_aggressiveness = 0.0;
+
+  /// Per-depth mean pollution of sampled targets (index = depth).
+  std::vector<double> mean_pollution_by_target_depth;
+};
+
+/// Monte-Carlo estimate over sampled (target, attacker) pairs.
+CorrelationReport correlate_vulnerability(const AsGraph& graph, SimConfig config,
+                                          const std::vector<std::uint16_t>& depth,
+                                          std::uint32_t sampled_targets,
+                                          std::uint32_t attacks_per_target,
+                                          Rng& rng);
+
+}  // namespace bgpsim

@@ -1,0 +1,80 @@
+#include "analysis/critical_mass.hpp"
+
+#include "analysis/vulnerability.hpp"
+#include "defense/deployment.hpp"
+#include "support/assert.hpp"
+
+namespace bgpsim {
+
+namespace {
+
+double mean_pollution(VulnerabilityAnalyzer& analyzer,
+                      std::span<const AsId> victims,
+                      std::span<const AsId> attackers, const FilterSet* filters) {
+  RunningStats stats;
+  for (const AsId victim : victims) {
+    const auto curve = analyzer.sweep(victim, attackers, filters);
+    stats.merge(curve.stats);
+  }
+  return stats.mean();
+}
+
+}  // namespace
+
+CriticalMassResult find_critical_mass(const AsGraph& graph, const SimConfig& config,
+                                      std::span<const AsId> victims,
+                                      std::span<const AsId> attackers,
+                                      double reduction_target, unsigned threads) {
+  BGPSIM_REQUIRE(!victims.empty(), "need at least one victim");
+  BGPSIM_REQUIRE(!attackers.empty(), "need at least one attacker");
+  BGPSIM_REQUIRE(reduction_target > 0.0 && reduction_target < 1.0,
+                 "reduction_target must be in (0,1)");
+
+  VulnerabilityAnalyzer analyzer(graph, config, threads);
+  CriticalMassResult result;
+  result.reduction_target = reduction_target;
+  result.baseline_mean = mean_pollution(analyzer, victims, attackers, nullptr);
+  const double required = (1.0 - reduction_target) * result.baseline_mean;
+
+  const auto evaluate = [&](std::uint32_t k) {
+    const auto plan = top_k_deployment(graph, k);
+    const FilterSet filters = to_filter_set(graph, plan);
+    return mean_pollution(analyzer, victims, attackers, &filters);
+  };
+
+  // Pollution is monotone non-increasing in k (validators only remove bogus
+  // routes), so the feasible region {k : defended(k) <= required} is an
+  // upward-closed interval — binary search its boundary.
+  std::uint32_t lo = 0, hi = graph.num_ases();
+  const double at_full = evaluate(hi);
+  if (at_full > required) {
+    result.achievable = false;
+    result.core_size = hi;
+    result.defended_mean = at_full;
+    result.core_fraction = 1.0;
+    result.achieved_reduction =
+        result.baseline_mean == 0.0
+            ? 1.0
+            : 1.0 - at_full / result.baseline_mean;
+    return result;
+  }
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    if (evaluate(mid) <= required) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  result.core_size = hi;
+  result.defended_mean = evaluate(hi);
+  result.core_fraction =
+      static_cast<double>(hi) / static_cast<double>(graph.num_ases());
+  result.achieved_reduction =
+      result.baseline_mean == 0.0
+          ? 1.0
+          : 1.0 - result.defended_mean / result.baseline_mean;
+  return result;
+}
+
+}  // namespace bgpsim

@@ -1,0 +1,38 @@
+// The paper's headline question, §I: "If these technologies were to be
+// deployed in small increments, how much can they be relied on? How much
+// critical mass is necessary?"
+//
+// find_critical_mass answers it quantitatively: the minimal top-k-by-degree
+// origin-validation deployment that cuts mean pollution (over a victim set
+// and an attacker population) by a required factor. Pollution is monotone
+// non-increasing in the deployed set (validators only remove bogus routes),
+// so binary search over k is exact.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hijack/hijack_simulator.hpp"
+
+namespace bgpsim {
+
+struct CriticalMassResult {
+  double reduction_target = 0.0;  ///< required: defended <= (1-target) * baseline
+  std::uint32_t core_size = 0;    ///< minimal top-k-by-degree deployment
+  double core_fraction = 0.0;     ///< core_size / num_ases
+  double baseline_mean = 0.0;     ///< mean pollution, no deployment
+  double defended_mean = 0.0;     ///< mean pollution at core_size
+  double achieved_reduction = 0.0;
+  bool achievable = true;         ///< false if even full deployment misses it
+};
+
+/// Binary-search the minimal top-k core. Mean pollution is averaged over all
+/// (victim, attacker) pairs. `threads` parallelizes the inner sweeps.
+CriticalMassResult find_critical_mass(const AsGraph& graph, const SimConfig& config,
+                                      std::span<const AsId> victims,
+                                      std::span<const AsId> attackers,
+                                      double reduction_target,
+                                      unsigned threads = 1);
+
+}  // namespace bgpsim

@@ -1,0 +1,57 @@
+#include "analysis/deployment_experiment.hpp"
+
+#include <algorithm>
+
+namespace bgpsim {
+
+DeploymentExperiment::DeploymentExperiment(const AsGraph& graph, SimConfig config,
+                                           unsigned threads)
+    : graph_(graph), analyzer_(graph, std::move(config), threads) {}
+
+std::vector<DeploymentOutcome> DeploymentExperiment::run(
+    AsId target, std::span<const AsId> attackers,
+    std::span<const DeploymentPlan> plans) {
+  std::vector<DeploymentOutcome> outcomes;
+  outcomes.reserve(plans.size());
+  for (const DeploymentPlan& plan : plans) {
+    DeploymentOutcome outcome;
+    outcome.label = plan.label;
+    outcome.deployed_ases = static_cast<std::uint32_t>(plan.deployers.size());
+    if (plan.deployers.empty()) {
+      outcome.curve = analyzer_.sweep(target, attackers, nullptr, plan.label);
+    } else {
+      const FilterSet filters = to_filter_set(graph_, plan);
+      outcome.curve = analyzer_.sweep(target, attackers, &filters, plan.label);
+    }
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+std::vector<PotentAttacker> DeploymentExperiment::top_potent_attackers(
+    AsId target, std::span<const AsId> attackers, const DeploymentPlan& plan,
+    const std::vector<std::uint16_t>& depth, std::size_t k) {
+  const FilterSet filters = to_filter_set(graph_, plan);
+  const auto curve = analyzer_.sweep(target, attackers, &filters, plan.label);
+
+  std::vector<std::size_t> order(curve.attackers.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&curve](std::size_t a, std::size_t b) {
+    if (curve.pollution[a] != curve.pollution[b]) {
+      return curve.pollution[a] > curve.pollution[b];
+    }
+    return curve.attackers[a] < curve.attackers[b];
+  });
+
+  std::vector<PotentAttacker> top;
+  for (std::size_t i = 0; i < order.size() && top.size() < k; ++i) {
+    const std::size_t idx = order[i];
+    const AsId attacker = curve.attackers[idx];
+    top.push_back(PotentAttacker{attacker, graph_.asn(attacker),
+                                 curve.pollution[idx], graph_.degree(attacker),
+                                 depth[attacker]});
+  }
+  return top;
+}
+
+}  // namespace bgpsim

@@ -1,0 +1,53 @@
+// §V incremental-defense experiments (figures 5 and 6, and the "still-potent
+// attackers" tables): sweep a target against the transit attacker population
+// under a series of deployment plans.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/vulnerability.hpp"
+#include "defense/deployment.hpp"
+
+namespace bgpsim {
+
+struct DeploymentOutcome {
+  std::string label;
+  std::uint32_t deployed_ases = 0;
+  VulnerabilityCurve curve;
+};
+
+/// One row of the paper's "top 5 still-potent attacks" tables.
+struct PotentAttacker {
+  AsId attacker = kInvalidAs;
+  Asn asn = 0;
+  std::uint32_t pollution = 0;
+  std::uint32_t degree = 0;
+  std::uint16_t depth = 0;
+};
+
+class DeploymentExperiment {
+ public:
+  /// `threads` is forwarded to the underlying VulnerabilityAnalyzer.
+  DeploymentExperiment(const AsGraph& graph, SimConfig config,
+                       unsigned threads = 1);
+
+  /// Run `target` against `attackers` under each plan (an empty plan is the
+  /// unprotected baseline).
+  std::vector<DeploymentOutcome> run(AsId target,
+                                     std::span<const AsId> attackers,
+                                     std::span<const DeploymentPlan> plans);
+
+  /// The k most damaging attackers against `target` under `plan`
+  /// (the paper's "which attacks are capable of slipping by these defenses").
+  std::vector<PotentAttacker> top_potent_attackers(
+      AsId target, std::span<const AsId> attackers, const DeploymentPlan& plan,
+      const std::vector<std::uint16_t>& depth, std::size_t k);
+
+ private:
+  const AsGraph& graph_;
+  VulnerabilityAnalyzer analyzer_;
+};
+
+}  // namespace bgpsim

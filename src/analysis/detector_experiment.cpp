@@ -1,0 +1,159 @@
+#include "analysis/detector_experiment.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "support/assert.hpp"
+#include "topology/metrics.hpp"
+
+namespace bgpsim {
+
+namespace {
+
+/// Per-worker tallies for one probe configuration.
+struct Accumulator {
+  std::vector<std::uint32_t> histogram;
+  std::vector<RunningStats> pollution_by_triggered;
+  RunningStats missed_pollution;
+  std::vector<UndetectedAttack> undetected;  // kept sorted desc, <= top_k
+
+  explicit Accumulator(std::size_t probe_count)
+      : histogram(probe_count + 1, 0),
+        pollution_by_triggered(probe_count + 1) {}
+
+  void record(const DetectionOutcome& outcome, const AttackSample& sample,
+              const AttackResult& attack, const AsGraph& graph,
+              std::size_t top_k) {
+    ++histogram[outcome.probes_triggered];
+    pollution_by_triggered[outcome.probes_triggered].add(attack.polluted_ases);
+    if (outcome.probes_triggered != 0) return;
+    missed_pollution.add(attack.polluted_ases);
+    const UndetectedAttack entry{graph.asn(sample.attacker),
+                                 graph.asn(sample.target), attack.polluted_ases};
+    const auto pos = std::lower_bound(
+        undetected.begin(), undetected.end(), entry,
+        [](const UndetectedAttack& a, const UndetectedAttack& b) {
+          return a.pollution > b.pollution;
+        });
+    undetected.insert(pos, entry);
+    if (undetected.size() > top_k) undetected.pop_back();
+  }
+
+  void merge(const Accumulator& other, std::size_t top_k) {
+    for (std::size_t k = 0; k < histogram.size(); ++k) {
+      histogram[k] += other.histogram[k];
+      pollution_by_triggered[k].merge(other.pollution_by_triggered[k]);
+    }
+    missed_pollution.merge(other.missed_pollution);
+    undetected.insert(undetected.end(), other.undetected.begin(),
+                      other.undetected.end());
+    std::sort(undetected.begin(), undetected.end(),
+              [](const UndetectedAttack& a, const UndetectedAttack& b) {
+                if (a.pollution != b.pollution) return a.pollution > b.pollution;
+                if (a.attacker_asn != b.attacker_asn) {
+                  return a.attacker_asn < b.attacker_asn;
+                }
+                return a.target_asn < b.target_asn;
+              });
+    if (undetected.size() > top_k) undetected.resize(top_k);
+  }
+};
+
+}  // namespace
+
+DetectorExperiment::DetectorExperiment(const AsGraph& graph, SimConfig config,
+                                       unsigned threads)
+    : graph_(graph), config_(config),
+      threads_(threads == 0 ? std::max(1u, std::thread::hardware_concurrency())
+                            : threads),
+      simulator_(graph, std::move(config)) {}
+
+std::vector<AttackSample> DetectorExperiment::sample_transit_attacks(
+    std::uint32_t count, Rng& rng) const {
+  const auto transits = transit_ases(graph_);
+  BGPSIM_REQUIRE(transits.size() >= 2, "need at least two transit ASes");
+  std::vector<AttackSample> samples;
+  samples.reserve(count);
+  while (samples.size() < count) {
+    const AsId attacker = transits[rng.bounded(transits.size())];
+    const AsId target = transits[rng.bounded(transits.size())];
+    if (attacker == target) continue;
+    samples.push_back(AttackSample{attacker, target});
+  }
+  return samples;
+}
+
+std::vector<DetectorCaseResult> DetectorExperiment::run(
+    std::span<const AttackSample> attacks, std::span<const ProbeSet> probe_sets,
+    std::size_t top_k) {
+  std::vector<Accumulator> totals;
+  totals.reserve(probe_sets.size());
+  for (const ProbeSet& probes : probe_sets) totals.emplace_back(probes.size());
+
+  const auto run_range = [&](HijackSimulator& sim,
+                             std::vector<Accumulator>& accs, std::size_t begin,
+                             std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const AttackSample& sample = attacks[i];
+      const AttackResult attack = sim.attack(sample.target, sample.attacker);
+      const RouteTable& routes = sim.routes();
+      for (std::size_t c = 0; c < probe_sets.size(); ++c) {
+        accs[c].record(evaluate_detection(routes, probe_sets[c]), sample, attack,
+                       graph_, top_k);
+      }
+    }
+  };
+
+  const unsigned workers = std::min<unsigned>(
+      threads_, static_cast<unsigned>(std::max<std::size_t>(1, attacks.size() / 64)));
+  if (workers <= 1) {
+    run_range(simulator_, totals, 0, attacks.size());
+  } else {
+    std::vector<std::vector<Accumulator>> partials(workers);
+    std::vector<std::thread> pool;
+    const std::size_t chunk = (attacks.size() + workers - 1) / workers;
+    for (unsigned w = 0; w < workers; ++w) {
+      const std::size_t begin = static_cast<std::size_t>(w) * chunk;
+      const std::size_t end = std::min(attacks.size(), begin + chunk);
+      if (begin >= end) break;
+      for (const ProbeSet& probes : probe_sets) {
+        partials[w].emplace_back(probes.size());
+      }
+      pool.emplace_back([&, w, begin, end] {
+        HijackSimulator sim(graph_, config_);
+        run_range(sim, partials[w], begin, end);
+      });
+    }
+    for (auto& worker : pool) worker.join();
+    for (const auto& partial : partials) {
+      for (std::size_t c = 0; c < partial.size(); ++c) {
+        totals[c].merge(partial[c], top_k);
+      }
+    }
+  }
+
+  std::vector<DetectorCaseResult> results;
+  results.reserve(probe_sets.size());
+  for (std::size_t c = 0; c < probe_sets.size(); ++c) {
+    DetectorCaseResult result;
+    result.label = probe_sets[c].label();
+    result.probe_count = probe_sets[c].size();
+    result.attacks = static_cast<std::uint32_t>(attacks.size());
+    result.histogram = std::move(totals[c].histogram);
+    result.avg_pollution_by_triggered.reserve(result.histogram.size());
+    for (const auto& stats : totals[c].pollution_by_triggered) {
+      result.avg_pollution_by_triggered.push_back(stats.mean());
+    }
+    result.missed = result.histogram[0];
+    result.missed_fraction = attacks.empty()
+                                 ? 0.0
+                                 : static_cast<double>(result.missed) /
+                                       static_cast<double>(attacks.size());
+    result.missed_pollution = totals[c].missed_pollution;
+    result.top_undetected = std::move(totals[c].undetected);
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+}  // namespace bgpsim

@@ -1,0 +1,216 @@
+#include "bgp/event_engine.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace bgpsim {
+
+EventEngine::EventEngine(const AsGraph& graph, EventEngineConfig config)
+    : graph_(graph), config_(std::move(config)) {
+  validate_engine_inputs(graph_, config_.policy);
+  BGPSIM_REQUIRE(config_.min_delay > 0.0 && config_.max_delay >= config_.min_delay,
+                 "bad delay range");
+  const std::uint32_t n = graph_.num_ases();
+
+  edge_offset_.assign(n + 1, 0);
+  for (AsId v = 0; v < n; ++v) {
+    edge_offset_[v + 1] = edge_offset_[v] + graph_.degree(v);
+  }
+  const std::uint32_t total_edges = edge_offset_[n];
+
+  mirror_.assign(total_edges, 0);
+  for (AsId u = 0; u < n; ++u) {
+    const auto nbrs_u = graph_.neighbors(u);
+    for (std::uint32_t k = 0; k < nbrs_u.size(); ++k) {
+      const AsId v = nbrs_u[k].id;
+      const auto nbrs_v = graph_.neighbors(v);
+      const auto it = std::lower_bound(
+          nbrs_v.begin(), nbrs_v.end(), u,
+          [](const Neighbor& nb, AsId id) { return nb.id < id; });
+      BGPSIM_ASSERT(it != nbrs_v.end() && it->id == u, "asymmetric adjacency");
+      mirror_[edge_offset_[u] + k] =
+          static_cast<std::uint32_t>(it - nbrs_v.begin());
+    }
+  }
+
+  Rng rng(config_.delay_seed);
+  delay_.resize(total_edges);
+  for (auto& d : delay_) d = rng.uniform(config_.min_delay, config_.max_delay);
+
+  is_stub_.assign(n, 1);
+  for (AsId v = 0; v < n; ++v) {
+    for (const auto& nbr : graph_.neighbors(v)) {
+      if (nbr.rel == Rel::Customer) {
+        is_stub_[v] = 0;
+        break;
+      }
+    }
+  }
+
+  rib_.assign(total_edges, RibEntry{});
+  rib_path_.resize(total_edges);
+  best_.assign(n, Route{});
+  best_slot_.assign(n, kSelfSlot);
+  best_path_.resize(n);
+  first_bogus_.assign(n, -1.0);
+  reset();
+}
+
+void EventEngine::reset() {
+  std::fill(rib_.begin(), rib_.end(), RibEntry{});
+  std::fill(best_.begin(), best_.end(), Route{});
+  std::fill(best_slot_.begin(), best_slot_.end(), kSelfSlot);
+  for (auto& path : best_path_) path.clear();
+  std::fill(first_bogus_.begin(), first_bogus_.end(), -1.0);
+  queue_ = {};
+  next_seq_ = 0;
+}
+
+std::uint32_t EventEngine::count_origin(Origin origin) const {
+  std::uint32_t count = 0;
+  for (const Route& r : best_) count += (r.origin == origin);
+  return count;
+}
+
+void EventEngine::schedule_exports(AsId v, double now) {
+  const Route& route = best_[v];
+  if (!route.valid()) return;
+  const std::uint32_t base = edge_offset_[v];
+  const auto nbrs = graph_.neighbors(v);
+  for (std::uint32_t k = 0; k < nbrs.size(); ++k) {
+    const Neighbor& nbr = nbrs[k];
+    if (!exports_to(route.cls, nbr.rel)) continue;
+    if (nbr.id == route.via) continue;  // split horizon
+    if (config_.policy.stub_first_hop_filter && route.cls == RouteClass::Self &&
+        route.origin == Origin::Attacker && nbr.rel == Rel::Provider &&
+        is_stub_[v]) {
+      continue;
+    }
+    Message msg;
+    msg.time = now + delay_[base + k];
+    msg.seq = next_seq_++;
+    msg.from = v;
+    msg.to = nbr.id;
+    msg.to_slot = mirror_[base + k];
+    msg.origin = route.origin;
+    msg.len = static_cast<std::uint16_t>(route.path_len + 1);
+    msg.path = best_path_[v];
+    queue_.push(std::move(msg));
+  }
+}
+
+bool EventEngine::deliver(const Message& msg, const ValidatorSet* validators) {
+  const AsId to = msg.to;
+  if (msg.origin == Origin::Attacker && validators != nullptr &&
+      (*validators)[to] != 0) {
+    return false;
+  }
+  if (std::find(msg.path.begin(), msg.path.end(), to) != msg.path.end()) {
+    return false;  // loop
+  }
+
+  const std::uint32_t rib_idx = edge_offset_[to] + msg.to_slot;
+  const RibEntry old = rib_[rib_idx];
+  const auto nbrs = graph_.neighbors(to);
+  const RouteClass cls = route_class_from(nbrs[msg.to_slot].rel);
+  const bool replaced_same = old.cls == cls && old.origin == msg.origin &&
+                             old.len == msg.len && rib_path_[rib_idx] == msg.path;
+  rib_[rib_idx] = RibEntry{msg.origin, cls, msg.len};
+  rib_path_[rib_idx] = msg.path;
+
+  const bool is_t1 = config_.policy.as_is_tier1(to);
+  Route& best = best_[to];
+
+  if (best_slot_[to] == rib_idx) {
+    if (replaced_same) return false;
+    if (!rank_better(best.cls, best.path_len, cls, msg.len, is_t1,
+                     config_.policy.tier1_shortest_path)) {
+      best.origin = msg.origin;
+      best.cls = cls;
+      best.path_len = msg.len;
+      best_path_[to].assign(1, to);
+      best_path_[to].insert(best_path_[to].end(), msg.path.begin(), msg.path.end());
+      return true;
+    }
+    reselect(to);
+    return true;
+  }
+
+  if (strictly_better(best.cls, best.path_len, cls, msg.len, is_t1,
+                      config_.policy.tier1_shortest_path)) {
+    best = Route{msg.origin, cls, msg.len, msg.from};
+    best_slot_[to] = rib_idx;
+    best_path_[to].assign(1, to);
+    best_path_[to].insert(best_path_[to].end(), msg.path.begin(), msg.path.end());
+    return true;
+  }
+  return false;
+}
+
+void EventEngine::reselect(AsId v) {
+  const bool is_t1 = config_.policy.as_is_tier1(v);
+  const std::uint32_t base = edge_offset_[v];
+  const auto nbrs = graph_.neighbors(v);
+  Route best{};
+  std::uint32_t best_idx = kSelfSlot;
+  for (std::uint32_t k = 0; k < nbrs.size(); ++k) {
+    const RibEntry& entry = rib_[base + k];
+    if (entry.cls == RouteClass::None) continue;
+    if (best_idx == kSelfSlot ||
+        rank_better(entry.cls, entry.len, best.cls, best.path_len, is_t1,
+                    config_.policy.tier1_shortest_path)) {
+      best = Route{entry.origin, entry.cls, entry.len, nbrs[k].id};
+      best_idx = base + k;
+    }
+  }
+  best_[v] = best;
+  best_slot_[v] = best_idx;
+  if (best_idx != kSelfSlot) {
+    best_path_[v].assign(1, v);
+    best_path_[v].insert(best_path_[v].end(), rib_path_[best_idx].begin(),
+                         rib_path_[best_idx].end());
+  } else {
+    best_path_[v].clear();
+  }
+}
+
+EventRunStats EventEngine::announce(AsId origin, Origin tag, double at_time,
+                                    const ValidatorSet* validators) {
+  BGPSIM_REQUIRE(origin < graph_.num_ases(), "announce: origin out of range");
+  BGPSIM_REQUIRE(tag != Origin::None, "announce: tag must be Legit or Attacker");
+  BGPSIM_REQUIRE(validators == nullptr || validators->size() == graph_.num_ases(),
+                 "validator set size mismatch");
+
+  best_[origin] = Route{tag, RouteClass::Self, 1, kInvalidAs};
+  best_slot_[origin] = kSelfSlot;
+  best_path_[origin].assign(1, origin);
+  if (tag == Origin::Attacker && first_bogus_[origin] < 0.0) {
+    first_bogus_[origin] = at_time;
+  }
+  schedule_exports(origin, at_time);
+
+  EventRunStats stats;
+  stats.quiescent_time = at_time;
+  while (!queue_.empty()) {
+    if (stats.messages_delivered >= config_.max_events) {
+      stats.converged = false;
+      break;
+    }
+    const Message msg = queue_.top();
+    queue_.pop();
+    ++stats.messages_delivered;
+    stats.quiescent_time = msg.time;
+    if (deliver(msg, validators)) {
+      ++stats.messages_accepted;
+      if (best_[msg.to].origin == Origin::Attacker && first_bogus_[msg.to] < 0.0) {
+        first_bogus_[msg.to] = msg.time;
+      }
+      schedule_exports(msg.to, msg.time);
+    }
+  }
+  return stats;
+}
+
+}  // namespace bgpsim

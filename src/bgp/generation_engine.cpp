@@ -1,0 +1,256 @@
+#include "bgp/generation_engine.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace bgpsim {
+
+GenerationEngine::GenerationEngine(const AsGraph& graph, PolicyConfig config)
+    : graph_(graph), config_(std::move(config)) {
+  validate_engine_inputs(graph_, config_);
+  const std::uint32_t n = graph_.num_ases();
+
+  edge_offset_.assign(n + 1, 0);
+  for (AsId v = 0; v < n; ++v) {
+    edge_offset_[v + 1] = edge_offset_[v] + graph_.degree(v);
+  }
+  const std::uint32_t total_edges = edge_offset_[n];
+
+  // mirror_[edge_offset_[u] + k]: position of u inside neighbors(v) where
+  // v = neighbors(u)[k]. Lets deliver() address v's Adj-RIB-In slot in O(1).
+  mirror_.assign(total_edges, 0);
+  for (AsId u = 0; u < n; ++u) {
+    const auto nbrs_u = graph_.neighbors(u);
+    for (std::uint32_t k = 0; k < nbrs_u.size(); ++k) {
+      const AsId v = nbrs_u[k].id;
+      const auto nbrs_v = graph_.neighbors(v);
+      const auto it = std::lower_bound(
+          nbrs_v.begin(), nbrs_v.end(), u,
+          [](const Neighbor& nb, AsId id) { return nb.id < id; });
+      BGPSIM_ASSERT(it != nbrs_v.end() && it->id == u, "asymmetric adjacency");
+      mirror_[edge_offset_[u] + k] =
+          static_cast<std::uint32_t>(it - nbrs_v.begin());
+    }
+  }
+
+  is_stub_.assign(n, 1);
+  for (AsId v = 0; v < n; ++v) {
+    for (const auto& nbr : graph_.neighbors(v)) {
+      if (nbr.rel == Rel::Customer) {
+        is_stub_[v] = 0;
+        break;
+      }
+    }
+  }
+
+  rib_.assign(total_edges, RibEntry{});
+  rib_path_.resize(total_edges);
+  best_.assign(n, Route{});
+  best_slot_.assign(n, kSelfSlot);
+  best_path_.resize(n);
+  changed_flag_.assign(n, 0);
+  offered_bogus_.assign(n, 0);
+  reset();
+}
+
+void GenerationEngine::reset() {
+  std::fill(rib_.begin(), rib_.end(), RibEntry{});
+  std::fill(best_.begin(), best_.end(), Route{});
+  std::fill(best_slot_.begin(), best_slot_.end(), kSelfSlot);
+  for (auto& path : best_path_) path.clear();
+  // rib_path_ contents are stale but unreachable: entries with
+  // RouteClass::None are never read.
+  std::fill(changed_flag_.begin(), changed_flag_.end(), 0);
+  std::fill(offered_bogus_.begin(), offered_bogus_.end(), 0);
+  frontier_.clear();
+  next_frontier_.clear();
+}
+
+void GenerationEngine::export_routes(RouteTable& out) const {
+  out.routes = best_;
+}
+
+std::uint32_t GenerationEngine::count_origin(Origin origin) const {
+  std::uint32_t count = 0;
+  for (const Route& r : best_) count += (r.origin == origin);
+  return count;
+}
+
+bool GenerationEngine::deliver(AsId from, AsId to, std::uint32_t to_slot,
+                               const RibEntry& entry,
+                               const std::vector<AsId>& path,
+                               const ValidatorSet* validators) {
+  if (entry.origin == Origin::Attacker) offered_bogus_[to] = 1;
+
+  // Route-origin validation: a deploying AS drops bogus announcements.
+  if (entry.origin == Origin::Attacker && validators != nullptr &&
+      (*validators)[to] != 0) {
+    return false;
+  }
+  // Loop rejection: the receiver appears in the announced AS path.
+  if (std::find(path.begin(), path.end(), to) != path.end()) return false;
+
+  const std::uint32_t rib_idx = edge_offset_[to] + to_slot;
+  const RibEntry old = rib_[rib_idx];
+  const bool replaced_same = old.cls == entry.cls && old.origin == entry.origin &&
+                             old.len == entry.len && rib_path_[rib_idx] == path;
+  rib_[rib_idx] = entry;
+  rib_path_[rib_idx] = path;
+
+  const bool is_t1 = config_.as_is_tier1(to);
+  Route& best = best_[to];
+
+  if (best_slot_[to] == rib_idx) {
+    // Implicit withdraw: the neighbor replaced the route we were using.
+    if (replaced_same) return false;
+    if (!rank_better(best.cls, best.path_len, entry.cls, entry.len, is_t1,
+                     config_.tier1_shortest_path)) {
+      // Same or better rank from the same neighbor: keep using it.
+      best.origin = entry.origin;
+      best.cls = entry.cls;
+      best.path_len = entry.len;
+      best_path_[to].assign(1, to);
+      best_path_[to].insert(best_path_[to].end(), path.begin(), path.end());
+      return true;
+    }
+    // Degraded: fall back to the full Adj-RIB-In.
+    reselect(to);
+    return true;
+  }
+
+  if (strictly_better(best.cls, best.path_len, entry.cls, entry.len, is_t1,
+                      config_.tier1_shortest_path)) {
+    best = Route{entry.origin, entry.cls, entry.len, from};
+    best_slot_[to] = rib_idx;
+    best_path_[to].assign(1, to);
+    best_path_[to].insert(best_path_[to].end(), path.begin(), path.end());
+    return true;
+  }
+  return false;
+}
+
+void GenerationEngine::reselect(AsId v) {
+  const bool is_t1 = config_.as_is_tier1(v);
+  const std::uint32_t base = edge_offset_[v];
+  const auto nbrs = graph_.neighbors(v);
+  Route best{};
+  std::uint32_t best_idx = kSelfSlot;
+  for (std::uint32_t k = 0; k < nbrs.size(); ++k) {
+    const RibEntry& entry = rib_[base + k];
+    if (entry.cls == RouteClass::None) continue;
+    if (best_idx == kSelfSlot ||
+        rank_better(entry.cls, entry.len, best.cls, best.path_len, is_t1,
+                    config_.tier1_shortest_path)) {
+      best = Route{entry.origin, entry.cls, entry.len, nbrs[k].id};
+      best_idx = base + k;
+    }
+  }
+  best_[v] = best;
+  best_slot_[v] = best_idx;
+  if (best_idx != kSelfSlot) {
+    best_path_[v].assign(1, v);
+    best_path_[v].insert(best_path_[v].end(), rib_path_[best_idx].begin(),
+                         rib_path_[best_idx].end());
+  } else {
+    best_path_[v].clear();
+  }
+}
+
+ConvergeStats GenerationEngine::announce(AsId origin, Origin tag,
+                                         const ValidatorSet* validators,
+                                         PropagationTrace* trace,
+                                         AsId forged_tail) {
+  BGPSIM_REQUIRE(origin < graph_.num_ases(), "announce: origin out of range");
+  BGPSIM_REQUIRE(tag != Origin::None, "announce: tag must be Legit or Attacker");
+  BGPSIM_REQUIRE(validators == nullptr || validators->size() == graph_.num_ases(),
+                 "validator set size mismatch");
+  BGPSIM_REQUIRE(forged_tail == kInvalidAs ||
+                     (forged_tail < graph_.num_ases() && forged_tail != origin),
+                 "announce: bad forged_tail");
+
+  ConvergeStats stats;
+
+  // Originate: a self route always wins locally (the attacker overrides any
+  // legitimate route it holds for the hijacked prefix).
+  best_path_[origin].assign(1, origin);
+  if (forged_tail != kInvalidAs) best_path_[origin].push_back(forged_tail);
+  best_[origin] = Route{tag, RouteClass::Self,
+                        static_cast<std::uint16_t>(best_path_[origin].size()),
+                        kInvalidAs};
+  best_slot_[origin] = kSelfSlot;
+
+  frontier_.assign(1, origin);
+  changed_flag_[origin] = 1;
+
+  // Safety cap only; Gao–Rexford-compatible policies converge long before.
+  const std::uint32_t generation_cap = 4 * graph_.num_ases() + 16;
+
+  while (!frontier_.empty() && stats.generations < generation_cap) {
+    ++stats.generations;
+    next_frontier_.clear();
+    std::sort(frontier_.begin(), frontier_.end());
+
+    GenerationFrame frame;
+    if (trace != nullptr) frame.generation = stats.generations;
+
+    for (const AsId v : frontier_) {
+      changed_flag_[v] = 0;
+      const Route& route = best_[v];
+      if (!route.valid()) continue;  // defensive; routes never disappear
+      const std::vector<AsId>& announce_path = best_path_[v];
+      const RibEntry entry{route.origin, RouteClass::None,
+                           static_cast<std::uint16_t>(route.path_len + 1)};
+      const std::uint32_t base = edge_offset_[v];
+      const auto nbrs = graph_.neighbors(v);
+      for (std::uint32_t k = 0; k < nbrs.size(); ++k) {
+        const Neighbor& nbr = nbrs[k];
+        if (!exports_to(route.cls, nbr.rel)) continue;
+        if (nbr.id == route.via) continue;  // split horizon (loop-rejected anyway)
+        // Optimistic first-hop defense (fig. 4): a provider knows its *stub*
+        // customers' prefixes and drops a bogus origination arriving directly
+        // from one (transit customers legitimately re-announce third-party
+        // prefixes, so they cannot be filtered this way).
+        if (config_.stub_first_hop_filter && route.cls == RouteClass::Self &&
+            route.origin == Origin::Attacker && nbr.rel == Rel::Provider &&
+            is_stub_[v]) {
+          // The provider still *receives* the bogus origination before
+          // discarding it ("heard" detection semantics).
+          offered_bogus_[nbr.id] = 1;
+          ++stats.messages_sent;
+          continue;
+        }
+        RibEntry delivered = entry;
+        delivered.cls = route_class_from(inverse(nbr.rel));
+        ++stats.messages_sent;
+        const bool accepted = deliver(v, nbr.id, mirror_[base + k], delivered,
+                                      announce_path, validators);
+        if (accepted) {
+          ++stats.messages_accepted;
+          if (!changed_flag_[nbr.id]) {
+            changed_flag_[nbr.id] = 1;
+            next_frontier_.push_back(nbr.id);
+          }
+        }
+        if (trace != nullptr) {
+          frame.edges.push_back(TraceEdge{v, nbr.id, accepted});
+        }
+      }
+    }
+
+    if (trace != nullptr) {
+      frame.messages_sent = static_cast<std::uint32_t>(frame.edges.size());
+      frame.messages_accepted = 0;
+      for (const TraceEdge& e : frame.edges) frame.messages_accepted += e.accepted;
+      frame.polluted_so_far = count_origin(Origin::Attacker);
+      trace->frames.push_back(std::move(frame));
+    }
+
+    frontier_.swap(next_frontier_);
+  }
+
+  stats.converged = frontier_.empty();
+  return stats;
+}
+
+}  // namespace bgpsim

@@ -1,0 +1,23 @@
+#include "bgp/policy.hpp"
+
+#include "support/error.hpp"
+
+namespace bgpsim {
+
+void validate_engine_inputs(const AsGraph& graph, const PolicyConfig& config) {
+  if (!config.is_tier1.empty() && config.is_tier1.size() != graph.num_ases()) {
+    throw ConfigError("PolicyConfig.is_tier1 size does not match graph");
+  }
+  for (AsId v = 0; v < graph.num_ases(); ++v) {
+    for (const auto& nbr : graph.neighbors(v)) {
+      if (nbr.rel == Rel::Sibling) {
+        throw ConfigError(
+            "graph contains sibling links; run contract_siblings() before "
+            "simulating (AS " +
+            std::to_string(graph.asn(v)) + ")");
+      }
+    }
+  }
+}
+
+}  // namespace bgpsim

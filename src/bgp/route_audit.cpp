@@ -1,0 +1,111 @@
+#include "bgp/route_audit.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace bgpsim {
+
+bool path_is_loop_free(std::span<const AsId> path) {
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    for (std::size_t j = i + 1; j < path.size(); ++j) {
+      if (path[i] == path[j]) return false;
+    }
+  }
+  return true;
+}
+
+bool path_is_valley_free(const AsGraph& graph, std::span<const AsId> path) {
+  if (path.size() < 2) return true;
+  // Read from the origin towards the receiver: each hop exporter -> importer.
+  // Phase machine: 0 = climbing (customer->provider exports), 1 = after the
+  // single peer step, 2 = descending (provider->customer exports).
+  int phase = 0;
+  for (std::size_t i = path.size() - 1; i-- > 0;) {
+    const AsId exporter = path[i + 1];
+    const AsId importer = path[i];
+    const auto rel = graph.relationship(exporter, importer);
+    if (!rel.has_value()) return false;  // not even adjacent
+    switch (*rel) {
+      case Rel::Provider:  // importer is exporter's provider: climbing step
+        if (phase != 0) return false;
+        break;
+      case Rel::Peer:
+        if (phase != 0) return false;
+        phase = 1;
+        break;
+      case Rel::Customer:  // importer is exporter's customer: descending step
+        phase = 2;
+        break;
+      case Rel::Sibling:
+        return false;  // engines require contracted graphs
+    }
+  }
+  return true;
+}
+
+AuditReport audit_route_table(const AsGraph& graph, const RouteTable& table) {
+  AuditReport report;
+  const auto n = static_cast<AsId>(table.routes.size());
+  BGPSIM_REQUIRE(n == graph.num_ases(), "route table size mismatch");
+
+  std::vector<AsId> path;
+  for (AsId v = 0; v < n; ++v) {
+    const Route& route = table.routes[v];
+    if (!route.valid()) continue;
+    ++report.routes_checked;
+
+    // Reconstruct the path by chasing via pointers.
+    path.clear();
+    AsId cursor = v;
+    bool broken = false;
+    while (true) {
+      path.push_back(cursor);
+      const Route& r = table.routes[cursor];
+      if (r.cls == RouteClass::Self) break;
+      if (r.via == kInvalidAs || r.via >= n || !table.routes[r.via].valid() ||
+          !graph.relationship(cursor, r.via).has_value()) {
+        broken = true;
+        break;
+      }
+      if (path.size() > table.routes[v].path_len + 2u) {
+        // Longer than advertised: either a loop or a stale chain.
+        broken = true;
+        break;
+      }
+      cursor = r.via;
+    }
+    if (broken) {
+      ++report.broken_via_chains;
+      continue;
+    }
+    if (!path_is_loop_free(path)) ++report.loops;
+    if (!path_is_valley_free(graph, path)) ++report.valley_violations;
+    if (path.size() != route.path_len) ++report.length_mismatches;
+  }
+  return report;
+}
+
+double origin_agreement(const RouteTable& a, const RouteTable& b) {
+  BGPSIM_REQUIRE(a.routes.size() == b.routes.size(), "table size mismatch");
+  if (a.routes.empty()) return 1.0;
+  std::uint64_t same = 0;
+  for (std::size_t i = 0; i < a.routes.size(); ++i) {
+    same += (a.routes[i].origin == b.routes[i].origin);
+  }
+  return static_cast<double>(same) / static_cast<double>(a.routes.size());
+}
+
+double route_agreement(const RouteTable& a, const RouteTable& b) {
+  BGPSIM_REQUIRE(a.routes.size() == b.routes.size(), "table size mismatch");
+  if (a.routes.empty()) return 1.0;
+  std::uint64_t same = 0;
+  for (std::size_t i = 0; i < a.routes.size(); ++i) {
+    same += (a.routes[i].origin == b.routes[i].origin &&
+             a.routes[i].cls == b.routes[i].cls &&
+             a.routes[i].path_len == b.routes[i].path_len);
+  }
+  return static_cast<double>(same) / static_cast<double>(a.routes.size());
+}
+
+}  // namespace bgpsim

@@ -1,0 +1,54 @@
+// Policy-compliance audits over simulation output.
+//
+// The paper validated its simulator against RouteViews RIBs (62 % exact or
+// topologically-equivalent matches). Offline we substitute two checks with
+// the same intent — "the simulator computes plausible policy-compliant
+// routes":
+//   * every selected path is loop-free and valley-free,
+//   * two independently implemented engines agree on the routing outcome.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bgp/types.hpp"
+#include "topology/as_graph.hpp"
+
+namespace bgpsim {
+
+struct AuditReport {
+  std::uint64_t routes_checked = 0;
+  std::uint64_t loops = 0;
+  std::uint64_t valley_violations = 0;
+  std::uint64_t broken_via_chains = 0;  ///< via pointer not a neighbor / dangling
+  std::uint64_t length_mismatches = 0;  ///< stored len != via-chain length
+
+  bool clean() const {
+    return loops == 0 && valley_violations == 0 && broken_via_chains == 0 &&
+           length_mismatches == 0;
+  }
+};
+
+/// Check one explicit AS path [v, ..., origin] for duplicates and
+/// valley-freeness (read origin->v, the relationship sequence must be
+/// Provider* Peer? Customer* — up, at most one flat step, then down).
+bool path_is_loop_free(std::span<const AsId> path);
+bool path_is_valley_free(const AsGraph& graph, std::span<const AsId> path);
+
+/// Audit a whole route table by following `via` chains to the origin.
+///
+/// Assumes self-consistent via chains (EquilibriumEngine output is; for
+/// GenerationEngine output audit the engine's stored paths with
+/// path_is_valley_free/path_is_loop_free instead, since announce-only BGP can
+/// leave a neighbor's current route different from the one that was adopted).
+AuditReport audit_route_table(const AsGraph& graph, const RouteTable& table);
+
+/// Fraction of ASes on which two route tables pick the same origin
+/// (the paper's pollution measurements depend only on this choice).
+double origin_agreement(const RouteTable& a, const RouteTable& b);
+
+/// Fraction of ASes with identical (origin, class, path_len).
+double route_agreement(const RouteTable& a, const RouteTable& b);
+
+}  // namespace bgpsim

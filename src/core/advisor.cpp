@@ -1,0 +1,298 @@
+#include "core/advisor.hpp"
+
+#include <algorithm>
+
+#include "defense/deployment.hpp"
+#include "detect/detector.hpp"
+#include "support/assert.hpp"
+
+namespace bgpsim {
+
+namespace {
+
+/// Self-contained simulation context for a (possibly re-homed) graph.
+struct LocalContext {
+  AsGraph graph;
+  TierClassification tiers;
+  std::vector<std::uint16_t> depth;
+  SimConfig config;
+
+  LocalContext(AsGraph g, const Scenario& base) : graph(std::move(g)) {
+    const std::uint32_t tier2_min_degree =
+        base.scaled_degree(120);  // same classification rule as Scenario
+    tiers = classify_tiers(graph, tier2_min_degree);
+    depth = compute_depth(graph, tiers, /*include_tier2=*/true);
+    config = base.sim_config();
+    config.policy.is_tier1.assign(tiers.is_tier1.begin(), tiers.is_tier1.end());
+  }
+};
+
+/// Mean regional pollution over an explicit (possibly sampled) attacker list
+/// (RegionalAnalyzer::attacks_from_region would sweep the whole region).
+double regional_damage(const LocalContext& ctx, AsId target,
+                       std::span<const AsId> attackers, const FilterSet* filters) {
+  HijackSimulator sim(ctx.graph, ctx.config);
+  sim.set_validators(filters != nullptr
+                         ? std::optional<ValidatorSet>(filters->bitset())
+                         : std::nullopt);
+  const std::uint16_t region = ctx.graph.region(target);
+  RunningStats damage;
+  for (const AsId attacker : attackers) {
+    if (attacker == target) continue;
+    sim.attack(target, attacker);
+    const RouteTable& routes = sim.routes();
+    std::uint32_t compromised = 0;
+    for (AsId v = 0; v < ctx.graph.num_ases(); ++v) {
+      if (ctx.graph.region(v) != region || v == target || v == attacker) continue;
+      if (routes.routes[v].origin == Origin::Attacker) ++compromised;
+    }
+    damage.add(compromised);
+  }
+  return damage.mean();
+}
+
+}  // namespace
+
+SelfInterestAdvisor::SelfInterestAdvisor(const Scenario& scenario)
+    : scenario_(scenario) {}
+
+std::vector<AsId> SelfInterestAdvisor::greedy_filters(
+    AsId target, std::span<const AsId> attackers, std::span<const AsId> candidates,
+    std::size_t k) {
+  LocalContext ctx(scenario_.graph(), scenario_);
+  FilterSet chosen(ctx.graph.num_ases());
+  std::vector<AsId> picked;
+  std::vector<AsId> pool(candidates.begin(), candidates.end());
+
+  double current = regional_damage(ctx, target, attackers, &chosen);
+  for (std::size_t round = 0; round < k && !pool.empty(); ++round) {
+    double best_damage = current;
+    std::size_t best_idx = pool.size();
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      FilterSet trial = chosen;
+      trial.add(pool[i]);
+      const double damage = regional_damage(ctx, target, attackers, &trial);
+      if (damage < best_damage ||
+          (best_idx == pool.size() && damage < current)) {
+        best_damage = damage;
+        best_idx = i;
+      }
+    }
+    if (best_idx == pool.size() || best_damage >= current) break;  // no gain
+    chosen.add(pool[best_idx]);
+    picked.push_back(pool[best_idx]);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(best_idx));
+    current = best_damage;
+  }
+  return picked;
+}
+
+std::vector<AsId> SelfInterestAdvisor::greedy_probes(
+    AsId target, std::span<const AsId> attackers, std::size_t k) {
+  const AsGraph& graph = scenario_.graph();
+  HijackSimulator sim = scenario_.make_simulator();
+
+  // Detection matrix: per candidate probe, a bitmask over sampled attacks.
+  const std::size_t n_attacks = attackers.size();
+  const std::size_t words = (n_attacks + 63) / 64;
+  const auto candidates = transit_ases(graph);
+  std::vector<std::vector<std::uint64_t>> covers(
+      candidates.size(), std::vector<std::uint64_t>(words, 0));
+  std::vector<std::size_t> candidate_index(graph.num_ases(), candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    candidate_index[candidates[i]] = i;
+  }
+
+  std::size_t attack_no = 0;
+  for (const AsId attacker : attackers) {
+    if (attacker == target) {
+      ++attack_no;
+      continue;
+    }
+    sim.attack(target, attacker);
+    const RouteTable& routes = sim.routes();
+    for (const AsId c : candidates) {
+      if (routes.routes[c].origin == Origin::Attacker) {
+        covers[candidate_index[c]][attack_no / 64] |= 1ULL << (attack_no % 64);
+      }
+    }
+    ++attack_no;
+  }
+
+  // Greedy max-coverage.
+  std::vector<std::uint64_t> covered(words, 0);
+  std::vector<AsId> picked;
+  for (std::size_t round = 0; round < k; ++round) {
+    std::size_t best_gain = 0;
+    std::size_t best_idx = candidates.size();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      std::size_t gain = 0;
+      for (std::size_t w = 0; w < words; ++w) {
+        gain += static_cast<std::size_t>(
+            __builtin_popcountll(covers[i][w] & ~covered[w]));
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_idx = i;
+      }
+    }
+    if (best_idx == candidates.size() || best_gain == 0) break;
+    for (std::size_t w = 0; w < words; ++w) covered[w] |= covers[best_idx][w];
+    picked.push_back(candidates[best_idx]);
+  }
+  return picked;
+}
+
+AdvisorReport SelfInterestAdvisor::advise(AsId target, const AdvisorBudget& budget,
+                                          Rng& rng) {
+  const AsGraph& graph = scenario_.graph();
+  BGPSIM_REQUIRE(target < graph.num_ases(), "target out of range");
+
+  AdvisorReport report;
+  report.target = target;
+  report.target_asn = graph.asn(target);
+  report.region = graph.region(target);
+  report.depth_before = scenario_.depth()[target];
+  report.depth_after = report.depth_before;
+
+  // Attacker sample: the target's whole region (capped), the §VII workload.
+  std::vector<AsId> attackers = graph.ases_in_region(report.region);
+  attackers.erase(std::remove(attackers.begin(), attackers.end(), target),
+                  attackers.end());
+  report.region_size = static_cast<std::uint32_t>(attackers.size());
+  if (attackers.size() > budget.attack_sample) {
+    attackers = rng.sample_without_replacement(attackers, budget.attack_sample);
+  }
+
+  // Step 0: baseline.
+  LocalContext base_ctx(graph, scenario_);
+  const double base_damage = regional_damage(base_ctx, target, attackers, nullptr);
+  report.steps.push_back(
+      {"baseline (no action)", base_damage,
+       report.region_size ? base_damage / report.region_size : 0.0});
+
+  // Step 1: re-home upward to reduce depth.
+  AsGraph working = graph;
+  if (budget.rehome_levels > 0 && report.depth_before > 1) {
+    working = rehome_up(graph, graph.asn(target), scenario_.depth(),
+                        budget.rehome_levels);
+  }
+  LocalContext ctx(working, scenario_);
+  report.depth_after = ctx.depth[ctx.graph.require(report.target_asn)];
+  const AsId new_target = ctx.graph.require(report.target_asn);
+  // Re-map attacker ids into the re-homed graph (ASNs are stable).
+  std::vector<AsId> mapped;
+  mapped.reserve(attackers.size());
+  for (const AsId a : attackers) mapped.push_back(ctx.graph.require(graph.asn(a)));
+
+  const double rehomed = regional_damage(ctx, new_target, mapped, nullptr);
+  report.steps.push_back(
+      {"re-home " + std::to_string(budget.rehome_levels) + " levels up (depth " +
+           std::to_string(report.depth_before) + " -> " +
+           std::to_string(report.depth_after) + ")",
+       rehomed, report.region_size ? rehomed / report.region_size : 0.0});
+
+  // Steps 2-4: publish origins + greedy strategic filters (on the re-homed graph).
+  std::vector<AsId> candidates;
+  for (const AsId t : transit_ases(ctx.graph)) {
+    if (ctx.graph.region(t) == report.region) candidates.push_back(t);
+  }
+  for (const auto& nbr : ctx.graph.neighbors(new_target)) {
+    if (nbr.rel == Rel::Provider) candidates.push_back(nbr.id);
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  FilterSet filters(ctx.graph.num_ases());
+  {
+    std::vector<AsId> picked;
+    double current = rehomed;
+    std::vector<AsId> pool = candidates;
+    for (std::uint32_t round = 0; round < budget.max_filters && !pool.empty();
+         ++round) {
+      double best_damage = current;
+      std::size_t best_idx = pool.size();
+      for (std::size_t i = 0; i < pool.size(); ++i) {
+        FilterSet trial = filters;
+        trial.add(pool[i]);
+        const double damage = regional_damage(ctx, new_target, mapped, &trial);
+        if (damage < best_damage) {
+          best_damage = damage;
+          best_idx = i;
+        }
+      }
+      if (best_idx == pool.size()) break;
+      filters.add(pool[best_idx]);
+      picked.push_back(pool[best_idx]);
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(best_idx));
+      current = best_damage;
+    }
+    for (const AsId f : picked) report.recommended_filters.push_back(ctx.graph.asn(f));
+    report.steps.push_back(
+        {"publish origins + filter at " + std::to_string(picked.size()) +
+             " strategic ASes",
+         current, report.region_size ? current / report.region_size : 0.0});
+  }
+
+  // Step 5: detection with greedy probe placement, accounting blind spots.
+  {
+    HijackSimulator sim(ctx.graph, ctx.config);
+    sim.set_validators(std::optional<ValidatorSet>(filters.bitset()));
+    const auto probe_candidates = transit_ases(ctx.graph);
+    std::vector<std::uint8_t> detected(mapped.size(), 0);
+    std::vector<std::vector<std::uint32_t>> polluted_probes(mapped.size());
+    for (std::size_t i = 0; i < mapped.size(); ++i) {
+      if (mapped[i] == new_target) continue;
+      sim.attack(new_target, mapped[i]);
+      const RouteTable& routes = sim.routes();
+      for (const AsId c : probe_candidates) {
+        if (routes.routes[c].origin == Origin::Attacker) {
+          polluted_probes[i].push_back(c);
+        }
+      }
+    }
+    // Greedy max coverage over attacks that polluted anyone at all.
+    std::vector<AsId> probes;
+    for (std::uint32_t round = 0; round < budget.max_probes; ++round) {
+      std::size_t best_gain = 0;
+      AsId best_probe = kInvalidAs;
+      for (const AsId c : probe_candidates) {
+        std::size_t gain = 0;
+        for (std::size_t i = 0; i < mapped.size(); ++i) {
+          if (detected[i]) continue;
+          if (std::find(polluted_probes[i].begin(), polluted_probes[i].end(), c) !=
+              polluted_probes[i].end()) {
+            ++gain;
+          }
+        }
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_probe = c;
+        }
+      }
+      if (best_probe == kInvalidAs) break;
+      probes.push_back(best_probe);
+      for (std::size_t i = 0; i < mapped.size(); ++i) {
+        if (!detected[i] &&
+            std::find(polluted_probes[i].begin(), polluted_probes[i].end(),
+                      best_probe) != polluted_probes[i].end()) {
+          detected[i] = 1;
+        }
+      }
+    }
+    std::uint32_t harmful = 0, missed = 0;
+    for (std::size_t i = 0; i < mapped.size(); ++i) {
+      if (polluted_probes[i].empty()) continue;  // attack polluted nobody
+      ++harmful;
+      if (!detected[i]) ++missed;
+    }
+    report.detection_miss_rate =
+        harmful == 0 ? 0.0 : static_cast<double>(missed) / harmful;
+    for (const AsId p : probes) report.recommended_probes.push_back(ctx.graph.asn(p));
+  }
+
+  return report;
+}
+
+}  // namespace bgpsim

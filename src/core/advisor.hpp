@@ -1,0 +1,80 @@
+// §VII "pragmatic self-interest actions" as an API.
+//
+// The paper proposes a playbook an AS owner can run unilaterally:
+//   1. analyze the relevant AS topology (depth = vulnerability proxy),
+//   2. reduce vulnerability (re-home / multi-home),
+//   3. publish route origins (modeled as enabling filters/detectors),
+//   4. build prefix filters at strategic ASes,
+//   5. use detection and check it for blind spots.
+//
+// SelfInterestAdvisor quantifies each step for a concrete target: it
+// simulates the baseline, evaluates a re-homing transform, greedily places a
+// filter/probe budget, and reports the measured improvement of every step.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/regional.hpp"
+#include "core/scenario.hpp"
+#include "detect/probe_set.hpp"
+
+namespace bgpsim {
+
+struct AdvisorBudget {
+  int rehome_levels = 2;          ///< how far up to re-home (0 = skip)
+  std::uint32_t max_filters = 3;  ///< prefix filters we can convince ASes to run
+  std::uint32_t max_probes = 8;   ///< detector peers we can establish
+  std::uint32_t attack_sample = 200;  ///< Monte-Carlo attacks per evaluation
+};
+
+struct AdvisorStep {
+  std::string action;       ///< human-readable recommendation
+  double regional_damage;   ///< mean compromised ASes in the target's region
+  double regional_fraction; ///< same, as a fraction of the region
+};
+
+struct AdvisorReport {
+  AsId target = kInvalidAs;
+  Asn target_asn = 0;
+  std::uint16_t depth_before = 0;
+  std::uint16_t depth_after = 0;
+  std::uint16_t region = 0;
+  std::uint32_t region_size = 0;
+
+  /// Baseline, then one entry per applied step (monotone improvements).
+  std::vector<AdvisorStep> steps;
+
+  /// Strategic filter ASes chosen greedily (ASNs).
+  std::vector<Asn> recommended_filters;
+
+  /// Probe ASes that cover the sampled attacks (ASNs), and the residual
+  /// blind-spot rate of that probe set.
+  std::vector<Asn> recommended_probes;
+  double detection_miss_rate = 1.0;
+};
+
+class SelfInterestAdvisor {
+ public:
+  explicit SelfInterestAdvisor(const Scenario& scenario);
+
+  /// Run the full playbook for one target AS.
+  AdvisorReport advise(AsId target, const AdvisorBudget& budget, Rng& rng);
+
+  /// Greedy filter placement: choose up to `k` transit ASes whose origin
+  /// validation most reduces mean regional pollution of `target` under the
+  /// sampled attacker set.
+  std::vector<AsId> greedy_filters(AsId target, std::span<const AsId> attackers,
+                                   std::span<const AsId> candidates, std::size_t k);
+
+  /// Greedy probe placement: choose up to `k` probe ASes maximizing the
+  /// number of sampled attacks detected (attacks on `target`).
+  std::vector<AsId> greedy_probes(AsId target, std::span<const AsId> attackers,
+                                  std::size_t k);
+
+ private:
+  const Scenario& scenario_;
+};
+
+}  // namespace bgpsim

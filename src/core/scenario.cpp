@@ -1,0 +1,48 @@
+#include "core/scenario.hpp"
+
+#include "topology/caida_parser.hpp"
+#include "topology/sibling_contraction.hpp"
+
+namespace bgpsim {
+
+Scenario Scenario::generate(const ScenarioParams& params) {
+  return from_graph(generate_internet(params.topology), params);
+}
+
+Scenario Scenario::from_graph(AsGraph graph, const ScenarioParams& params) {
+  auto contracted = contract_siblings(graph);
+  return Scenario(std::move(contracted.graph), params);
+}
+
+Scenario Scenario::load_caida(const std::string& path, const ScenarioParams& params) {
+  return from_graph(load_caida_file(path), params);
+}
+
+Scenario::Scenario(AsGraph graph, const ScenarioParams& params)
+    : graph_(std::move(graph)) {
+  const std::uint32_t tier2_min_degree = scale_degree_threshold(
+      graph_.num_ases(), params.tier2_min_degree_full_scale);
+  tiers_ = classify_tiers(graph_, tier2_min_degree);
+  depth_ = compute_depth(graph_, tiers_, /*include_tier2=*/true);
+  depth_tier1_only_ = compute_depth(graph_, tiers_, /*include_tier2=*/false);
+  transit_ = transit_ases(graph_);
+
+  sim_config_.engine = params.engine;
+  sim_config_.policy.tier1_shortest_path = params.tier1_shortest_path;
+  sim_config_.policy.stub_first_hop_filter = params.stub_first_hop_filter;
+  sim_config_.policy.is_tier1.assign(tiers_.is_tier1.begin(), tiers_.is_tier1.end());
+}
+
+HijackSimulator Scenario::make_simulator() const {
+  return HijackSimulator(graph_, sim_config_);
+}
+
+std::uint32_t Scenario::scaled_degree(std::uint32_t full_scale_value) const {
+  return scale_degree_threshold(graph_.num_ases(), full_scale_value);
+}
+
+std::uint32_t Scenario::scaled_count(std::uint32_t full_scale_count) const {
+  return scale_count(graph_.num_ases(), full_scale_count);
+}
+
+}  // namespace bgpsim

@@ -1,0 +1,83 @@
+// Scenario: the one-stop entry point of the library.
+//
+// Bundles a topology (generated, parsed, or injected), its tier
+// classification and depth metrics, and the policy configuration, and hands
+// out correctly wired simulators and experiment drivers.
+//
+//   Scenario scenario = Scenario::generate({.total_ases = 8000, .seed = 42});
+//   HijackSimulator sim = scenario.make_simulator();
+//   auto result = sim.attack(target, attacker);
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hijack/hijack_simulator.hpp"
+#include "topology/internet_gen.hpp"
+#include "topology/metrics.hpp"
+
+namespace bgpsim {
+
+struct ScenarioParams {
+  /// Synthetic-topology parameters (ignored by from_graph/load_caida).
+  InternetGenParams topology;
+
+  /// Degree bound for tier-2 classification, expressed at the paper's full
+  /// scale (42,697 ASes) and scaled to the actual topology size.
+  std::uint32_t tier2_min_degree_full_scale = 120;
+
+  bool tier1_shortest_path = true;
+  bool stub_first_hop_filter = false;
+  EngineKind engine = EngineKind::Equilibrium;
+};
+
+class Scenario {
+ public:
+  /// Generate a synthetic Internet (deterministic in params.topology.seed).
+  static Scenario generate(const ScenarioParams& params);
+
+  /// Wrap an existing graph (sibling links are contracted automatically).
+  static Scenario from_graph(AsGraph graph, const ScenarioParams& params);
+
+  /// Load a CAIDA serial-1 relationship file.
+  static Scenario load_caida(const std::string& path, const ScenarioParams& params);
+
+  const AsGraph& graph() const { return graph_; }
+  const TierClassification& tiers() const { return tiers_; }
+
+  /// Depth per AS, to the nearest tier-1 *or tier-2* (§IV's redefinition).
+  const std::vector<std::uint16_t>& depth() const { return depth_; }
+
+  /// Depth per AS to the nearest tier-1 only (the metric's first version).
+  const std::vector<std::uint16_t>& depth_tier1_only() const {
+    return depth_tier1_only_;
+  }
+
+  const std::vector<AsId>& transit() const { return transit_; }
+
+  const PolicyConfig& policy() const { return sim_config_.policy; }
+  const SimConfig& sim_config() const { return sim_config_; }
+
+  HijackSimulator make_simulator() const;
+
+  /// The degree threshold corresponding to a full-scale (42,697-AS) value.
+  std::uint32_t scaled_degree(std::uint32_t full_scale_value) const;
+
+  /// The AS count corresponding to a full-scale count (e.g. the "62 core").
+  std::uint32_t scaled_count(std::uint32_t full_scale_count) const;
+
+ private:
+  Scenario(AsGraph graph, const ScenarioParams& params);
+
+  AsGraph graph_;
+  TierClassification tiers_;
+  std::vector<std::uint16_t> depth_;
+  std::vector<std::uint16_t> depth_tier1_only_;
+  std::vector<AsId> transit_;
+  SimConfig sim_config_;
+};
+
+}  // namespace bgpsim

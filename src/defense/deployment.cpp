@@ -1,0 +1,51 @@
+#include "defense/deployment.hpp"
+
+#include "support/assert.hpp"
+
+namespace bgpsim {
+
+DeploymentPlan random_transit_deployment(const AsGraph& graph, std::uint32_t count,
+                                         Rng& rng) {
+  const auto transits = transit_ases(graph);
+  BGPSIM_REQUIRE(count <= transits.size(),
+                 "random deployment larger than the transit population");
+  DeploymentPlan plan;
+  plan.label = "random " + std::to_string(count);
+  plan.deployers = rng.sample_without_replacement(transits, count);
+  return plan;
+}
+
+DeploymentPlan tier1_deployment(const TierClassification& tiers) {
+  DeploymentPlan plan;
+  plan.label = std::to_string(tiers.tier1.size()) + " tier-1 ASes";
+  plan.deployers = tiers.tier1;
+  return plan;
+}
+
+DeploymentPlan degree_threshold_deployment(const AsGraph& graph,
+                                           std::uint32_t min_degree) {
+  DeploymentPlan plan;
+  plan.deployers = ases_with_degree_at_least(graph, min_degree);
+  plan.label = std::to_string(plan.deployers.size()) + " ASes with degree >= " +
+               std::to_string(min_degree);
+  return plan;
+}
+
+DeploymentPlan top_k_deployment(const AsGraph& graph, std::size_t k) {
+  DeploymentPlan plan;
+  plan.deployers = top_k_by_degree(graph, k);
+  plan.label = "top " + std::to_string(plan.deployers.size()) + " by degree";
+  return plan;
+}
+
+DeploymentPlan custom_deployment(std::string label, std::vector<AsId> deployers) {
+  return DeploymentPlan{std::move(label), std::move(deployers)};
+}
+
+FilterSet to_filter_set(const AsGraph& graph, const DeploymentPlan& plan) {
+  FilterSet filters(graph.num_ases());
+  filters.add_all(plan.deployers);
+  return filters;
+}
+
+}  // namespace bgpsim

@@ -1,0 +1,44 @@
+// The incremental deployment strategies compared in §V of the paper:
+// random ASes, the tier-1 clique, and degree-threshold cores.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "defense/filter_set.hpp"
+#include "support/rng.hpp"
+#include "topology/metrics.hpp"
+
+namespace bgpsim {
+
+/// A named set of deploying ASes, as compared in figures 5 and 6.
+struct DeploymentPlan {
+  std::string label;
+  std::vector<AsId> deployers;
+};
+
+/// "Random Deployment": `count` ASes drawn uniformly from the transit ASes
+/// (the paper's random curves draw from transit ASes — stubs can also
+/// deploy, but blocking at stubs protects nobody else).
+DeploymentPlan random_transit_deployment(const AsGraph& graph, std::uint32_t count,
+                                         Rng& rng);
+
+/// "filter 17 tier-1 ASes".
+DeploymentPlan tier1_deployment(const TierClassification& tiers);
+
+/// "filter N ASes with degree >= d".
+DeploymentPlan degree_threshold_deployment(const AsGraph& graph,
+                                           std::uint32_t min_degree);
+
+/// Top-k by degree — the scale-invariant analogue of a degree threshold,
+/// used when the topology is smaller than the paper's 42,697 ASes.
+DeploymentPlan top_k_deployment(const AsGraph& graph, std::size_t k);
+
+/// Custom plan from explicit members.
+DeploymentPlan custom_deployment(std::string label, std::vector<AsId> deployers);
+
+/// Materialize a plan into the engine-facing filter set.
+FilterSet to_filter_set(const AsGraph& graph, const DeploymentPlan& plan);
+
+}  // namespace bgpsim

@@ -1,0 +1,36 @@
+#include "defense/filter_set.hpp"
+
+#include "support/assert.hpp"
+
+namespace bgpsim {
+
+void FilterSet::add(AsId as_id) {
+  BGPSIM_REQUIRE(as_id < bits_.size(), "FilterSet::add out of range");
+  if (bits_[as_id] == 0) {
+    bits_[as_id] = 1;
+    ++count_;
+  }
+}
+
+void FilterSet::add_all(std::span<const AsId> deployers) {
+  for (const AsId as_id : deployers) add(as_id);
+}
+
+void FilterSet::remove(AsId as_id) {
+  BGPSIM_REQUIRE(as_id < bits_.size(), "FilterSet::remove out of range");
+  if (bits_[as_id] != 0) {
+    bits_[as_id] = 0;
+    --count_;
+  }
+}
+
+std::vector<AsId> FilterSet::members() const {
+  std::vector<AsId> out;
+  out.reserve(count_);
+  for (AsId v = 0; v < bits_.size(); ++v) {
+    if (bits_[v] != 0) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace bgpsim

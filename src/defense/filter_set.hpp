@@ -1,0 +1,43 @@
+// Origin-validation deployment: the set of ASes that check BGP origins
+// against a secure repository (RPKI / ROVER) and drop bogus routes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bgp/types.hpp"
+#include "topology/as_graph.hpp"
+
+namespace bgpsim {
+
+class FilterSet {
+ public:
+  /// Empty deployment over a topology of `num_ases` ASes.
+  explicit FilterSet(std::uint32_t num_ases) : bits_(num_ases, 0) {}
+
+  FilterSet(std::uint32_t num_ases, std::span<const AsId> deployers)
+      : FilterSet(num_ases) {
+    add_all(deployers);
+  }
+
+  void add(AsId as_id);
+  void add_all(std::span<const AsId> deployers);
+  void remove(AsId as_id);
+
+  bool contains(AsId as_id) const { return bits_[as_id] != 0; }
+  std::uint32_t count() const { return count_; }
+  std::uint32_t universe_size() const { return static_cast<std::uint32_t>(bits_.size()); }
+
+  /// Deployed ASes in ascending id order.
+  std::vector<AsId> members() const;
+
+  /// Per-AS flag vector consumed by the routing engines.
+  const ValidatorSet& bitset() const { return bits_; }
+
+ private:
+  ValidatorSet bits_;
+  std::uint32_t count_ = 0;
+};
+
+}  // namespace bgpsim

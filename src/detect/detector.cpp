@@ -1,0 +1,29 @@
+#include "detect/detector.hpp"
+
+#include "support/assert.hpp"
+
+namespace bgpsim {
+
+DetectionOutcome evaluate_detection(const RouteTable& routes,
+                                    const ProbeSet& probes) {
+  DetectionOutcome outcome;
+  for (const AsId probe : probes.probes()) {
+    BGPSIM_REQUIRE(probe < routes.routes.size(), "probe outside route table");
+    if (routes.routes[probe].origin == Origin::Attacker) {
+      ++outcome.probes_triggered;
+    }
+  }
+  return outcome;
+}
+
+DetectionOutcome evaluate_detection_heard(const GenerationEngine& engine,
+                                          const ProbeSet& probes) {
+  DetectionOutcome outcome;
+  for (const AsId probe : probes.probes()) {
+    BGPSIM_REQUIRE(probe < engine.graph().num_ases(), "probe outside topology");
+    if (engine.offered_bogus(probe)) ++outcome.probes_triggered;
+  }
+  return outcome;
+}
+
+}  // namespace bgpsim

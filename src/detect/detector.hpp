@@ -1,0 +1,30 @@
+// Detection evaluation: given the converged routing state of a hijack, how
+// many vantage points saw the bogus route?
+#pragma once
+
+#include <cstdint>
+
+#include "bgp/generation_engine.hpp"
+#include "bgp/types.hpp"
+#include "detect/probe_set.hpp"
+
+namespace bgpsim {
+
+struct DetectionOutcome {
+  std::uint32_t probes_triggered = 0;
+  bool detected() const { return probes_triggered > 0; }
+};
+
+/// A probe is triggered when its AS selected the attacker's route — the
+/// paper's "seen (i.e. received and propagated onwards)" semantics: a BGP
+/// monitor peered with a router observes that router's best paths.
+DetectionOutcome evaluate_detection(const RouteTable& routes, const ProbeSet& probes);
+
+/// Alternative "received" semantics: a probe is triggered when the bogus
+/// announcement was merely *delivered* to its AS, even if rejected. An upper
+/// bound on detector power (a monitor session would see the update before
+/// the router's policy discards it). Generation engine only.
+DetectionOutcome evaluate_detection_heard(const GenerationEngine& engine,
+                                          const ProbeSet& probes);
+
+}  // namespace bgpsim

@@ -1,0 +1,58 @@
+#include "detect/probe_set.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace bgpsim {
+
+ProbeSet::ProbeSet(std::string label, std::vector<AsId> probes)
+    : label_(std::move(label)), probes_(std::move(probes)) {
+  std::sort(probes_.begin(), probes_.end());
+  probes_.erase(std::unique(probes_.begin(), probes_.end()), probes_.end());
+  BGPSIM_REQUIRE(!probes_.empty(), "a probe set needs at least one probe");
+}
+
+ProbeSet ProbeSet::tier1(const TierClassification& tiers) {
+  return ProbeSet(std::to_string(tiers.tier1.size()) + " tier-1 probes",
+                  tiers.tier1);
+}
+
+ProbeSet ProbeSet::degree_core(const AsGraph& graph, std::uint32_t min_degree) {
+  auto members = ases_with_degree_at_least(graph, min_degree);
+  std::string label = std::to_string(members.size()) + " probes with degree >= " +
+                      std::to_string(min_degree);
+  return ProbeSet(std::move(label), std::move(members));
+}
+
+ProbeSet ProbeSet::top_k(const AsGraph& graph, std::size_t k) {
+  auto members = top_k_by_degree(graph, k);
+  std::string label = "top " + std::to_string(members.size()) + " degree probes";
+  return ProbeSet(std::move(label), std::move(members));
+}
+
+ProbeSet ProbeSet::bgpmon_style(const AsGraph& graph, std::size_t count, Rng& rng) {
+  BGPSIM_REQUIRE(count >= 4, "bgpmon_style needs at least 4 probes");
+  const std::size_t high = std::max<std::size_t>(1, count / 4);
+  std::vector<AsId> probes = top_k_by_degree(graph, high * 3);
+  probes = rng.sample_without_replacement(probes, high);
+
+  // Remaining probes: uniform over all ASes (universities, regional ISPs...).
+  std::vector<AsId> everyone(graph.num_ases());
+  for (AsId v = 0; v < graph.num_ases(); ++v) everyone[v] = v;
+  std::vector<AsId> rest = rng.sample_without_replacement(everyone, count * 2);
+  for (const AsId v : rest) {
+    if (probes.size() >= count) break;
+    if (std::find(probes.begin(), probes.end(), v) == probes.end()) {
+      probes.push_back(v);
+    }
+  }
+  std::string label = std::to_string(probes.size()) + " BGPmon-style probes";
+  return ProbeSet(std::move(label), std::move(probes));
+}
+
+bool ProbeSet::contains(AsId as_id) const {
+  return std::binary_search(probes_.begin(), probes_.end(), as_id);
+}
+
+}  // namespace bgpsim

@@ -1,0 +1,44 @@
+// Detector vantage points (§VI): the set of ASes a hijack-detection service
+// peers with. An attack is *seen* by a probe when the probe AS selects (and
+// would propagate) the bogus route — the paper's definition.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "topology/metrics.hpp"
+
+namespace bgpsim {
+
+class ProbeSet {
+ public:
+  ProbeSet(std::string label, std::vector<AsId> probes);
+
+  /// Case 1: all tier-1 ASes as probes.
+  static ProbeSet tier1(const TierClassification& tiers);
+
+  /// Case 3: every AS with degree >= min_degree.
+  static ProbeSet degree_core(const AsGraph& graph, std::uint32_t min_degree);
+
+  /// Scale-invariant analogue of a degree core: top-k by degree.
+  static ProbeSet top_k(const AsGraph& graph, std::size_t k);
+
+  /// Case 2: a BGPmon-style mix — the real service peers with a couple of
+  /// backbones plus many university/regional networks, so this draws ~25%
+  /// high-degree transits and ~75% random transit/stub ASes.
+  static ProbeSet bgpmon_style(const AsGraph& graph, std::size_t count, Rng& rng);
+
+  const std::string& label() const { return label_; }
+  std::span<const AsId> probes() const { return probes_; }
+  std::size_t size() const { return probes_.size(); }
+  bool contains(AsId as_id) const;
+
+ private:
+  std::string label_;
+  std::vector<AsId> probes_;  // sorted ascending, unique
+};
+
+}  // namespace bgpsim

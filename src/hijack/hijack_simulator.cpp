@@ -1,0 +1,155 @@
+#include "hijack/hijack_simulator.hpp"
+
+#include "support/assert.hpp"
+
+namespace bgpsim {
+
+HijackSimulator::HijackSimulator(const AsGraph& graph, SimConfig config)
+    : graph_(graph), config_(std::move(config)),
+      equilibrium_(graph_, config_.policy) {}
+
+void HijackSimulator::set_validators(std::optional<ValidatorSet> validators) {
+  BGPSIM_REQUIRE(!validators || validators->size() == graph_.num_ases(),
+                 "validator set size mismatch");
+  validators_ = std::move(validators);
+}
+
+GenerationEngine& HijackSimulator::generation_engine() {
+  if (!generation_) generation_.emplace(graph_, config_.policy);
+  return *generation_;
+}
+
+AttackResult HijackSimulator::attack(AsId target, AsId attacker) {
+  BGPSIM_REQUIRE(target < graph_.num_ases(), "target out of range");
+  BGPSIM_REQUIRE(attacker < graph_.num_ases(), "attacker out of range");
+  BGPSIM_REQUIRE(target != attacker, "attacker must differ from target");
+
+  const ValidatorSet* validators = validators_ ? &*validators_ : nullptr;
+  if (config_.engine == EngineKind::Equilibrium) {
+    equilibrium_.compute_hijack(target, attacker, validators, table_);
+    return summarize(target, attacker, 0);
+  }
+  GenerationEngine& engine = generation_engine();
+  engine.reset();
+  const auto legit = engine.announce(target, Origin::Legit, validators);
+  const auto bogus = engine.announce(attacker, Origin::Attacker, validators);
+  engine.export_routes(table_);
+  return summarize(target, attacker, legit.generations + bogus.generations);
+}
+
+ExtendedAttackResult HijackSimulator::attack_ex(AsId target, AsId attacker,
+                                                const AttackOptions& options,
+                                                const RpkiContext* rpki) {
+  BGPSIM_REQUIRE(target < graph_.num_ases(), "target out of range");
+  BGPSIM_REQUIRE(attacker < graph_.num_ases(), "attacker out of range");
+  BGPSIM_REQUIRE(target != attacker, "attacker must differ from target");
+
+  ExtendedAttackResult result;
+  result.target = target;
+  result.attacker = attacker;
+
+  // What goes on the wire.
+  if (rpki != nullptr && rpki->allocation != nullptr) {
+    const Prefix& owned = rpki->allocation->primary(target);
+    result.announced = (options.kind == AttackKind::SubPrefix && owned.length() < 32)
+                           ? owned.split().first
+                           : owned;
+  } else {
+    // No allocation: a representative prefix (exact) or more-specific.
+    const Prefix base = Prefix::make(0x0a000000, 16);  // 10.0.0.0/16 stand-in
+    result.announced =
+        options.kind == AttackKind::SubPrefix ? base.split().first : base;
+  }
+  result.claimed_origin =
+      options.forged_origin ? graph_.asn(target) : graph_.asn(attacker);
+
+  // Does the deployed origin validation fire? With an RPKI context it only
+  // fires on Invalid announcements; without one it is all-knowing.
+  if (rpki != nullptr && rpki->roas != nullptr) {
+    result.validity = rpki->roas->validate(result.announced, result.claimed_origin);
+    result.validators_engaged =
+        validators_.has_value() && result.validity == RpkiValidity::Invalid;
+  } else {
+    result.validity = RpkiValidity::Invalid;
+    result.validators_engaged = validators_.has_value();
+  }
+  const ValidatorSet* validators =
+      result.validators_engaged ? &*validators_ : nullptr;
+
+  const AsId forged_tail = options.forged_origin ? target : kInvalidAs;
+  const auto attacker_seed_len =
+      static_cast<std::uint16_t>(options.forged_origin ? 2 : 1);
+
+  if (options.kind == AttackKind::SubPrefix) {
+    // The bogus more-specific never competes with the covering legitimate
+    // route: a single-origin propagation decides who installs it.
+    if (config_.engine == EngineKind::Equilibrium) {
+      equilibrium_.compute_single(attacker, Origin::Attacker, attacker_seed_len,
+                                  validators, table_);
+    } else {
+      GenerationEngine& engine = generation_engine();
+      engine.reset();
+      const auto stats = engine.announce(attacker, Origin::Attacker, validators,
+                                         nullptr, forged_tail);
+      engine.export_routes(table_);
+      result.generations = stats.generations;
+    }
+  } else {
+    if (config_.engine == EngineKind::Equilibrium) {
+      equilibrium_.compute_hijack(target, attacker, validators, table_,
+                                  attacker_seed_len);
+    } else {
+      GenerationEngine& engine = generation_engine();
+      engine.reset();
+      const auto legit = engine.announce(target, Origin::Legit, validators);
+      const auto bogus = engine.announce(attacker, Origin::Attacker, validators,
+                                         nullptr, forged_tail);
+      engine.export_routes(table_);
+      result.generations = legit.generations + bogus.generations;
+    }
+  }
+
+  static_cast<AttackResult&>(result) =
+      summarize(target, attacker, result.generations);
+  return result;
+}
+
+AttackResult HijackSimulator::attack_with_trace(AsId target, AsId attacker,
+                                                PropagationTrace& trace) {
+  BGPSIM_REQUIRE(target < graph_.num_ases(), "target out of range");
+  BGPSIM_REQUIRE(attacker < graph_.num_ases(), "attacker out of range");
+  BGPSIM_REQUIRE(target != attacker, "attacker must differ from target");
+
+  const ValidatorSet* validators = validators_ ? &*validators_ : nullptr;
+  GenerationEngine& engine = generation_engine();
+  engine.reset();
+  engine.announce(target, Origin::Legit, validators);
+  const auto bogus = engine.announce(attacker, Origin::Attacker, validators, &trace);
+  engine.export_routes(table_);
+  return summarize(target, attacker, bogus.generations);
+}
+
+AttackResult HijackSimulator::summarize(AsId target, AsId attacker,
+                                        std::uint32_t generations) const {
+  AttackResult result;
+  result.target = target;
+  result.attacker = attacker;
+  result.generations = generations;
+  for (AsId v = 0; v < graph_.num_ases(); ++v) {
+    const Route& route = table_.routes[v];
+    if (!route.valid()) continue;
+    ++result.routed_ases;
+    if (route.origin == Origin::Attacker && v != attacker) {
+      ++result.polluted_ases;
+      result.polluted_address_space += graph_.address_space(v);
+    }
+  }
+  const auto total = graph_.total_address_space();
+  result.polluted_address_fraction =
+      total == 0 ? 0.0
+                 : static_cast<double>(result.polluted_address_space) /
+                       static_cast<double>(total);
+  return result;
+}
+
+}  // namespace bgpsim

@@ -1,0 +1,129 @@
+// Origin-hijack experiment driver: converge the legitimate announcement,
+// inject the attacker, and account pollution (AS counts and address space).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "bgp/equilibrium_engine.hpp"
+#include "bgp/generation_engine.hpp"
+#include "bgp/policy.hpp"
+#include "bgp/types.hpp"
+#include "net/allocation.hpp"
+#include "rpki/roa.hpp"
+#include "topology/as_graph.hpp"
+
+namespace bgpsim {
+
+enum class EngineKind : std::uint8_t {
+  Equilibrium,  ///< fast fixed point; default for parameter sweeps
+  Generation,   ///< the paper's message-passing dynamics; traces available
+};
+
+struct SimConfig {
+  EngineKind engine = EngineKind::Equilibrium;
+  PolicyConfig policy;
+};
+
+/// Outcome of a single origin hijack.
+struct AttackResult {
+  AsId target = kInvalidAs;
+  AsId attacker = kInvalidAs;
+
+  /// ASes whose best route for the target's prefix leads to the attacker
+  /// (the attacker itself is not counted — it was not fooled).
+  std::uint32_t polluted_ases = 0;
+
+  /// Address space (/24 equivalents) owned by polluted ASes: traffic from
+  /// this space no longer reaches the target (paper fig. 1: "96% of the
+  /// internet address space can no longer reach the target").
+  std::uint64_t polluted_address_space = 0;
+  double polluted_address_fraction = 0.0;
+
+  /// ASes holding any route for the prefix (denominator sanity check).
+  std::uint32_t routed_ases = 0;
+
+  /// Propagation generations (generation engine only; 0 otherwise).
+  std::uint32_t generations = 0;
+};
+
+/// What the attacker announces (extension of the paper's §VIII future work).
+enum class AttackKind : std::uint8_t {
+  ExactPrefix,  ///< the victim's own prefix — competes with the legit route
+  SubPrefix,    ///< a more-specific — no competition; longest-match wins
+};
+
+struct AttackOptions {
+  AttackKind kind = AttackKind::ExactPrefix;
+
+  /// Spoof the AS path to end in the victim's ASN ([attacker, victim]).
+  /// Origin validation sees the victim's (authorized) origin, so the
+  /// announcement is not Invalid — but the path is one hop longer, and the
+  /// victim itself rejects it by loop detection.
+  bool forged_origin = false;
+};
+
+/// Optional RPKI context: when present, the deployed validators only drop
+/// the bogus announcement if the ROA database actually marks it Invalid
+/// (partial publication and maxLength slack both matter). Without it,
+/// validators have perfect knowledge (the paper's abstract model).
+struct RpkiContext {
+  const RoaDatabase* roas = nullptr;
+  const PrefixAllocation* allocation = nullptr;
+};
+
+struct ExtendedAttackResult : AttackResult {
+  Prefix announced;                                   ///< what the attacker sent
+  Asn claimed_origin = 0;                             ///< origin ASN in the path
+  RpkiValidity validity = RpkiValidity::NotFound;     ///< per the ROA database
+  bool validators_engaged = false;                    ///< did deployed ROV drop it
+};
+
+/// Runs hijack scenarios over a fixed topology. Not thread-safe; create one
+/// simulator per thread. The route table of the most recent attack stays
+/// readable until the next call (used by detection experiments).
+class HijackSimulator {
+ public:
+  HijackSimulator(const AsGraph& graph, SimConfig config);
+
+  /// Replace the deployed origin-validation set (empty optional = none).
+  void set_validators(std::optional<ValidatorSet> validators);
+
+  bool has_validators() const { return validators_.has_value(); }
+
+  /// Simulate `attacker` hijacking `target`'s prefix.
+  AttackResult attack(AsId target, AsId attacker);
+
+  /// Extended attack: sub-prefix and/or forged-origin announcements, with
+  /// optional RPKI-aware validation. For sub-prefix attacks the pollution
+  /// counts every AS that installs a route for the bogus more-specific
+  /// (longest-prefix match diverts its traffic regardless of the covering
+  /// legitimate route).
+  ExtendedAttackResult attack_ex(AsId target, AsId attacker,
+                                 const AttackOptions& options,
+                                 const RpkiContext* rpki = nullptr);
+
+  /// Same, but always on the generation engine, recording per-generation
+  /// frames (drives the paper's polar-graph visualizations).
+  AttackResult attack_with_trace(AsId target, AsId attacker,
+                                 PropagationTrace& trace);
+
+  /// Route table of the most recent attack.
+  const RouteTable& routes() const { return table_; }
+
+  const AsGraph& graph() const { return graph_; }
+  const SimConfig& config() const { return config_; }
+
+ private:
+  AttackResult summarize(AsId target, AsId attacker, std::uint32_t generations) const;
+  GenerationEngine& generation_engine();
+
+  const AsGraph& graph_;
+  SimConfig config_;
+  EquilibriumEngine equilibrium_;
+  std::optional<GenerationEngine> generation_;  // lazily built (large state)
+  std::optional<ValidatorSet> validators_;
+  RouteTable table_;
+};
+
+}  // namespace bgpsim

@@ -1,0 +1,55 @@
+#include "hijack/mitigation.hpp"
+
+#include "support/assert.hpp"
+
+namespace bgpsim {
+
+MitigationResult promote_subprefix(HijackSimulator& sim, AsId target,
+                                   AsId attacker,
+                                   const PrefixAllocation* allocation) {
+  MitigationResult result;
+  result.target = target;
+  result.attacker = attacker;
+
+  // Phase 1: the hijack, under the simulator's configured defenses.
+  const AttackResult attack = sim.attack(target, attacker);
+  result.polluted_before = attack.polluted_ases;
+
+  // The /24 limit: more-specifics of a /24 (or longer) are widely filtered.
+  if (allocation != nullptr && allocation->primary(target).length() >= 24) {
+    result.promotion_possible = false;
+    result.still_polluted = result.polluted_before;
+    return result;
+  }
+
+  // Remember who was polluted before we reuse the simulator's table.
+  std::vector<std::uint8_t> polluted(sim.graph().num_ases(), 0);
+  for (AsId v = 0; v < sim.graph().num_ases(); ++v) {
+    if (sim.routes().routes[v].origin == Origin::Attacker && v != attacker) {
+      polluted[v] = 1;
+    }
+  }
+
+  // Phase 2: the victim promotes more-specifics of its own space. The
+  // promotion is an independent prefix: it propagates unimpeded by the
+  // bogus covering route and wins by longest match wherever it arrives.
+  EquilibriumEngine promotion(sim.graph(), sim.config().policy);
+  RouteTable promoted;
+  promotion.compute_single(target, Origin::Legit, 1, nullptr, promoted);
+
+  for (AsId v = 0; v < sim.graph().num_ases(); ++v) {
+    if (!polluted[v]) continue;
+    if (promoted.routes[v].origin == Origin::Legit) {
+      ++result.recovered;
+    } else {
+      ++result.still_polluted;
+    }
+  }
+  result.recovery_rate =
+      result.polluted_before == 0
+          ? 1.0
+          : static_cast<double>(result.recovered) / result.polluted_before;
+  return result;
+}
+
+}  // namespace bgpsim

@@ -1,0 +1,39 @@
+// Reactive mitigation — the third class in the paper's §II taxonomy
+// ("Reactive mitigation systems minimize the effects of an attack once it
+// has been detected. An example is route purge/promote", Zhang et al.).
+//
+// *Promotion*: once the hijack is detected, the victim announces
+// more-specifics of its own prefix; longest-prefix match pulls traffic back
+// from every AS the promotion reaches, regardless of who won the covering
+// route. Its hard limit: prefixes longer than /24 are commonly filtered, so
+// a victim that already holds a /24 cannot promote.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "hijack/hijack_simulator.hpp"
+
+namespace bgpsim {
+
+struct MitigationResult {
+  AsId target = kInvalidAs;
+  AsId attacker = kInvalidAs;
+
+  bool promotion_possible = true;      ///< false when the prefix is already /24+
+  std::uint32_t polluted_before = 0;   ///< ASes on the bogus route pre-mitigation
+  std::uint32_t recovered = 0;         ///< of those, reached by the promotion
+  std::uint32_t still_polluted = 0;    ///< blind spots the promotion cannot reach
+  double recovery_rate = 0.0;          ///< recovered / polluted_before
+};
+
+/// Simulate an exact-prefix hijack followed by the victim's sub-prefix
+/// promotion. `allocation`, when given, enforces the /24 promotion limit
+/// against the victim's actual prefix. Uses `sim`'s configured policy and
+/// validators for the attack phase; the promotion itself is a legitimate
+/// announcement and is never filtered.
+MitigationResult promote_subprefix(HijackSimulator& sim, AsId target,
+                                   AsId attacker,
+                                   const PrefixAllocation* allocation = nullptr);
+
+}  // namespace bgpsim

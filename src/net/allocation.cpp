@@ -1,0 +1,86 @@
+#include "net/allocation.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "support/assert.hpp"
+
+namespace bgpsim {
+
+const Prefix& PrefixAllocation::primary(AsId as_id) const {
+  BGPSIM_REQUIRE(as_id < by_as.size() && !by_as[as_id].empty(),
+                 "AS has no allocated prefix");
+  return by_as[as_id].front();
+}
+
+std::uint64_t PrefixAllocation::total_slash24() const {
+  std::uint64_t total = 0;
+  for (const auto& prefixes : by_as) {
+    for (const Prefix& p : prefixes) total += p.slash24_count();
+  }
+  return total;
+}
+
+namespace {
+
+/// Buddy allocator over /8 root blocks (1.0.0.0/8, 2.0.0.0/8, ...).
+class BuddyPool {
+ public:
+  /// A free block of exactly `length`; splits or adds root blocks as needed.
+  Prefix take(std::uint8_t length) {
+    BGPSIM_REQUIRE(length >= 8 && length <= 24, "block length out of [8,24]");
+    if (free_[length].empty()) {
+      if (length == 8) {
+        BGPSIM_REQUIRE(next_root_ <= 223, "IPv4 space exhausted");
+        free_[8].push_back(
+            Prefix::make(static_cast<std::uint32_t>(next_root_++) << 24, 8));
+      } else {
+        const Prefix parent = take(length - 1);
+        const auto [low, high] = parent.split();
+        free_[length].push_back(high);
+        return low;
+      }
+    }
+    const Prefix block = free_[length].back();
+    free_[length].pop_back();
+    return block;
+  }
+
+ private:
+  std::vector<Prefix> free_[25];
+  std::uint32_t next_root_ = 1;
+};
+
+/// Block length whose /24 span is the smallest power of two >= weight
+/// (clamped to [/8, /24]).
+std::uint8_t length_for_weight(std::uint64_t weight) {
+  const std::uint64_t clamped = std::clamp<std::uint64_t>(weight, 1, 1u << 16);
+  const auto bits = std::bit_width(clamped - 1);  // ceil(log2(clamped))
+  const int length = 24 - static_cast<int>(clamped == 1 ? 0 : bits);
+  return static_cast<std::uint8_t>(std::clamp(length, 8, 24));
+}
+
+}  // namespace
+
+PrefixAllocation allocate_prefixes(const AsGraph& graph) {
+  const std::uint32_t n = graph.num_ases();
+  PrefixAllocation allocation;
+  allocation.by_as.resize(n);
+
+  // Allocate biggest blocks first so the buddy pool never fragments; the
+  // order is deterministic (stable sort by weight desc, then AsId).
+  std::vector<AsId> order(n);
+  for (AsId v = 0; v < n; ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [&graph](AsId a, AsId b) {
+    const auto wa = graph.address_space(a), wb = graph.address_space(b);
+    return wa != wb ? wa > wb : a < b;
+  });
+
+  BuddyPool pool;
+  for (const AsId v : order) {
+    allocation.by_as[v].push_back(pool.take(length_for_weight(graph.address_space(v))));
+  }
+  return allocation;
+}
+
+}  // namespace bgpsim

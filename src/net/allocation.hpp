@@ -1,0 +1,29 @@
+// Address-space allocation: give every AS concrete disjoint IPv4 prefixes
+// matching its /24-equivalent weight, so hijacks can be expressed against
+// real prefixes (exact-prefix vs sub-prefix) and ROAs can be issued.
+#pragma once
+
+#include <vector>
+
+#include "net/prefix.hpp"
+#include "topology/as_graph.hpp"
+
+namespace bgpsim {
+
+struct PrefixAllocation {
+  /// Prefixes owned by each AS (indexed by AsId); disjoint across ASes.
+  std::vector<std::vector<Prefix>> by_as;
+
+  /// The single largest prefix of an AS (every AS gets at least one).
+  const Prefix& primary(AsId as_id) const;
+
+  /// Total /24-equivalents allocated.
+  std::uint64_t total_slash24() const;
+};
+
+/// Carve disjoint prefixes out of unicast space with a buddy allocator:
+/// each AS receives power-of-two blocks covering its address_space() weight
+/// (in /24 units, capped at /24 granularity). Deterministic.
+PrefixAllocation allocate_prefixes(const AsGraph& graph);
+
+}  // namespace bgpsim

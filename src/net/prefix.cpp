@@ -1,0 +1,48 @@
+#include "net/prefix.hpp"
+
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+
+namespace bgpsim {
+
+Prefix Prefix::make(std::uint32_t address, std::uint8_t length) {
+  BGPSIM_REQUIRE(length <= 32, "prefix length > 32");
+  const Prefix p(address, length);
+  BGPSIM_REQUIRE((address & ~p.mask()) == 0, "host bits set in prefix");
+  return p;
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto len = parse_u64(text.substr(slash + 1));
+  if (!len || *len > 32) return std::nullopt;
+
+  const auto octets = bgpsim::split(text.substr(0, slash), '.');
+  if (octets.size() != 4) return std::nullopt;
+  std::uint32_t address = 0;
+  for (const auto part : octets) {
+    const auto value = parse_u64(part);
+    if (!value || *value > 255) return std::nullopt;
+    address = (address << 8) | static_cast<std::uint32_t>(*value);
+  }
+  const Prefix p(address, static_cast<std::uint8_t>(*len));
+  if ((address & ~p.mask()) != 0) return std::nullopt;  // host bits set
+  return p;
+}
+
+std::pair<Prefix, Prefix> Prefix::split() const {
+  BGPSIM_REQUIRE(length_ < 32, "cannot split a /32");
+  const auto child_len = static_cast<std::uint8_t>(length_ + 1);
+  const std::uint32_t high_bit = std::uint32_t{1} << (32 - child_len);
+  return {Prefix(address_, child_len), Prefix(address_ | high_bit, child_len)};
+}
+
+std::string Prefix::to_string() const {
+  return std::to_string((address_ >> 24) & 0xff) + "." +
+         std::to_string((address_ >> 16) & 0xff) + "." +
+         std::to_string((address_ >> 8) & 0xff) + "." +
+         std::to_string(address_ & 0xff) + "/" + std::to_string(length_);
+}
+
+}  // namespace bgpsim

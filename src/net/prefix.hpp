@@ -1,0 +1,62 @@
+// IPv4 prefixes (CIDR) — the address-space substrate behind the paper's
+// "96% of the internet address space" accounting and the sub-prefix hijack
+// extension (§VIII future work).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace bgpsim {
+
+/// An IPv4 CIDR prefix. Invariant: all bits below `length` are zero.
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+
+  /// Throws PreconditionError when host bits are set or length > 32.
+  static Prefix make(std::uint32_t address, std::uint8_t length);
+
+  /// Parse "a.b.c.d/len"; nullopt on malformed input.
+  static std::optional<Prefix> parse(std::string_view text);
+
+  std::uint32_t address() const { return address_; }
+  std::uint8_t length() const { return length_; }
+
+  /// Network mask for this length (0 for /0).
+  std::uint32_t mask() const {
+    return length_ == 0 ? 0 : ~std::uint32_t{0} << (32 - length_);
+  }
+
+  /// True when `other` lies inside this prefix (equal or more specific).
+  bool contains(const Prefix& other) const {
+    return other.length_ >= length_ && (other.address_ & mask()) == address_;
+  }
+
+  bool contains_address(std::uint32_t addr) const {
+    return (addr & mask()) == address_;
+  }
+
+  /// Number of /24-equivalents this prefix spans (0 for longer than /24).
+  std::uint64_t slash24_count() const {
+    return length_ <= 24 ? (std::uint64_t{1} << (24 - length_)) : 0;
+  }
+
+  /// The two halves of this prefix; requires length < 32.
+  std::pair<Prefix, Prefix> split() const;
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  constexpr Prefix(std::uint32_t address, std::uint8_t length)
+      : address_(address), length_(length) {}
+
+  std::uint32_t address_ = 0;
+  std::uint8_t length_ = 0;
+};
+
+}  // namespace bgpsim

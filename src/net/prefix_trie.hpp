@@ -1,0 +1,81 @@
+// Binary prefix trie with longest-prefix matching — the lookup structure
+// behind ROA validation and data-plane resolution of sub-prefix hijacks.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/prefix.hpp"
+#include "support/assert.hpp"
+
+namespace bgpsim {
+
+template <typename T>
+class PrefixTrie {
+ public:
+  /// Insert (or append to) the entry list at `prefix`.
+  void insert(const Prefix& prefix, T value) {
+    Node* node = &root_;
+    for (std::uint8_t bit = 0; bit < prefix.length(); ++bit) {
+      const bool one = (prefix.address() >> (31 - bit)) & 1u;
+      auto& child = one ? node->one : node->zero;
+      if (!child) child = std::make_unique<Node>();
+      node = child.get();
+    }
+    node->values.push_back(std::move(value));
+    ++size_;
+  }
+
+  /// Entries at the longest prefix covering `lookup` (nullptr when none).
+  /// Only prefixes no longer than lookup.length() qualify as covering.
+  const std::vector<T>* longest_match(const Prefix& lookup) const {
+    const Node* node = &root_;
+    const std::vector<T>* best = node->values.empty() ? nullptr : &node->values;
+    for (std::uint8_t bit = 0; bit < lookup.length() && node != nullptr; ++bit) {
+      const bool one = (lookup.address() >> (31 - bit)) & 1u;
+      node = (one ? node->one : node->zero).get();
+      if (node != nullptr && !node->values.empty()) best = &node->values;
+    }
+    return best;
+  }
+
+  /// Visit the entries of every prefix covering `lookup`, shortest first.
+  void for_each_covering(const Prefix& lookup,
+                         const std::function<void(const T&)>& visit) const {
+    const Node* node = &root_;
+    for (const T& v : node->values) visit(v);
+    for (std::uint8_t bit = 0; bit < lookup.length(); ++bit) {
+      const bool one = (lookup.address() >> (31 - bit)) & 1u;
+      node = (one ? node->one : node->zero).get();
+      if (node == nullptr) return;
+      for (const T& v : node->values) visit(v);
+    }
+  }
+
+  /// Entries stored exactly at `prefix` (nullptr when none).
+  const std::vector<T>* exact(const Prefix& prefix) const {
+    const Node* node = &root_;
+    for (std::uint8_t bit = 0; bit < prefix.length() && node != nullptr; ++bit) {
+      const bool one = (prefix.address() >> (31 - bit)) & 1u;
+      node = (one ? node->one : node->zero).get();
+    }
+    if (node == nullptr || node->values.empty()) return nullptr;
+    return &node->values;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  struct Node {
+    std::vector<T> values;
+    std::unique_ptr<Node> zero;
+    std::unique_ptr<Node> one;
+  };
+
+  Node root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace bgpsim

@@ -1,0 +1,43 @@
+#include "rpki/roa.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace bgpsim {
+
+void RoaDatabase::add(const Roa& roa) {
+  BGPSIM_REQUIRE(roa.max_length >= roa.prefix.length() && roa.max_length <= 32,
+                 "ROA maxLength must be in [prefix length, 32]");
+  trie_.insert(roa.prefix, roa);
+}
+
+RpkiValidity RoaDatabase::validate(const Prefix& announced, Asn origin) const {
+  bool covered = false;
+  bool valid = false;
+  trie_.for_each_covering(announced, [&](const Roa& roa) {
+    covered = true;
+    if (roa.origin == origin && roa.max_length >= announced.length()) {
+      valid = true;
+    }
+  });
+  if (!covered) return RpkiValidity::NotFound;
+  return valid ? RpkiValidity::Valid : RpkiValidity::Invalid;
+}
+
+RoaDatabase publish_roas(const AsGraph& graph, const PrefixAllocation& allocation,
+                         std::span<const AsId> publishers,
+                         std::uint8_t max_length_slack) {
+  RoaDatabase db;
+  for (const AsId v : publishers) {
+    BGPSIM_REQUIRE(v < allocation.by_as.size(), "publisher out of range");
+    for (const Prefix& p : allocation.by_as[v]) {
+      const auto max_length = static_cast<std::uint8_t>(
+          std::min<int>(32, p.length() + max_length_slack));
+      db.add(Roa{p, graph.asn(v), max_length});
+    }
+  }
+  return db;
+}
+
+}  // namespace bgpsim

@@ -1,0 +1,73 @@
+// Route Origin Authorizations and RFC 6811-style origin validation.
+//
+// The paper's prevention mechanisms (RPKI, ROVER) boil down to "a secure
+// repository of authoritative route origins" consulted by deploying routers.
+// This module makes that repository explicit, including the two real-world
+// failure modes the abstract model hides:
+//   * partial publication — only ASes that published ROAs are protectable
+//     (§VII: "Publish route origins. This is a critical step."), and
+//   * maxLength slack — a ROA whose maxLength exceeds the announced length
+//     validates forged-origin sub-prefix announcements (the classic ROV
+//     bypass; see RFC 9319).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/allocation.hpp"
+#include "net/prefix.hpp"
+#include "net/prefix_trie.hpp"
+#include "topology/as_graph.hpp"
+
+namespace bgpsim {
+
+struct Roa {
+  Prefix prefix;
+  Asn origin = 0;
+  std::uint8_t max_length = 0;  ///< longest announcement the ROA authorizes
+};
+
+/// RFC 6811 validation states.
+enum class RpkiValidity : std::uint8_t {
+  NotFound = 0,  ///< no ROA covers the announced prefix
+  Valid = 1,     ///< a covering ROA matches origin and length
+  Invalid = 2,   ///< covering ROAs exist but none matches
+};
+
+constexpr const char* to_string(RpkiValidity validity) {
+  switch (validity) {
+    case RpkiValidity::NotFound:
+      return "not-found";
+    case RpkiValidity::Valid:
+      return "valid";
+    case RpkiValidity::Invalid:
+      return "invalid";
+  }
+  return "?";
+}
+
+class RoaDatabase {
+ public:
+  void add(const Roa& roa);
+
+  /// RFC 6811: the announcement (prefix, origin) is Valid when some covering
+  /// ROA has the same origin and max_length >= prefix.length(); Invalid when
+  /// covering ROAs exist but none matches; NotFound otherwise.
+  RpkiValidity validate(const Prefix& announced, Asn origin) const;
+
+  std::size_t size() const { return trie_.size(); }
+
+ private:
+  PrefixTrie<Roa> trie_;
+};
+
+/// Publish ROAs for every prefix of `publishers`. `max_length_slack` adds to
+/// each prefix's own length (0 = strict, the RFC 9319 recommendation; larger
+/// values model operators authorizing their own future de-aggregation, which
+/// opens the forged-origin sub-prefix hole).
+RoaDatabase publish_roas(const AsGraph& graph, const PrefixAllocation& allocation,
+                         std::span<const AsId> publishers,
+                         std::uint8_t max_length_slack = 0);
+
+}  // namespace bgpsim

@@ -1,0 +1,49 @@
+// Assertion macros for invariant and precondition checking.
+//
+// BGPSIM_REQUIRE  — precondition check, always on, throws bgpsim::PreconditionError.
+// BGPSIM_ASSERT   — internal invariant, always on, throws bgpsim::InvariantError.
+// BGPSIM_DASSERT  — hot-path invariant, compiled out unless BGPSIM_DEBUG_CHECKS.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace bgpsim::detail {
+
+[[noreturn]] inline void fail_require(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+
+[[noreturn]] inline void fail_assert(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+
+}  // namespace bgpsim::detail
+
+#define BGPSIM_REQUIRE(expr, msg)                                              \
+  do {                                                                         \
+    if (!(expr)) ::bgpsim::detail::fail_require(#expr, __FILE__, __LINE__, msg); \
+  } while (false)
+
+#define BGPSIM_ASSERT(expr, msg)                                               \
+  do {                                                                         \
+    if (!(expr)) ::bgpsim::detail::fail_assert(#expr, __FILE__, __LINE__, msg); \
+  } while (false)
+
+#ifdef BGPSIM_DEBUG_CHECKS
+#define BGPSIM_DASSERT(expr, msg) BGPSIM_ASSERT(expr, msg)
+#else
+#define BGPSIM_DASSERT(expr, msg) \
+  do {                            \
+  } while (false)
+#endif

@@ -1,0 +1,67 @@
+#include "support/csv.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace bgpsim {
+
+CsvWriter::CsvWriter(std::ostream& out, char separator)
+    : out_(&out), separator_(separator) {}
+
+CsvWriter::CsvWriter(const std::string& path, char separator)
+    : file_(path), out_(&file_), separator_(separator) {
+  if (!file_) throw Error("cannot open file for writing: " + path);
+}
+
+CsvWriter& CsvWriter::field(std::string_view value) {
+  if (row_started_) *out_ << separator_;
+  row_started_ = true;
+  const bool needs_quote =
+      value.find_first_of("\"\n\r") != std::string_view::npos ||
+      value.find(separator_) != std::string_view::npos;
+  if (!needs_quote) {
+    *out_ << value;
+    return *this;
+  }
+  *out_ << '"';
+  for (char c : value) {
+    if (c == '"') *out_ << '"';
+    *out_ << c;
+  }
+  *out_ << '"';
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(double value) {
+  std::ostringstream os;
+  os << value;
+  return field(std::string_view{os.str()});
+}
+
+CsvWriter& CsvWriter::field(std::uint64_t value) {
+  if (row_started_) *out_ << separator_;
+  row_started_ = true;
+  *out_ << value;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(std::int64_t value) {
+  if (row_started_) *out_ << separator_;
+  row_started_ = true;
+  *out_ << value;
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  *out_ << '\n';
+  row_started_ = false;
+  ++rows_;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (const auto& f : fields) field(std::string_view{f});
+  end_row();
+}
+
+}  // namespace bgpsim

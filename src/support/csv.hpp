@@ -1,0 +1,49 @@
+// Minimal CSV/TSV writer with RFC-4180 quoting, used by benches and the viz
+// module to emit gnuplot/pandas-friendly series files.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bgpsim {
+
+class CsvWriter {
+ public:
+  /// Write to an externally owned stream.
+  explicit CsvWriter(std::ostream& out, char separator = ',');
+
+  /// Open `path` for writing; throws bgpsim::Error when the file can't be opened.
+  explicit CsvWriter(const std::string& path, char separator = ',');
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Append one field to the current row (quoted when needed).
+  CsvWriter& field(std::string_view value);
+  CsvWriter& field(double value);
+  CsvWriter& field(std::uint64_t value);
+  CsvWriter& field(std::int64_t value);
+  CsvWriter& field(std::uint32_t value) { return field(static_cast<std::uint64_t>(value)); }
+  CsvWriter& field(int value) { return field(static_cast<std::int64_t>(value)); }
+
+  /// Terminate the current row.
+  void end_row();
+
+  /// Convenience: write a full row of string fields.
+  void row(const std::vector<std::string>& fields);
+
+  std::uint64_t rows_written() const { return rows_; }
+
+ private:
+  std::ofstream file_;  // may be unused when writing to an external stream
+  std::ostream* out_;
+  char separator_;
+  bool row_started_ = false;
+  std::uint64_t rows_ = 0;
+};
+
+}  // namespace bgpsim

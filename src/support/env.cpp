@@ -1,0 +1,21 @@
+#include "support/env.hpp"
+
+#include <cstdlib>
+
+#include "support/strings.hpp"
+
+namespace bgpsim {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  const auto parsed = parse_u64(raw);
+  return parsed ? *parsed : fallback;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* raw = std::getenv(name);
+  return raw ? std::string{raw} : fallback;
+}
+
+}  // namespace bgpsim

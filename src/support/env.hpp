@@ -1,0 +1,16 @@
+// Environment-variable knobs for benches/examples: experiment scale and
+// output directory can be tuned without recompiling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bgpsim {
+
+/// Read an unsigned integer env var; returns fallback when unset/invalid.
+std::uint64_t env_u64(const char* name, std::uint64_t fallback);
+
+/// Read a string env var; returns fallback when unset.
+std::string env_string(const char* name, const std::string& fallback);
+
+}  // namespace bgpsim

@@ -1,0 +1,41 @@
+// Exception hierarchy for the bgpsim library.
+//
+// All library errors derive from bgpsim::Error so callers can catch one type.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace bgpsim {
+
+/// Base class of every exception thrown by bgpsim.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Malformed input data (e.g. a bad CAIDA relationship line).
+class ParseError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Invalid configuration supplied by the caller.
+class ConfigError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A documented API precondition was violated by the caller.
+class PreconditionError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// An internal invariant failed — indicates a bug in bgpsim itself.
+class InvariantError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace bgpsim

@@ -1,0 +1,27 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+namespace bgpsim {
+
+std::uint64_t Rng::zipf(std::uint64_t n, double s) {
+  BGPSIM_REQUIRE(n >= 1, "zipf needs n >= 1");
+  BGPSIM_REQUIRE(s > 0.0, "zipf needs s > 0");
+  // Inverse-CDF on the continuous bounded-Pareto approximation of the Zipf
+  // distribution. Exact normalization is irrelevant for synthetic sizes; the
+  // important property is the heavy tail with exponent s.
+  const double u = uniform();
+  if (std::abs(s - 1.0) < 1e-9) {
+    // CDF ~ ln(x)/ln(n+1)
+    const double x = std::exp(u * std::log(static_cast<double>(n) + 1.0));
+    const auto v = static_cast<std::uint64_t>(x);
+    return std::min<std::uint64_t>(std::max<std::uint64_t>(v, 1), n);
+  }
+  const double one_minus_s = 1.0 - s;
+  const double hi = std::pow(static_cast<double>(n) + 1.0, one_minus_s);
+  const double x = std::pow(1.0 + u * (hi - 1.0), 1.0 / one_minus_s);
+  const auto v = static_cast<std::uint64_t>(x);
+  return std::min<std::uint64_t>(std::max<std::uint64_t>(v, 1), n);
+}
+
+}  // namespace bgpsim

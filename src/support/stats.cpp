@@ -1,0 +1,164 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/assert.hpp"
+
+namespace bgpsim {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double quantile(std::vector<double> sample, double q) {
+  BGPSIM_REQUIRE(!sample.empty(), "quantile of empty sample");
+  BGPSIM_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q out of [0,1]");
+  std::sort(sample.begin(), sample.end());
+  const double pos = q * static_cast<double>(sample.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sample.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sample[lo] * (1.0 - frac) + sample[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  BGPSIM_REQUIRE(hi > lo, "histogram range must be non-empty");
+  BGPSIM_REQUIRE(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  const auto bucket = static_cast<std::size_t>((x - lo_) / width_);
+  if (bucket >= counts_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[bucket];
+}
+
+double Histogram::bucket_lo(std::size_t bucket) const {
+  return lo_ + width_ * static_cast<double>(bucket);
+}
+
+double Histogram::bucket_hi(std::size_t bucket) const {
+  return lo_ + width_ * static_cast<double>(bucket + 1);
+}
+
+std::vector<CcdfPoint> ccdf(std::vector<double> sample) {
+  std::vector<CcdfPoint> curve;
+  if (sample.empty()) return curve;
+  std::sort(sample.begin(), sample.end());
+  const std::uint64_t n = sample.size();
+  std::size_t i = 0;
+  while (i < sample.size()) {
+    const double v = sample[i];
+    // All samples at index >= i are >= v.
+    curve.push_back({v, n - i});
+    std::size_t j = i;
+    while (j < sample.size() && sample[j] == v) ++j;
+    i = j;
+  }
+  return curve;
+}
+
+std::vector<CcdfPoint> downsample_ccdf(const std::vector<CcdfPoint>& curve,
+                                       std::size_t max_points) {
+  BGPSIM_REQUIRE(max_points >= 2, "need at least 2 points");
+  if (curve.size() <= max_points) return curve;
+  std::vector<CcdfPoint> out;
+  out.reserve(max_points);
+  const double step =
+      static_cast<double>(curve.size() - 1) / static_cast<double>(max_points - 1);
+  for (std::size_t k = 0; k < max_points; ++k) {
+    const auto idx = static_cast<std::size_t>(std::llround(step * static_cast<double>(k)));
+    out.push_back(curve[std::min(idx, curve.size() - 1)]);
+  }
+  return out;
+}
+
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys) {
+  BGPSIM_REQUIRE(xs.size() == ys.size(), "pearson inputs differ in length");
+  if (xs.size() < 2) return 0.0;
+  const double n = static_cast<double>(xs.size());
+  const double mx = std::accumulate(xs.begin(), xs.end(), 0.0) / n;
+  const double my = std::accumulate(ys.begin(), ys.end(), 0.0) / n;
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+namespace {
+
+std::vector<double> average_ranks(const std::vector<double>& xs) {
+  std::vector<std::size_t> order(xs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&xs](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(xs.size(), 0.0);
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j < order.size() && xs[order[j]] == xs[order[i]]) ++j;
+    const double avg = (static_cast<double>(i) + static_cast<double>(j - 1)) / 2.0 + 1.0;
+    for (std::size_t k = i; k < j; ++k) ranks[order[k]] = avg;
+    i = j;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double spearman(const std::vector<double>& xs, const std::vector<double>& ys) {
+  BGPSIM_REQUIRE(xs.size() == ys.size(), "spearman inputs differ in length");
+  if (xs.size() < 2) return 0.0;
+  return pearson(average_ranks(xs), average_ranks(ys));
+}
+
+}  // namespace bgpsim

@@ -1,0 +1,82 @@
+// Small statistics toolkit: running moments, quantiles, histograms, and the
+// complementary-cumulative curves ("vulnerability charts") the paper plots.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bgpsim {
+
+/// Single-pass accumulator for count/mean/variance/min/max (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;  ///< population variance
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return count_ ? mean_ * static_cast<double>(count_) : 0.0; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact quantile of a sample (q in [0,1]); sorts a copy. Linear interpolation.
+double quantile(std::vector<double> sample, double q);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets plus overflow.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::uint64_t bucket_count(std::size_t bucket) const { return counts_[bucket]; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+  std::size_t bins() const { return counts_.size(); }
+  double bucket_lo(std::size_t bucket) const;
+  double bucket_hi(std::size_t bucket) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// One point of a complementary-cumulative curve: `count` inputs had a value
+/// >= `threshold`. The paper's figures 2–6 are exactly these curves with
+/// threshold = pollution size and count = number of attackers.
+struct CcdfPoint {
+  double threshold = 0.0;
+  std::uint64_t count = 0;
+};
+
+/// Build the complementary cumulative curve of a sample: for each distinct
+/// value v (ascending), how many samples are >= v. O(n log n).
+std::vector<CcdfPoint> ccdf(std::vector<double> sample);
+
+/// Downsample a CCDF curve to at most `max_points` points, always keeping the
+/// first and last; used to print compact series in benches.
+std::vector<CcdfPoint> downsample_ccdf(const std::vector<CcdfPoint>& curve,
+                                       std::size_t max_points);
+
+/// Pearson correlation coefficient of two equal-length samples.
+/// Returns 0 when either side has zero variance.
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Spearman rank correlation (Pearson on ranks, average ranks for ties).
+double spearman(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace bgpsim

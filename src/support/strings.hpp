@@ -1,0 +1,25 @@
+// String parsing helpers shared by the CAIDA parser and CLI examples.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bgpsim {
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Split on a single-character delimiter; keeps empty fields.
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+/// Parse a non-negative integer; nullopt on any malformed input
+/// (empty, overflow, trailing garbage).
+std::optional<std::uint64_t> parse_u64(std::string_view s);
+
+/// Parse a signed integer; nullopt on malformed input.
+std::optional<std::int64_t> parse_i64(std::string_view s);
+
+}  // namespace bgpsim

@@ -1,0 +1,38 @@
+#include "topology/as_graph.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace bgpsim {
+
+std::optional<AsId> AsGraph::find(Asn asn) const {
+  const auto it = index_.find(asn);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+AsId AsGraph::require(Asn asn) const {
+  const auto found = find(asn);
+  BGPSIM_REQUIRE(found.has_value(), "unknown ASN " + std::to_string(asn));
+  return *found;
+}
+
+std::optional<Rel> AsGraph::relationship(AsId a, AsId b) const {
+  const auto nbrs = neighbors(a);
+  const auto it = std::lower_bound(
+      nbrs.begin(), nbrs.end(), b,
+      [](const Neighbor& n, AsId id) { return n.id < id; });
+  if (it == nbrs.end() || it->id != b) return std::nullopt;
+  return it->rel;
+}
+
+std::vector<AsId> AsGraph::ases_in_region(std::uint16_t region_id) const {
+  std::vector<AsId> out;
+  for (AsId v = 0; v < num_ases(); ++v) {
+    if (region_[v] == region_id) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace bgpsim

@@ -1,0 +1,85 @@
+// Immutable AS-level topology in compressed sparse row form.
+//
+// The graph is produced by GraphBuilder (hand-built or CAIDA-parsed) or by
+// the synthetic generator. Nodes are dense AsId indices; the external AS
+// number, address-space weight (/24 equivalents) and region label ride along
+// as per-node attributes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "topology/relationship.hpp"
+
+namespace bgpsim {
+
+class GraphBuilder;
+
+class AsGraph {
+ public:
+  AsGraph() = default;
+
+  std::uint32_t num_ases() const { return static_cast<std::uint32_t>(asn_.size()); }
+
+  /// Number of undirected links.
+  std::uint64_t num_links() const { return adj_.size() / 2; }
+
+  /// Neighbors of `as_id`, sorted by neighbor index.
+  std::span<const Neighbor> neighbors(AsId as_id) const {
+    return {adj_.data() + offsets_[as_id], adj_.data() + offsets_[as_id + 1]};
+  }
+
+  std::uint32_t degree(AsId as_id) const {
+    return offsets_[as_id + 1] - offsets_[as_id];
+  }
+
+  /// External AS number of a node.
+  Asn asn(AsId as_id) const { return asn_[as_id]; }
+
+  /// Dense index for an external AS number, if present.
+  std::optional<AsId> find(Asn asn) const;
+
+  /// Dense index for an external AS number; throws PreconditionError if absent.
+  AsId require(Asn asn) const;
+
+  /// Whether a-b are linked, and with which relationship from a's viewpoint.
+  std::optional<Rel> relationship(AsId a, AsId b) const;
+
+  /// Address space owned by the AS, in /24-equivalents.
+  std::uint64_t address_space(AsId as_id) const { return addr_space_[as_id]; }
+
+  std::uint64_t total_address_space() const { return total_addr_space_; }
+
+  /// Region label of a node (0 = "global" default region).
+  std::uint16_t region(AsId as_id) const { return region_[as_id]; }
+
+  std::string_view region_name(std::uint16_t region_id) const {
+    return region_names_[region_id];
+  }
+
+  std::uint16_t num_regions() const {
+    return static_cast<std::uint16_t>(region_names_.size());
+  }
+
+  /// All nodes whose region equals `region_id`.
+  std::vector<AsId> ases_in_region(std::uint16_t region_id) const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<std::uint32_t> offsets_;  // size num_ases + 1
+  std::vector<Neighbor> adj_;           // both directions of every link
+  std::vector<Asn> asn_;                // dense id -> external number
+  std::unordered_map<Asn, AsId> index_; // external number -> dense id
+  std::vector<std::uint64_t> addr_space_;
+  std::uint64_t total_addr_space_ = 0;
+  std::vector<std::uint16_t> region_;
+  std::vector<std::string> region_names_;
+};
+
+}  // namespace bgpsim

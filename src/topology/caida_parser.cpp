@@ -1,0 +1,81 @@
+#include "topology/caida_parser.hpp"
+
+#include <fstream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace bgpsim {
+
+namespace {
+
+[[noreturn]] void parse_fail(std::uint64_t line_no, const std::string& why) {
+  throw ParseError("caida line " + std::to_string(line_no) + ": " + why);
+}
+
+}  // namespace
+
+CaidaParseStats parse_caida(std::istream& input, GraphBuilder& builder) {
+  CaidaParseStats stats;
+  std::string raw;
+  std::uint64_t line_no = 0;
+  while (std::getline(input, raw)) {
+    ++line_no;
+    const std::string_view line = trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    ++stats.lines;
+    const auto fields = split(line, '|');
+    if (fields.size() < 3) parse_fail(line_no, "expected asn1|asn2|rel");
+    const auto asn1 = parse_u64(fields[0]);
+    const auto asn2 = parse_u64(fields[1]);
+    const auto rel = parse_i64(fields[2]);
+    if (!asn1 || *asn1 > 0xffffffffULL) parse_fail(line_no, "bad asn1");
+    if (!asn2 || *asn2 > 0xffffffffULL) parse_fail(line_no, "bad asn2");
+    if (!rel) parse_fail(line_no, "bad relationship code");
+    if (*asn1 == *asn2) parse_fail(line_no, "self-link");
+
+    const auto a = static_cast<Asn>(*asn1);
+    const auto b = static_cast<Asn>(*asn2);
+    const bool existed = builder.has_link(a, b);
+    switch (*rel) {
+      case -1:
+        builder.add_provider_customer(a, b);
+        if (!existed) ++stats.provider_customer;
+        break;
+      case 0:
+        builder.add_peer(a, b);
+        if (!existed) ++stats.peer;
+        break;
+      case 1:
+        builder.add_provider_customer(b, a);
+        if (!existed) ++stats.provider_customer;
+        break;
+      case 2:
+        builder.add_sibling(a, b);
+        if (!existed) ++stats.sibling;
+        break;
+      default:
+        parse_fail(line_no, "unknown relationship code " + std::to_string(*rel));
+    }
+    if (existed)
+      ++stats.duplicates_ignored;
+    else
+      ++stats.links;
+  }
+  return stats;
+}
+
+AsGraph parse_caida_graph(std::istream& input, CaidaParseStats* stats) {
+  GraphBuilder builder;
+  const auto parsed = parse_caida(input, builder);
+  if (stats != nullptr) *stats = parsed;
+  return builder.build();
+}
+
+AsGraph load_caida_file(const std::string& path, CaidaParseStats* stats) {
+  std::ifstream file(path);
+  if (!file) throw Error("cannot open CAIDA relationship file: " + path);
+  return parse_caida_graph(file, stats);
+}
+
+}  // namespace bgpsim

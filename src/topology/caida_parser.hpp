@@ -1,0 +1,40 @@
+// Parser for the CAIDA AS-relationship "serial-1" format the paper's
+// simulator was seeded with (http://www.caida.org/data/active/as-relationships).
+//
+// Line grammar:   <asn1>|<asn2>|<rel>[|<source>]
+//   rel -1  : asn1 is a provider of asn2
+//   rel  0  : asn1 and asn2 are peers
+//   rel  1  : asn1 is a customer of asn2 (seen in some derived datasets)
+//   rel  2  : asn1 and asn2 are siblings (serial-2 / derived datasets)
+// '#'-prefixed lines and blank lines are ignored.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <string>
+
+#include "topology/as_graph.hpp"
+#include "topology/graph_builder.hpp"
+
+namespace bgpsim {
+
+struct CaidaParseStats {
+  std::uint64_t lines = 0;
+  std::uint64_t links = 0;
+  std::uint64_t provider_customer = 0;
+  std::uint64_t peer = 0;
+  std::uint64_t sibling = 0;
+  std::uint64_t duplicates_ignored = 0;
+};
+
+/// Parse relationship lines into a builder. Throws ParseError (with line
+/// number) on malformed input and ConfigError on conflicting relationships.
+CaidaParseStats parse_caida(std::istream& input, GraphBuilder& builder);
+
+/// Convenience: parse a whole stream into a finished graph.
+AsGraph parse_caida_graph(std::istream& input, CaidaParseStats* stats = nullptr);
+
+/// Convenience: load from a file path.
+AsGraph load_caida_file(const std::string& path, CaidaParseStats* stats = nullptr);
+
+}  // namespace bgpsim

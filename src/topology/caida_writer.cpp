@@ -1,0 +1,43 @@
+#include "topology/caida_writer.hpp"
+
+#include <fstream>
+
+#include "support/error.hpp"
+
+namespace bgpsim {
+
+void write_caida(std::ostream& out, const AsGraph& graph) {
+  out << "# bgpsim topology export, serial-1 format\n";
+  out << "# ases: " << graph.num_ases() << " links: " << graph.num_links()
+      << "\n";
+  for (AsId v = 0; v < graph.num_ases(); ++v) {
+    for (const auto& nbr : graph.neighbors(v)) {
+      if (nbr.id < v) continue;  // emit each link once, from the lower id
+      const Asn a = graph.asn(v);
+      const Asn b = graph.asn(nbr.id);
+      switch (nbr.rel) {
+        case Rel::Customer:  // nbr is v's customer: v provider of nbr
+          out << a << '|' << b << "|-1\n";
+          break;
+        case Rel::Provider:  // nbr is v's provider
+          out << b << '|' << a << "|-1\n";
+          break;
+        case Rel::Peer:
+          out << a << '|' << b << "|0\n";
+          break;
+        case Rel::Sibling:
+          out << a << '|' << b << "|2\n";
+          break;
+      }
+    }
+  }
+}
+
+void save_caida_file(const std::string& path, const AsGraph& graph) {
+  std::ofstream file(path);
+  if (!file) throw Error("cannot open file for writing: " + path);
+  write_caida(file, graph);
+  if (!file) throw Error("write failed: " + path);
+}
+
+}  // namespace bgpsim

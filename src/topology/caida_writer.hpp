@@ -1,0 +1,20 @@
+// Serializer for the CAIDA serial-1 relationship format — lets generated
+// topologies be exported, shared, and re-imported (round-trips with
+// caida_parser), and makes synthetic datasets usable by other BGP tools.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "topology/as_graph.hpp"
+
+namespace bgpsim {
+
+/// Write every link once: "<asn1>|<asn2>|<rel>" with rel -1 (asn1 provider
+/// of asn2), 0 (peers) or 2 (siblings). A comment header records counts.
+void write_caida(std::ostream& out, const AsGraph& graph);
+
+/// Convenience: write to a file path; throws bgpsim::Error on I/O failure.
+void save_caida_file(const std::string& path, const AsGraph& graph);
+
+}  // namespace bgpsim

@@ -1,0 +1,74 @@
+// Mutable construction (and re-construction) of AsGraph instances.
+//
+// Used by the CAIDA parser, the synthetic generator, unit tests, and the
+// Section-VII re-homing transforms (via `GraphBuilder::from`).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "topology/as_graph.hpp"
+
+namespace bgpsim {
+
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Start from an existing graph (copies links and attributes) so callers
+  /// can re-home ASes or add defensive links.
+  static GraphBuilder from(const AsGraph& graph);
+
+  /// Register an AS without links (no-op when already present).
+  void ensure_as(Asn asn);
+
+  /// Add a link where `customer` pays `provider`. Throws ConfigError on
+  /// self-links or when the pair already has a *different* relationship.
+  void add_provider_customer(Asn provider, Asn customer);
+
+  void add_peer(Asn a, Asn b);
+
+  void add_sibling(Asn a, Asn b);
+
+  /// Remove a link in either direction; throws ConfigError if absent.
+  void remove_link(Asn a, Asn b);
+
+  bool has_link(Asn a, Asn b) const;
+
+  void set_address_space(Asn asn, std::uint64_t slash24_count);
+
+  /// Assign an AS to a named region (region ids allocated on first use).
+  void set_region(Asn asn, const std::string& region_name);
+
+  std::size_t num_ases() const { return nodes_.size(); }
+  std::size_t num_links() const { return links_.size(); }
+
+  /// Finalize into an immutable CSR graph. The builder stays usable.
+  AsGraph build() const;
+
+ private:
+  struct NodeInfo {
+    Asn asn = 0;
+    std::uint64_t addr_space = 1;
+    std::uint16_t region = 0;
+  };
+
+  // Canonical link key: lower dense id first; rel stored from the lower
+  // endpoint's viewpoint.
+  static std::uint64_t link_key(std::uint32_t lo, std::uint32_t hi) {
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+  }
+
+  std::uint32_t intern(Asn asn);
+  void add_link(Asn a, Asn b, Rel rel_of_b_from_a);
+
+  std::vector<NodeInfo> nodes_;
+  std::unordered_map<Asn, std::uint32_t> index_;
+  std::unordered_map<std::uint64_t, Rel> links_;
+  std::vector<std::string> region_names_{"global"};
+  std::unordered_map<std::string, std::uint16_t> region_index_{{"global", 0}};
+};
+
+}  // namespace bgpsim

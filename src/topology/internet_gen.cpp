@@ -1,0 +1,416 @@
+#include "topology/internet_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "topology/graph_builder.hpp"
+
+namespace bgpsim {
+
+namespace {
+
+/// Book-keeping for one AS while the topology is under construction.
+struct ProtoAs {
+  Asn asn = 0;
+  bool transit = false;
+  std::uint32_t degree = 0;  // running degree, drives preferential attachment
+};
+
+class GenState {
+ public:
+  GenState(const InternetGenParams& params)
+      : params_(params), rng_(params.seed) {}
+
+  AsGraph run();
+
+ private:
+  Asn new_as(bool transit, const std::string& region) {
+    const Asn asn = next_asn_++;
+    protos_.push_back(ProtoAs{asn, transit, 0});
+    builder_.ensure_as(asn);
+    builder_.set_region(asn, region);
+    return asn;
+  }
+
+  std::size_t idx(Asn asn) const { return asn - 1; }
+
+  void link_pc(Asn provider, Asn customer) {
+    builder_.add_provider_customer(provider, customer);
+    bump(provider, customer);
+  }
+
+  void link_peer(Asn a, Asn b) {
+    builder_.add_peer(a, b);
+    bump(a, b);
+  }
+
+  void bump(Asn a, Asn b) {
+    ++protos_[idx(a)].degree;
+    ++protos_[idx(b)].degree;
+    // The lottery holds one entry per link endpoint, so drawing uniformly
+    // from it is exactly degree-proportional sampling.
+    lottery_.push_back(a);
+    lottery_.push_back(b);
+  }
+
+  /// Degree-preferential draw from `pool`, falling back to uniform.
+  Asn pick_weighted(const std::vector<Asn>& pool) {
+    BGPSIM_ASSERT(!pool.empty(), "empty attachment pool");
+    // Rejection-sample the global lottery against membership; bounded tries
+    // keep worst cases (tiny pools) cheap, then fall back to a local lottery.
+    std::uint64_t weight_total = 0;
+    for (const Asn a : pool) weight_total += protos_[idx(a)].degree + 1;
+    std::uint64_t draw = rng_.bounded(weight_total);
+    for (const Asn a : pool) {
+      const std::uint64_t w = protos_[idx(a)].degree + 1;
+      if (draw < w) return a;
+      draw -= w;
+    }
+    return pool.back();
+  }
+
+  Asn pick_uniform(const std::vector<Asn>& pool) {
+    return pool[rng_.bounded(pool.size())];
+  }
+
+  /// O(1) degree-proportional draw of a transit AS from the global lottery.
+  Asn pick_lottery_transit() {
+    for (int tries = 0; tries < 64; ++tries) {
+      const Asn a = lottery_[rng_.bounded(lottery_.size())];
+      if (protos_[idx(a)].transit) return a;
+    }
+    return pick_uniform(all_transits_);
+  }
+
+  /// Superlinear preferential draw: the better-connected of two
+  /// degree-proportional draws. Repeated over the whole peering mesh this
+  /// produces the heavy power-law tail of real AS degrees (top ASes in the
+  /// thousands) that plain linear attachment cannot reach.
+  Asn pick_hot_transit() {
+    const Asn a = pick_lottery_transit();
+    const Asn b = pick_lottery_transit();
+    return protos_[idx(a)].degree >= protos_[idx(b)].degree ? a : b;
+  }
+
+  /// Pick a provider for a stub within its region (paper profiles).
+  Asn pick_stub_provider(const std::vector<Asn>& region_transits);
+
+  void build_tier1();
+  void build_tier2();
+  void build_regions();
+  void add_peering_mesh();
+  void assign_address_space();
+  void add_siblings();
+
+  const InternetGenParams& params_;
+  Rng rng_;
+  GraphBuilder builder_;
+  std::vector<ProtoAs> protos_;
+  std::vector<Asn> lottery_;
+
+  Asn next_asn_ = 1;
+  std::uint32_t n_tier1_ = 0;
+  std::uint32_t n_tier2_ = 0;
+  std::vector<Asn> tier1_;
+  std::vector<Asn> tier2_;
+  std::vector<Asn> all_transits_;  // includes tier1/tier2
+  std::vector<Asn> all_stubs_;
+};
+
+void GenState::build_tier1() {
+  n_tier1_ = std::min<std::uint32_t>(params_.num_tier1,
+                                     std::max<std::uint32_t>(3, params_.total_ases / 100));
+  for (std::uint32_t i = 0; i < n_tier1_; ++i) {
+    tier1_.push_back(new_as(/*transit=*/true, "core"));
+  }
+  for (std::size_t i = 0; i < tier1_.size(); ++i) {
+    for (std::size_t j = i + 1; j < tier1_.size(); ++j) {
+      link_peer(tier1_[i], tier1_[j]);
+    }
+  }
+  all_transits_ = tier1_;
+}
+
+void GenState::build_tier2() {
+  n_tier2_ = std::max<std::uint32_t>(
+      n_tier1_, static_cast<std::uint32_t>(
+                    std::lround(params_.tier2_fraction * params_.total_ases)));
+  for (std::uint32_t i = 0; i < n_tier2_; ++i) {
+    const Asn t2 = new_as(/*transit=*/true, "core");
+    const int n_providers = rng_.uniform_int(2, 4);
+    auto providers = rng_.sample_without_replacement(
+        tier1_, std::min<std::size_t>(n_providers, tier1_.size()));
+    for (const Asn p : providers) link_pc(p, t2);
+    tier2_.push_back(t2);
+  }
+  // Dense peering among global tier-2s: expected peer degree ~10.
+  const double p_peer = std::min(1.0, 10.0 / std::max<std::uint32_t>(1, n_tier2_));
+  for (std::size_t i = 0; i < tier2_.size(); ++i) {
+    for (std::size_t j = i + 1; j < tier2_.size(); ++j) {
+      if (rng_.chance(p_peer)) link_peer(tier2_[i], tier2_[j]);
+    }
+  }
+  all_transits_.insert(all_transits_.end(), tier2_.begin(), tier2_.end());
+}
+
+Asn GenState::pick_stub_provider(const std::vector<Asn>& region_transits) {
+  const double roll = rng_.uniform();
+  if (roll < params_.stub_direct_tier1_prob) return pick_uniform(tier1_);
+  if (roll < params_.stub_direct_tier1_prob + params_.stub_global_tier2_prob) {
+    return pick_weighted(tier2_);
+  }
+  if (rng_.chance(params_.stub_uniform_attach_prob)) {
+    return pick_uniform(region_transits);
+  }
+  return pick_weighted(region_transits);
+}
+
+void GenState::build_regions() {
+  const std::uint32_t n_core = n_tier1_ + n_tier2_;
+  BGPSIM_ASSERT(params_.total_ases > n_core, "total_ases too small for core");
+  const std::uint32_t n_regional = params_.total_ases - n_core;
+  const auto n_transit_total = static_cast<std::uint32_t>(
+      std::lround(params_.transit_fraction * params_.total_ases));
+  const std::uint32_t n_regional_transit =
+      n_transit_total > n_core ? n_transit_total - n_core : 1;
+  const double transit_share =
+      static_cast<double>(n_regional_transit) / static_cast<double>(n_regional);
+
+  const auto n_regions = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(
+             std::lround(n_regional / params_.region_mean_size)));
+
+  // Region sizes: zipf-skewed shares, then distribute the remainder.
+  std::vector<double> weights(n_regions);
+  double weight_sum = 0.0;
+  for (std::uint32_t r = 0; r < n_regions; ++r) {
+    weights[r] = 1.0 / std::pow(static_cast<double>(r + 1), params_.region_size_skew);
+    weight_sum += weights[r];
+  }
+  std::vector<std::uint32_t> region_size(n_regions, 0);
+  std::uint32_t assigned = 0;
+  for (std::uint32_t r = 0; r < n_regions; ++r) {
+    region_size[r] = std::max<std::uint32_t>(
+        5, static_cast<std::uint32_t>(std::floor(n_regional * weights[r] / weight_sum)));
+    assigned += region_size[r];
+  }
+  // Trim/extend the last regions so the total matches exactly.
+  while (assigned > n_regional) {
+    for (std::uint32_t r = n_regions; r-- > 0 && assigned > n_regional;) {
+      if (region_size[r] > 5) {
+        --region_size[r];
+        --assigned;
+      }
+    }
+  }
+  for (std::uint32_t r = 0; assigned < n_regional; r = (r + 1) % n_regions) {
+    ++region_size[r];
+    ++assigned;
+  }
+
+  for (std::uint32_t r = 0; r < n_regions; ++r) {
+    const std::string region_name = "R" + std::to_string(r + 1);
+    const std::uint32_t size = region_size[r];
+    auto n_rt = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(std::lround(size * transit_share)));
+    n_rt = std::min(n_rt, size);
+
+    // Gateways: regional transits homed to the global core (depth 1, since
+    // their providers are tier-1/tier-2 roots of the depth metric).
+    const std::uint32_t n_gw =
+        std::min<std::uint32_t>(n_rt, 1 + (size > 150 ? 1 : 0) + (size > 400 ? 1 : 0));
+    std::vector<Asn> region_transits;
+    std::vector<std::uint32_t> transit_depth;  // parallel to region_transits
+    std::vector<Asn> shallow_transits;         // depth <= 2, used to root chains
+    for (std::uint32_t g = 0; g < n_gw; ++g) {
+      const Asn gw = new_as(/*transit=*/true, region_name);
+      link_pc(pick_weighted(tier2_), gw);
+      if (rng_.chance(0.40)) link_pc(pick_uniform(tier1_), gw);
+      if (rng_.chance(0.35)) link_pc(pick_weighted(tier2_), gw);
+      region_transits.push_back(gw);
+      transit_depth.push_back(1);
+      shallow_transits.push_back(gw);
+      all_transits_.push_back(gw);
+    }
+
+    // Inner transits: provider chains create the paper's depth spread
+    // (1..~chain_max_len+1). Chains root at shallow transits so depths never
+    // stack unboundedly.
+    std::uint32_t remaining = n_rt - n_gw;
+    while (remaining > 0) {
+      std::size_t parent_idx = 0;
+      {
+        const Asn root = pick_weighted(shallow_transits);
+        const auto it = std::find(region_transits.begin(), region_transits.end(), root);
+        parent_idx = static_cast<std::size_t>(it - region_transits.begin());
+      }
+      while (remaining > 0) {
+        const Asn parent = region_transits[parent_idx];
+        std::uint32_t depth = transit_depth[parent_idx] + 1;
+        const Asn t = new_as(/*transit=*/true, region_name);
+        link_pc(parent, t);
+        // Occasional second provider for resilience (multi-homed transit).
+        if (rng_.chance(0.25) && region_transits.size() > 1) {
+          const Asn extra = pick_weighted(region_transits);
+          if (extra != parent && !builder_.has_link(extra, t)) {
+            link_pc(extra, t);
+            const auto it =
+                std::find(region_transits.begin(), region_transits.end(), extra);
+            const auto extra_idx = static_cast<std::size_t>(it - region_transits.begin());
+            depth = std::min(depth, transit_depth[extra_idx] + 1);
+          }
+        }
+        // A slice of regional transit buys transit from a tier-1 directly
+        // (real tier-1 customer bases are dominated by transit networks).
+        if (rng_.chance(0.08)) {
+          link_pc(pick_uniform(tier1_), t);
+          depth = 1;
+        }
+        region_transits.push_back(t);
+        transit_depth.push_back(depth);
+        if (depth <= 2) shallow_transits.push_back(t);
+        all_transits_.push_back(t);
+        --remaining;
+        parent_idx = region_transits.size() - 1;
+        if (depth >= params_.chain_max_len ||
+            !rng_.chance(params_.chain_continue_prob)) {
+          break;
+        }
+      }
+    }
+
+    // Stubs.
+    const std::uint32_t n_stub = size - n_rt;
+    for (std::uint32_t s = 0; s < n_stub; ++s) {
+      const Asn stub = new_as(/*transit=*/false, region_name);
+      const Asn primary = pick_stub_provider(region_transits);
+      link_pc(primary, stub);
+      const bool direct_tier1 =
+          std::find(tier1_.begin(), tier1_.end(), primary) != tier1_.end();
+      if (rng_.chance(params_.stub_multihome_prob)) {
+        // Keep tier-1-homed stubs inside the tier-1 hierarchy (AS 98 profile).
+        const Asn second =
+            direct_tier1 ? pick_uniform(tier1_) : pick_stub_provider(region_transits);
+        if (second != primary && !builder_.has_link(second, stub)) link_pc(second, stub);
+        if (rng_.chance(params_.stub_thirdhome_prob)) {
+          const Asn third =
+              direct_tier1 ? pick_uniform(tier1_) : pick_stub_provider(region_transits);
+          if (third != primary && !builder_.has_link(third, stub)) link_pc(third, stub);
+        }
+      }
+      all_stubs_.push_back(stub);
+    }
+  }
+}
+
+void GenState::add_peering_mesh() {
+  const auto target_links = static_cast<std::uint64_t>(
+      std::llround(params_.links_per_as * params_.total_ases));
+  std::uint64_t current = builder_.num_links();
+  std::uint64_t failures = 0;
+  const std::uint64_t max_failures = 50 * params_.total_ases;
+  while (current < target_links && failures < max_failures) {
+    const double mix = rng_.uniform();
+    Asn a, b;
+    if (mix < 0.80) {
+      a = pick_hot_transit();
+      b = pick_hot_transit();
+    } else if (mix < 0.95) {
+      a = pick_lottery_transit();
+      b = pick_uniform(all_stubs_.empty() ? all_transits_ : all_stubs_);
+    } else {
+      a = pick_uniform(all_stubs_.empty() ? all_transits_ : all_stubs_);
+      b = pick_uniform(all_stubs_.empty() ? all_transits_ : all_stubs_);
+    }
+    if (a == b || builder_.has_link(a, b)) {
+      ++failures;
+      continue;
+    }
+    link_peer(a, b);
+    ++current;
+  }
+}
+
+void GenState::assign_address_space() {
+  for (const ProtoAs& proto : protos_) {
+    const bool is_t1 =
+        std::find(tier1_.begin(), tier1_.end(), proto.asn) != tier1_.end();
+    const bool is_t2 =
+        !is_t1 && std::find(tier2_.begin(), tier2_.end(), proto.asn) != tier2_.end();
+    std::uint64_t space;
+    if (is_t1) {
+      space = 1024 + rng_.zipf(8192, 1.0);
+    } else if (is_t2) {
+      space = 256 + rng_.zipf(2048, 1.1);
+    } else if (proto.transit) {
+      space = 16 + rng_.zipf(256, 1.2);
+    } else {
+      space = rng_.zipf(64, 1.3);
+    }
+    builder_.set_address_space(proto.asn, space);
+  }
+}
+
+void GenState::add_siblings() {
+  if (params_.sibling_pair_fraction <= 0.0) return;
+  // Pair up regional transits as siblings (same organization, two ASNs).
+  std::vector<Asn> regional;
+  for (const Asn t : all_transits_) {
+    const bool core = std::find(tier1_.begin(), tier1_.end(), t) != tier1_.end() ||
+                      std::find(tier2_.begin(), tier2_.end(), t) != tier2_.end();
+    if (!core) regional.push_back(t);
+  }
+  const auto n_pairs = static_cast<std::size_t>(
+      params_.sibling_pair_fraction * static_cast<double>(regional.size()) / 2.0);
+  rng_.shuffle(regional);
+  for (std::size_t i = 0; i + 1 < regional.size() && i / 2 < n_pairs; i += 2) {
+    if (!builder_.has_link(regional[i], regional[i + 1])) {
+      builder_.add_sibling(regional[i], regional[i + 1]);
+    }
+  }
+}
+
+AsGraph GenState::run() {
+  build_tier1();
+  build_tier2();
+  build_regions();
+  add_peering_mesh();
+  assign_address_space();
+  add_siblings();
+  return builder_.build();
+}
+
+}  // namespace
+
+AsGraph generate_internet(const InternetGenParams& params) {
+  if (params.total_ases < 50) {
+    throw ConfigError("generate_internet needs at least 50 ASes");
+  }
+  if (params.transit_fraction <= 0.0 || params.transit_fraction >= 1.0) {
+    throw ConfigError("transit_fraction must be in (0,1)");
+  }
+  GenState state(params);
+  return state.run();
+}
+
+std::uint32_t scale_degree_threshold(std::uint32_t total_ases,
+                                     std::uint32_t full_scale_value) {
+  const double scaled = static_cast<double>(full_scale_value) *
+                        static_cast<double>(total_ases) /
+                        static_cast<double>(kPaperTotalAses);
+  return std::max<std::uint32_t>(2, static_cast<std::uint32_t>(std::lround(scaled)));
+}
+
+std::uint32_t scale_count(std::uint32_t total_ases, std::uint32_t full_scale_count) {
+  const double scaled = static_cast<double>(full_scale_count) *
+                        static_cast<double>(total_ases) /
+                        static_cast<double>(kPaperTotalAses);
+  return std::max<std::uint32_t>(1, static_cast<std::uint32_t>(std::lround(scaled)));
+}
+
+}  // namespace bgpsim

@@ -1,0 +1,65 @@
+// Business-relationship model of AS-level links (Gao–Rexford classes).
+//
+// A link is stored twice, once per endpoint, each time from the viewpoint of
+// the owning AS: `Rel::Customer` on (a -> b) means "b is a's customer".
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace bgpsim {
+
+/// External AS number as seen in BGP / CAIDA data.
+using Asn = std::uint32_t;
+
+/// Dense internal AS index in [0, num_ases).
+using AsId = std::uint32_t;
+
+inline constexpr AsId kInvalidAs = 0xffffffffu;
+
+/// Relationship of a neighbor from the owning AS's viewpoint.
+enum class Rel : std::uint8_t {
+  Customer = 0,  ///< the neighbor pays me for transit
+  Peer = 1,      ///< settlement-free peer
+  Provider = 2,  ///< I pay the neighbor for transit
+  Sibling = 3,   ///< same organization (contracted before simulation)
+};
+
+/// The same link seen from the other endpoint.
+constexpr Rel inverse(Rel rel) {
+  switch (rel) {
+    case Rel::Customer:
+      return Rel::Provider;
+    case Rel::Provider:
+      return Rel::Customer;
+    case Rel::Peer:
+      return Rel::Peer;
+    case Rel::Sibling:
+      return Rel::Sibling;
+  }
+  return Rel::Peer;  // unreachable; keeps -Wreturn-type quiet
+}
+
+constexpr std::string_view to_string(Rel rel) {
+  switch (rel) {
+    case Rel::Customer:
+      return "customer";
+    case Rel::Peer:
+      return "peer";
+    case Rel::Provider:
+      return "provider";
+    case Rel::Sibling:
+      return "sibling";
+  }
+  return "?";
+}
+
+/// Adjacency entry: neighbor index plus its relationship to the owner.
+struct Neighbor {
+  AsId id = kInvalidAs;
+  Rel rel = Rel::Peer;
+
+  friend bool operator==(const Neighbor&, const Neighbor&) = default;
+};
+
+}  // namespace bgpsim

@@ -1,0 +1,151 @@
+#include "topology/sibling_contraction.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <string>
+
+#include "support/assert.hpp"
+#include "topology/graph_builder.hpp"
+
+namespace bgpsim {
+
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  std::uint32_t find(std::uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[std::max(a, b)] = std::min(a, b);
+  }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+};
+
+/// Customer beats Peer beats Provider when merging conflicting views.
+int rel_strength(Rel rel) {
+  switch (rel) {
+    case Rel::Customer:
+      return 3;
+    case Rel::Peer:
+      return 2;
+    case Rel::Provider:
+      return 1;
+    case Rel::Sibling:
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+ContractionResult contract_siblings(const AsGraph& graph) {
+  const std::uint32_t n = graph.num_ases();
+  UnionFind groups(n);
+  bool any_sibling = false;
+  for (AsId v = 0; v < n; ++v) {
+    for (const auto& nbr : graph.neighbors(v)) {
+      if (nbr.rel == Rel::Sibling) {
+        groups.unite(v, nbr.id);
+        any_sibling = true;
+      }
+    }
+  }
+
+  ContractionResult result;
+  result.old_to_new.resize(n, kInvalidAs);
+  if (!any_sibling) {
+    result.graph = graph;
+    std::iota(result.old_to_new.begin(), result.old_to_new.end(), 0);
+    return result;
+  }
+
+  // Representative of each group = member with the smallest ASN.
+  std::vector<AsId> representative(n);
+  for (AsId v = 0; v < n; ++v) representative[v] = v;
+  for (AsId v = 0; v < n; ++v) {
+    const AsId root = groups.find(v);
+    if (graph.asn(v) < graph.asn(representative[root])) representative[root] = v;
+  }
+
+  std::uint32_t contracted_groups = 0;
+  std::vector<std::uint64_t> group_addr(n, 0);
+  std::vector<std::uint32_t> group_size(n, 0);
+  for (AsId v = 0; v < n; ++v) {
+    const AsId root = groups.find(v);
+    group_addr[root] += graph.address_space(v);
+    ++group_size[root];
+  }
+  for (AsId v = 0; v < n; ++v) {
+    if (groups.find(v) == v && group_size[v] > 1) ++contracted_groups;
+  }
+
+  // Resolve merged external links: (rep_asn_lo, rep_asn_hi) -> strongest rel.
+  GraphBuilder builder;
+  for (AsId v = 0; v < n; ++v) {
+    const AsId rep = representative[groups.find(v)];
+    if (rep != v) continue;
+    builder.ensure_as(graph.asn(v));
+    builder.set_address_space(graph.asn(v), group_addr[groups.find(v)]);
+    builder.set_region(graph.asn(v), std::string{graph.region_name(graph.region(v))});
+  }
+
+  std::map<std::pair<Asn, Asn>, Rel> merged;  // rel from the .first endpoint
+  for (AsId v = 0; v < n; ++v) {
+    const AsId rep_v = representative[groups.find(v)];
+    for (const auto& nbr : graph.neighbors(v)) {
+      if (nbr.rel == Rel::Sibling) continue;
+      const AsId rep_n = representative[groups.find(nbr.id)];
+      if (rep_v == rep_n) continue;  // internal link after contraction
+      const Asn asn_v = graph.asn(rep_v);
+      const Asn asn_n = graph.asn(rep_n);
+      const auto key = std::minmax(asn_v, asn_n);
+      const Rel rel_from_lo = (key.first == asn_v) ? nbr.rel : inverse(nbr.rel);
+      const auto it = merged.find({key.first, key.second});
+      if (it == merged.end()) {
+        merged.emplace(std::pair{key.first, key.second}, rel_from_lo);
+      } else if (rel_strength(rel_from_lo) > rel_strength(it->second)) {
+        it->second = rel_from_lo;
+      }
+    }
+  }
+  for (const auto& [key, rel] : merged) {
+    switch (rel) {
+      case Rel::Customer:
+        builder.add_provider_customer(key.first, key.second);
+        break;
+      case Rel::Provider:
+        builder.add_provider_customer(key.second, key.first);
+        break;
+      case Rel::Peer:
+        builder.add_peer(key.first, key.second);
+        break;
+      case Rel::Sibling:
+        BGPSIM_ASSERT(false, "sibling link survived contraction");
+    }
+  }
+
+  result.graph = builder.build();
+  result.groups_contracted = contracted_groups;
+  for (AsId v = 0; v < n; ++v) {
+    const AsId rep = representative[groups.find(v)];
+    result.old_to_new[v] = result.graph.require(graph.asn(rep));
+  }
+  return result;
+}
+
+}  // namespace bgpsim

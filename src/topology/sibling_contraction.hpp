@@ -1,0 +1,29 @@
+// Sibling contraction: the paper's simulator "uses a community string to
+// create the equivalent of one AS out of multiple sibling ASes". We model the
+// same thing structurally by contracting each sibling group into a single
+// node before simulation.
+#pragma once
+
+#include <vector>
+
+#include "topology/as_graph.hpp"
+
+namespace bgpsim {
+
+struct ContractionResult {
+  AsGraph graph;
+  /// Maps each original AsId to its node in the contracted graph.
+  std::vector<AsId> old_to_new;
+  std::uint32_t groups_contracted = 0;
+};
+
+/// Contract every connected component of sibling links into one node.
+///
+/// The representative keeps the smallest ASN in the group; address space is
+/// summed; the region of the representative wins. When group members disagree
+/// about an external neighbor's relationship, the most customer-like class
+/// wins (Customer > Peer > Provider) — i.e. the merged organization keeps its
+/// strongest commercial position on that link.
+ContractionResult contract_siblings(const AsGraph& graph);
+
+}  // namespace bgpsim

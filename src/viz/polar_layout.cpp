@@ -1,0 +1,92 @@
+#include "viz/polar_layout.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace bgpsim {
+
+double PolarLayout::x(AsId v) const {
+  return points[v].radius * std::cos(points[v].angle);
+}
+
+double PolarLayout::y(AsId v) const {
+  return points[v].radius * std::sin(points[v].angle);
+}
+
+PolarLayout polar_layout(const AsGraph& graph,
+                         const std::vector<std::uint16_t>& depth) {
+  const std::uint32_t n = graph.num_ases();
+  BGPSIM_REQUIRE(depth.size() == n, "depth vector size mismatch");
+
+  PolarLayout layout;
+  layout.points.resize(n);
+  for (AsId v = 0; v < n; ++v) {
+    if (depth[v] != kUnreachableDepth) {
+      layout.max_depth = std::max(layout.max_depth, depth[v]);
+    }
+  }
+
+  // Angular order: iterative DFS over provider->customer links, seeded from
+  // the depth-0 roots in ascending id, so each customer cone occupies a
+  // contiguous slice of the perimeter.
+  std::vector<AsId> order;
+  order.reserve(n);
+  std::vector<std::uint8_t> seen(n, 0);
+  std::vector<AsId> stack;
+  for (AsId v = 0; v < n; ++v) {
+    if (depth[v] == 0 && !seen[v]) {
+      stack.push_back(v);
+      seen[v] = 1;
+      while (!stack.empty()) {
+        const AsId u = stack.back();
+        stack.pop_back();
+        order.push_back(u);
+        // Push customers in reverse so the lowest id is visited first.
+        const auto nbrs = graph.neighbors(u);
+        for (std::size_t k = nbrs.size(); k-- > 0;) {
+          if (nbrs[k].rel == Rel::Customer && !seen[nbrs[k].id]) {
+            seen[nbrs[k].id] = 1;
+            stack.push_back(nbrs[k].id);
+          }
+        }
+      }
+    }
+  }
+  for (AsId v = 0; v < n; ++v) {  // disconnected leftovers, if any
+    if (!seen[v]) order.push_back(v);
+  }
+
+  const double two_pi = 2.0 * std::numbers::pi;
+  const double step = two_pi / static_cast<double>(n);
+  std::uint32_t max_degree = 1;
+  for (AsId v = 0; v < n; ++v) max_degree = std::max(max_degree, graph.degree(v));
+
+  Rng jitter(0x1a1a5eedULL);  // deterministic scatter within rings
+  const auto rings = static_cast<double>(layout.max_depth + 1);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const AsId v = order[i];
+    PolarPoint& point = layout.points[v];
+    point.angle = step * static_cast<double>(i);
+
+    const double d = depth[v] == kUnreachableDepth
+                         ? 0.0
+                         : static_cast<double>(depth[v]);
+    // Highest depth in the center: ring index counts down from the rim.
+    const double ring_outer = (rings - d) / rings;
+    const double ring_width = 1.0 / rings;
+    // Higher degree -> towards the inner edge of the ring.
+    const double degree_bias =
+        std::log2(1.0 + graph.degree(v)) / std::log2(1.0 + max_degree);
+    const double scatter = 0.25 * ring_width * (jitter.uniform() - 0.5);
+    point.radius = std::clamp(
+        ring_outer - ring_width * (0.2 + 0.6 * degree_bias) + scatter, 0.02, 1.0);
+    point.size = std::sqrt(static_cast<double>(graph.address_space(v)));
+  }
+  return layout;
+}
+
+}  // namespace bgpsim

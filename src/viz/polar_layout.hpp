@@ -1,0 +1,37 @@
+// Polar layout of an AS topology, after the paper's figure 1:
+// "an AS's longitude is plotted along the graph perimeter, and the AS depth
+//  is plotted along the radius ... The size of an AS circle indicates the
+//  amount of address space an AS owns. AS degree is shown by scattering
+//  within a concentric circle: higher degree ASes are towards the center."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/as_graph.hpp"
+#include "topology/metrics.hpp"
+
+namespace bgpsim {
+
+struct PolarPoint {
+  double angle = 0.0;   ///< radians in [0, 2*pi)
+  double radius = 0.0;  ///< 0 (deepest ring center) .. 1 (perimeter)
+  double size = 1.0;    ///< marker radius hint (sqrt of address space)
+};
+
+struct PolarLayout {
+  std::vector<PolarPoint> points;  ///< indexed by AsId
+  std::uint16_t max_depth = 0;
+
+  double x(AsId v) const;  ///< in [-1, 1]
+  double y(AsId v) const;
+};
+
+/// Compute the layout: angles follow a DFS over the provider->customer
+/// forest rooted at the tier-1 clique (so customer cones stay angularly
+/// contiguous); the radius encodes depth — *highest* depth in the center —
+/// with a within-ring inward bias for high-degree ASes.
+PolarLayout polar_layout(const AsGraph& graph,
+                         const std::vector<std::uint16_t>& depth);
+
+}  // namespace bgpsim

@@ -1,0 +1,110 @@
+#include "viz/polar_render.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "support/error.hpp"
+#include "viz/svg.hpp"
+
+namespace bgpsim {
+
+namespace {
+
+struct Mapper {
+  double size;
+  double cx() const { return size / 2.0; }
+  double cy() const { return size / 2.0; }
+  double scale() const { return size * 0.46; }
+  double x(const PolarLayout& layout, AsId v) const {
+    return cx() + layout.x(v) * scale();
+  }
+  double y(const PolarLayout& layout, AsId v) const {
+    return cy() + layout.y(v) * scale();
+  }
+};
+
+}  // namespace
+
+std::string render_polar_frame(const AsGraph& graph, const PolarLayout& layout,
+                               const GenerationFrame& frame,
+                               const std::vector<std::uint8_t>& polluted,
+                               const PolarRenderOptions& options) {
+  const Mapper map{options.size_px};
+  SvgDocument svg(options.size_px, options.size_px);
+
+  if (options.draw_rings) {
+    const auto rings = static_cast<double>(layout.max_depth + 1);
+    for (std::uint16_t d = 0; d <= layout.max_depth; ++d) {
+      svg.ring(map.cx(), map.cy(), map.scale() * (rings - d) / rings, "#dddddd");
+    }
+  }
+
+  if (options.draw_edges) {
+    for (const TraceEdge& edge : frame.edges) {
+      svg.line(map.x(layout, edge.from), map.y(layout, edge.from),
+               map.x(layout, edge.to), map.y(layout, edge.to),
+               edge.accepted ? "#cc2222" : "#2a9d2a", 0.6,
+               edge.accepted ? 0.8 : 0.45);
+    }
+  }
+
+  double max_size = 1.0;
+  for (const auto& point : layout.points) max_size = std::max(max_size, point.size);
+  for (AsId v = 0; v < graph.num_ases(); ++v) {
+    const double r =
+        0.8 + options.max_marker_px * layout.points[v].size / max_size;
+    const bool bad = v < polluted.size() && polluted[v] != 0;
+    svg.circle(map.x(layout, v), map.y(layout, v), bad ? r : r * 0.8,
+               bad ? "#cc2222" : "#9a9a9a", bad ? 0.9 : 0.35);
+  }
+
+  svg.text(12, 22,
+           options.title + " generation " + std::to_string(frame.generation) +
+               " — polluted: " + std::to_string(frame.polluted_so_far),
+           "#222", 15);
+  return svg.str();
+}
+
+std::vector<std::string> render_polar_trace(const AsGraph& graph,
+                                            const PolarLayout& layout,
+                                            const PropagationTrace& trace,
+                                            const RouteTable& final_routes,
+                                            const std::string& path_prefix,
+                                            const PolarRenderOptions& options) {
+  // Reconstruct per-generation pollution by replaying accepted deliveries.
+  // An AS counts as polluted in frame g if the final route table marks it
+  // polluted and its first accepted delivery happened at or before g — a
+  // close approximation that avoids storing per-frame route tables.
+  std::vector<std::uint32_t> first_accept(graph.num_ases(), 0xffffffffu);
+  for (const auto& frame : trace.frames) {
+    for (const TraceEdge& edge : frame.edges) {
+      if (edge.accepted && first_accept[edge.to] == 0xffffffffu) {
+        first_accept[edge.to] = frame.generation;
+      }
+    }
+  }
+
+  std::vector<std::string> files;
+  std::vector<std::uint8_t> polluted(graph.num_ases(), 0);
+  for (const auto& frame : trace.frames) {
+    for (AsId v = 0; v < graph.num_ases(); ++v) {
+      polluted[v] = (final_routes.routes[v].origin == Origin::Attacker &&
+                     first_accept[v] <= frame.generation)
+                        ? 1
+                        : 0;
+    }
+    const std::string name = path_prefix + "_gen" +
+                             (frame.generation < 10 ? "0" : "") +
+                             std::to_string(frame.generation) + ".svg";
+    const std::string svg =
+        render_polar_frame(graph, layout, frame, polluted, options);
+    std::ofstream file(name);
+    if (!file) throw Error("cannot open SVG output file: " + name);
+    file << svg;
+    files.push_back(name);
+  }
+  return files;
+}
+
+}  // namespace bgpsim

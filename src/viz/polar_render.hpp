@@ -1,0 +1,39 @@
+// Renders the paper's figure-1 polar propagation frames: one SVG per
+// generation, bogus-route deliveries in red (accepted) and green (rejected),
+// polluted ASes highlighted.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bgp/generation_engine.hpp"
+#include "bgp/types.hpp"
+#include "viz/polar_layout.hpp"
+
+namespace bgpsim {
+
+struct PolarRenderOptions {
+  double size_px = 900.0;
+  double max_marker_px = 6.0;
+  bool draw_rings = true;
+  bool draw_edges = true;
+  std::string title;
+};
+
+/// Render one frame of a propagation trace. `polluted` marks ASes currently
+/// selecting the bogus route (filled red); everything else is gray.
+std::string render_polar_frame(const AsGraph& graph, const PolarLayout& layout,
+                               const GenerationFrame& frame,
+                               const std::vector<std::uint8_t>& polluted,
+                               const PolarRenderOptions& options);
+
+/// Render the whole trace to numbered SVG files
+/// (`<prefix>_gen01.svg`, ...); returns the file names written.
+std::vector<std::string> render_polar_trace(const AsGraph& graph,
+                                            const PolarLayout& layout,
+                                            const PropagationTrace& trace,
+                                            const RouteTable& final_routes,
+                                            const std::string& path_prefix,
+                                            const PolarRenderOptions& options);
+
+}  // namespace bgpsim

@@ -1,0 +1,83 @@
+#include "viz/svg.hpp"
+
+#include <fstream>
+
+#include "support/error.hpp"
+
+namespace bgpsim {
+
+SvgDocument::SvgDocument(double width, double height)
+    : width_(width), height_(height) {}
+
+void SvgDocument::circle(double cx, double cy, double r, const std::string& fill,
+                         double opacity) {
+  body_ << "<circle cx=\"" << cx << "\" cy=\"" << cy << "\" r=\"" << r
+        << "\" fill=\"" << escape(fill) << "\" fill-opacity=\"" << opacity
+        << "\"/>\n";
+}
+
+void SvgDocument::line(double x1, double y1, double x2, double y2,
+                       const std::string& stroke, double stroke_width,
+                       double opacity) {
+  body_ << "<line x1=\"" << x1 << "\" y1=\"" << y1 << "\" x2=\"" << x2
+        << "\" y2=\"" << y2 << "\" stroke=\"" << escape(stroke)
+        << "\" stroke-width=\"" << stroke_width << "\" stroke-opacity=\""
+        << opacity << "\"/>\n";
+}
+
+void SvgDocument::text(double x, double y, const std::string& content,
+                       const std::string& fill, double font_size) {
+  body_ << "<text x=\"" << x << "\" y=\"" << y << "\" fill=\"" << escape(fill)
+        << "\" font-size=\"" << font_size
+        << "\" font-family=\"sans-serif\">" << escape(content) << "</text>\n";
+}
+
+void SvgDocument::ring(double cx, double cy, double r, const std::string& stroke,
+                       double stroke_width) {
+  body_ << "<circle cx=\"" << cx << "\" cy=\"" << cy << "\" r=\"" << r
+        << "\" fill=\"none\" stroke=\"" << escape(stroke) << "\" stroke-width=\""
+        << stroke_width << "\"/>\n";
+}
+
+std::string SvgDocument::str() const {
+  std::ostringstream out;
+  out << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width_
+      << "\" height=\"" << height_ << "\" viewBox=\"0 0 " << width_ << ' '
+      << height_ << "\">\n"
+      << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n"
+      << body_.str() << "</svg>\n";
+  return out.str();
+}
+
+void SvgDocument::save(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) throw Error("cannot open SVG output file: " + path);
+  file << str();
+}
+
+std::string SvgDocument::escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace bgpsim

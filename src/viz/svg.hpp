@@ -1,0 +1,38 @@
+// Minimal SVG document writer (no external dependencies) for the polar
+// propagation figures.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace bgpsim {
+
+class SvgDocument {
+ public:
+  SvgDocument(double width, double height);
+
+  void circle(double cx, double cy, double r, const std::string& fill,
+              double opacity = 1.0);
+  void line(double x1, double y1, double x2, double y2, const std::string& stroke,
+            double stroke_width = 1.0, double opacity = 1.0);
+  void text(double x, double y, const std::string& content,
+            const std::string& fill = "#333", double font_size = 12.0);
+  void ring(double cx, double cy, double r, const std::string& stroke,
+            double stroke_width = 0.5);
+
+  /// Finish the document and return the full SVG text.
+  std::string str() const;
+
+  /// Write to a file; throws bgpsim::Error when the file can't be opened.
+  void save(const std::string& path) const;
+
+ private:
+  static std::string escape(const std::string& raw);
+
+  double width_;
+  double height_;
+  std::ostringstream body_;
+};
+
+}  // namespace bgpsim

@@ -1,0 +1,175 @@
+// Tests for the analysis layer: vulnerability sweeps, target profiling,
+// deployment experiments, correlations.
+#include <gtest/gtest.h>
+
+#include "analysis/correlation.hpp"
+#include "analysis/deployment_experiment.hpp"
+#include "analysis/vulnerability.hpp"
+#include "topology/graph_builder.hpp"
+#include "topology/internet_gen.hpp"
+
+namespace bgpsim {
+namespace {
+
+class AnalysisFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    InternetGenParams params;
+    params.total_ases = 2000;
+    params.seed = 23;
+    graph_ = generate_internet(params);
+    tiers_ = classify_tiers(graph_, scale_degree_threshold(2000, 120));
+    depth_ = compute_depth(graph_, tiers_, true);
+    config_.policy.is_tier1.assign(tiers_.is_tier1.begin(), tiers_.is_tier1.end());
+    transits_ = transit_ases(graph_);
+  }
+
+  AsGraph graph_;
+  TierClassification tiers_;
+  std::vector<std::uint16_t> depth_;
+  SimConfig config_;
+  std::vector<AsId> transits_;
+};
+
+TEST_F(AnalysisFixture, SweepProducesConsistentCurve) {
+  VulnerabilityAnalyzer analyzer(graph_, config_);
+  // Small attacker subset keeps the test fast.
+  const std::vector<AsId> attackers(transits_.begin(),
+                                    transits_.begin() + 60);
+  const AsId target = transits_.back();
+  const auto curve = analyzer.sweep(target, attackers, nullptr, "test");
+
+  EXPECT_EQ(curve.target, target);
+  EXPECT_EQ(curve.label, "test");
+  EXPECT_EQ(curve.attackers.size(), curve.pollution.size());
+  EXPECT_EQ(curve.stats.count(), curve.attackers.size());
+
+  // CCDF consistency: the curve's first point counts every attacker.
+  ASSERT_FALSE(curve.curve.empty());
+  EXPECT_EQ(curve.curve.front().count, curve.attackers.size());
+  // attackers_at_least agrees with a brute-force count.
+  const auto threshold = static_cast<std::uint32_t>(curve.stats.mean());
+  std::uint32_t brute = 0;
+  for (const auto p : curve.pollution) brute += (p >= threshold);
+  EXPECT_EQ(curve.attackers_at_least(threshold), brute);
+}
+
+TEST_F(AnalysisFixture, SweepSkipsTargetAsAttacker) {
+  VulnerabilityAnalyzer analyzer(graph_, config_);
+  const AsId target = transits_[0];
+  const std::vector<AsId> attackers{target, transits_[1]};
+  const auto curve = analyzer.sweep(target, attackers);
+  EXPECT_EQ(curve.attackers.size(), 1u);
+  EXPECT_EQ(curve.attackers[0], transits_[1]);
+}
+
+TEST_F(AnalysisFixture, FiltersReduceTheCurve) {
+  VulnerabilityAnalyzer analyzer(graph_, config_);
+  const std::vector<AsId> attackers(transits_.begin(), transits_.begin() + 60);
+  // A deep stub target is the interesting case.
+  TargetQuery query;
+  query.depth = 4;
+  auto target = find_target(graph_, tiers_, depth_, query);
+  if (!target) {
+    query.depth = 3;
+    target = find_target(graph_, tiers_, depth_, query);
+  }
+  ASSERT_TRUE(target.has_value());
+
+  const auto baseline = analyzer.sweep(*target, attackers);
+  const auto plan = top_k_deployment(graph_, 30);
+  const FilterSet filters = to_filter_set(graph_, plan);
+  const auto defended = analyzer.sweep(*target, attackers, &filters);
+  EXPECT_LT(defended.stats.mean(), baseline.stats.mean());
+  EXPECT_LE(defended.stats.max(), baseline.stats.max());
+}
+
+TEST_F(AnalysisFixture, FindTargetsHonorsProfile) {
+  TargetQuery query;
+  query.depth = 1;
+  query.require_stub = true;
+  query.attached_tier = 1;
+  query.multi_homed = true;
+  const auto matches = find_targets(graph_, tiers_, depth_, query);
+  for (const AsId v : matches) {
+    EXPECT_EQ(depth_[v], 1);
+    EXPECT_TRUE(is_stub(graph_, v));
+    EXPECT_TRUE(is_multi_homed(graph_, v));
+    bool tier1_provider = false;
+    for (const auto& nbr : graph_.neighbors(v)) {
+      if (nbr.rel == Rel::Provider && tiers_.is_tier1[nbr.id]) tier1_provider = true;
+    }
+    EXPECT_TRUE(tier1_provider);
+  }
+
+  // Single-homed variant is disjoint from the multi-homed one.
+  query.multi_homed = false;
+  for (const AsId v : find_targets(graph_, tiers_, depth_, query)) {
+    EXPECT_FALSE(is_multi_homed(graph_, v));
+  }
+}
+
+TEST_F(AnalysisFixture, DeploymentExperimentOrdersStrategies) {
+  DeploymentExperiment experiment(graph_, config_);
+  const std::vector<AsId> attackers(transits_.begin(), transits_.begin() + 80);
+  TargetQuery query;
+  query.depth = 3;
+  query.require_stub = true;
+  const auto target = find_target(graph_, tiers_, depth_, query);
+  ASSERT_TRUE(target.has_value());
+
+  Rng rng(5);
+  std::vector<DeploymentPlan> plans;
+  plans.push_back(custom_deployment("baseline", {}));
+  plans.push_back(random_transit_deployment(graph_, 5, rng));
+  plans.push_back(tier1_deployment(tiers_));
+  plans.push_back(top_k_deployment(graph_, 30));
+  plans.push_back(top_k_deployment(graph_, 100));
+
+  const auto outcomes = experiment.run(*target, attackers, plans);
+  ASSERT_EQ(outcomes.size(), plans.size());
+  const double baseline = outcomes[0].curve.stats.mean();
+  // Every deployment improves on the baseline...
+  for (std::size_t i = 1; i < outcomes.size(); ++i) {
+    EXPECT_LE(outcomes[i].curve.stats.mean(), baseline) << outcomes[i].label;
+  }
+  // ...and the large core beats the small random deployment (paper's
+  // headline ordering).
+  EXPECT_LT(outcomes[4].curve.stats.mean(), outcomes[1].curve.stats.mean());
+}
+
+TEST_F(AnalysisFixture, TopPotentAttackersAreSortedAndAnnotated) {
+  DeploymentExperiment experiment(graph_, config_);
+  const std::vector<AsId> attackers(transits_.begin(), transits_.begin() + 80);
+  const AsId target = transits_.back();
+  const auto plan = top_k_deployment(graph_, 30);
+  const auto top = experiment.top_potent_attackers(target, attackers, plan,
+                                                   depth_, 5);
+  ASSERT_LE(top.size(), 5u);
+  ASSERT_FALSE(top.empty());
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].pollution, top[i].pollution);
+  }
+  for (const auto& row : top) {
+    EXPECT_EQ(row.asn, graph_.asn(row.attacker));
+    EXPECT_EQ(row.degree, graph_.degree(row.attacker));
+    EXPECT_EQ(row.depth, depth_[row.attacker]);
+  }
+}
+
+TEST_F(AnalysisFixture, CorrelationsMatchThePaperSigns) {
+  Rng rng(11);
+  const auto report = correlate_vulnerability(graph_, config_, depth_,
+                                              /*sampled_targets=*/40,
+                                              /*attacks_per_target=*/30, rng);
+  EXPECT_GT(report.sampled_targets, 20u);
+  // Vulnerability increases with target depth...
+  EXPECT_GT(report.target_depth_vs_vulnerability, 0.2);
+  // ...and attacker aggressiveness decreases with attacker depth.
+  EXPECT_LT(report.attacker_depth_vs_aggressiveness, -0.1);
+  // Mean pollution by depth is reported for the sampled range.
+  EXPECT_FALSE(report.mean_pollution_by_target_depth.empty());
+}
+
+}  // namespace
+}  // namespace bgpsim

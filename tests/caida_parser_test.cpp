@@ -1,0 +1,89 @@
+// Unit tests for the CAIDA AS-relationship parser.
+#include "topology/caida_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace bgpsim {
+namespace {
+
+TEST(CaidaParser, ParsesAllRelationshipCodes) {
+  std::istringstream in(
+      "# comment line\n"
+      "\n"
+      "1|2|-1\n"      // 1 provider of 2
+      "2|3|0\n"       // peers
+      "4|1|1\n"       // 4 customer of 1
+      "5|6|2|src\n"   // siblings, extra field tolerated
+      "  7|8|-1  \n"  // whitespace tolerated
+  );
+  CaidaParseStats stats;
+  const AsGraph g = parse_caida_graph(in, &stats);
+
+  EXPECT_EQ(stats.lines, 5u);
+  EXPECT_EQ(stats.links, 5u);
+  EXPECT_EQ(stats.provider_customer, 3u);
+  EXPECT_EQ(stats.peer, 1u);
+  EXPECT_EQ(stats.sibling, 1u);
+  EXPECT_EQ(g.num_ases(), 8u);
+  EXPECT_EQ(g.relationship(g.require(1), g.require(2)), Rel::Customer);
+  EXPECT_EQ(g.relationship(g.require(2), g.require(3)), Rel::Peer);
+  EXPECT_EQ(g.relationship(g.require(1), g.require(4)), Rel::Customer);
+  EXPECT_EQ(g.relationship(g.require(5), g.require(6)), Rel::Sibling);
+}
+
+TEST(CaidaParser, CountsDuplicates) {
+  std::istringstream in("1|2|-1\n1|2|-1\n2|1|1\n");
+  CaidaParseStats stats;
+  const AsGraph g = parse_caida_graph(in, &stats);
+  EXPECT_EQ(g.num_links(), 1u);
+  EXPECT_EQ(stats.links, 1u);
+  EXPECT_EQ(stats.duplicates_ignored, 2u);
+}
+
+TEST(CaidaParser, RejectsMalformedLines) {
+  const auto expect_parse_error = [](const std::string& text) {
+    std::istringstream in(text);
+    EXPECT_THROW(parse_caida_graph(in), ParseError) << text;
+  };
+  expect_parse_error("1|2\n");           // missing rel
+  expect_parse_error("x|2|-1\n");        // bad asn1
+  expect_parse_error("1|y|-1\n");        // bad asn2
+  expect_parse_error("1|2|z\n");         // bad rel
+  expect_parse_error("1|2|7\n");         // unknown rel code
+  expect_parse_error("1|1|0\n");         // self link
+  expect_parse_error("99999999999|2|0\n");  // asn overflow
+}
+
+TEST(CaidaParser, ErrorMentionsLineNumber) {
+  std::istringstream in("1|2|-1\nbad line\n");
+  try {
+    parse_caida_graph(in);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string{e.what()}.find("line 2"), std::string::npos);
+  }
+}
+
+TEST(CaidaParser, ConflictingRelationshipIsConfigError) {
+  std::istringstream in("1|2|-1\n1|2|0\n");
+  EXPECT_THROW(parse_caida_graph(in), ConfigError);
+}
+
+TEST(CaidaParser, MissingFileThrows) {
+  EXPECT_THROW(load_caida_file("/no/such/file.txt"), Error);
+}
+
+TEST(CaidaParser, EmptyStreamGivesEmptyGraph) {
+  std::istringstream in("# only comments\n\n");
+  CaidaParseStats stats;
+  const AsGraph g = parse_caida_graph(in, &stats);
+  EXPECT_EQ(g.num_ases(), 0u);
+  EXPECT_EQ(stats.lines, 0u);
+}
+
+}  // namespace
+}  // namespace bgpsim

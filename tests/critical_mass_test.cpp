@@ -1,0 +1,111 @@
+// Tests for the critical-mass finder and the parallel-sweep equivalence.
+#include <gtest/gtest.h>
+
+#include "analysis/critical_mass.hpp"
+#include "analysis/detector_experiment.hpp"
+#include "analysis/vulnerability.hpp"
+#include "core/scenario.hpp"
+#include "defense/deployment.hpp"
+#include "support/error.hpp"
+
+namespace bgpsim {
+namespace {
+
+class CriticalMassFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ScenarioParams params;
+    params.topology.total_ases = 1200;
+    params.topology.seed = 51;
+    scenario_ = std::make_unique<Scenario>(Scenario::generate(params));
+    const auto& transits = scenario_->transit();
+    attackers_.assign(transits.begin(),
+                      transits.begin() + std::min<std::size_t>(60, transits.size()));
+    victims_ = {transits[5], transits[17]};
+  }
+  std::unique_ptr<Scenario> scenario_;
+  std::vector<AsId> attackers_;
+  std::vector<AsId> victims_;
+};
+
+TEST_F(CriticalMassFixture, FindsMinimalCore) {
+  const auto result =
+      find_critical_mass(scenario_->graph(), scenario_->sim_config(), victims_,
+                         attackers_, 0.75);
+  ASSERT_TRUE(result.achievable);
+  EXPECT_GT(result.core_size, 0u);
+  EXPECT_LT(result.core_size, scenario_->graph().num_ases());
+  EXPECT_GE(result.achieved_reduction, 0.75);
+
+  // Minimality: one fewer deployer misses the target.
+  if (result.core_size > 0) {
+    VulnerabilityAnalyzer analyzer(scenario_->graph(), scenario_->sim_config());
+    const auto plan = top_k_deployment(scenario_->graph(), result.core_size - 1);
+    const FilterSet filters = to_filter_set(scenario_->graph(), plan);
+    RunningStats smaller;
+    for (const AsId victim : victims_) {
+      smaller.merge(analyzer.sweep(victim, attackers_, &filters).stats);
+    }
+    EXPECT_GT(smaller.mean(), (1.0 - 0.75) * result.baseline_mean);
+  }
+}
+
+TEST_F(CriticalMassFixture, HigherTargetsNeedBiggerCores) {
+  const auto easy = find_critical_mass(scenario_->graph(), scenario_->sim_config(),
+                                       victims_, attackers_, 0.5);
+  const auto hard = find_critical_mass(scenario_->graph(), scenario_->sim_config(),
+                                       victims_, attackers_, 0.9);
+  EXPECT_LE(easy.core_size, hard.core_size);
+}
+
+TEST_F(CriticalMassFixture, RejectsBadArguments) {
+  EXPECT_THROW(find_critical_mass(scenario_->graph(), scenario_->sim_config(), {},
+                                  attackers_, 0.5),
+               PreconditionError);
+  EXPECT_THROW(find_critical_mass(scenario_->graph(), scenario_->sim_config(),
+                                  victims_, {}, 0.5),
+               PreconditionError);
+  EXPECT_THROW(find_critical_mass(scenario_->graph(), scenario_->sim_config(),
+                                  victims_, attackers_, 0.0),
+               PreconditionError);
+  EXPECT_THROW(find_critical_mass(scenario_->graph(), scenario_->sim_config(),
+                                  victims_, attackers_, 1.0),
+               PreconditionError);
+}
+
+TEST_F(CriticalMassFixture, ParallelSweepMatchesSerial) {
+  VulnerabilityAnalyzer serial(scenario_->graph(), scenario_->sim_config(), 1);
+  VulnerabilityAnalyzer parallel(scenario_->graph(), scenario_->sim_config(), 4);
+  const auto& transits = scenario_->transit();
+  const auto a = serial.sweep(victims_[0], transits);
+  const auto b = parallel.sweep(victims_[0], transits);
+  ASSERT_EQ(a.pollution.size(), b.pollution.size());
+  EXPECT_EQ(a.pollution, b.pollution);
+  EXPECT_EQ(a.attackers, b.attackers);
+}
+
+TEST_F(CriticalMassFixture, ParallelDetectorMatchesSerial) {
+  DetectorExperiment serial(scenario_->graph(), scenario_->sim_config(), 1);
+  DetectorExperiment parallel(scenario_->graph(), scenario_->sim_config(), 4);
+  Rng rng_a(3), rng_b(3);
+  const auto samples_a = serial.sample_transit_attacks(200, rng_a);
+  const auto samples_b = parallel.sample_transit_attacks(200, rng_b);
+  const std::vector<ProbeSet> probes{ProbeSet::top_k(scenario_->graph(), 10),
+                                     ProbeSet::tier1(scenario_->tiers())};
+  const auto ra = serial.run(samples_a, probes, 5);
+  const auto rb = parallel.run(samples_b, probes, 5);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t c = 0; c < ra.size(); ++c) {
+    EXPECT_EQ(ra[c].histogram, rb[c].histogram);
+    EXPECT_EQ(ra[c].missed, rb[c].missed);
+    EXPECT_NEAR(ra[c].missed_pollution.mean(), rb[c].missed_pollution.mean(), 1e-9);
+    ASSERT_EQ(ra[c].top_undetected.size(), rb[c].top_undetected.size());
+    for (std::size_t i = 0; i < ra[c].top_undetected.size(); ++i) {
+      EXPECT_EQ(ra[c].top_undetected[i].pollution,
+                rb[c].top_undetected[i].pollution);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bgpsim

@@ -1,0 +1,135 @@
+// Unit + property tests for FilterSet and deployment strategies, including
+// the pollution-monotonicity property (more filters never help the attacker).
+#include <gtest/gtest.h>
+
+#include "defense/deployment.hpp"
+#include "hijack/hijack_simulator.hpp"
+#include "support/error.hpp"
+#include "topology/internet_gen.hpp"
+
+namespace bgpsim {
+namespace {
+
+TEST(FilterSet, BasicOperations) {
+  FilterSet filters(10);
+  EXPECT_EQ(filters.count(), 0u);
+  EXPECT_EQ(filters.universe_size(), 10u);
+  filters.add(3);
+  filters.add(3);  // idempotent
+  filters.add(7);
+  EXPECT_EQ(filters.count(), 2u);
+  EXPECT_TRUE(filters.contains(3));
+  EXPECT_FALSE(filters.contains(4));
+  EXPECT_EQ(filters.members(), (std::vector<AsId>{3, 7}));
+  filters.remove(3);
+  filters.remove(3);  // idempotent
+  EXPECT_EQ(filters.count(), 1u);
+  EXPECT_THROW(filters.add(10), PreconditionError);
+  EXPECT_THROW(filters.remove(10), PreconditionError);
+  EXPECT_EQ(filters.bitset().size(), 10u);
+}
+
+TEST(FilterSet, ConstructFromSpan) {
+  const std::vector<AsId> members{1, 5, 5, 9};
+  FilterSet filters(10, members);
+  EXPECT_EQ(filters.count(), 3u);
+}
+
+class DeploymentFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    InternetGenParams params;
+    params.total_ases = 1500;
+    params.seed = 99;
+    graph_ = generate_internet(params);
+    tiers_ = classify_tiers(graph_, scale_degree_threshold(1500, 120));
+  }
+  AsGraph graph_;
+  TierClassification tiers_;
+};
+
+TEST_F(DeploymentFixture, RandomTransitDeploymentDrawsTransits) {
+  Rng rng(1);
+  const auto plan = random_transit_deployment(graph_, 20, rng);
+  EXPECT_EQ(plan.deployers.size(), 20u);
+  EXPECT_NE(plan.label.find("random"), std::string::npos);
+  const auto transit = transit_flags(graph_);
+  for (const AsId v : plan.deployers) EXPECT_TRUE(transit[v]);
+  // Distinct draws.
+  auto sorted = plan.deployers;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  // Oversized requests are rejected.
+  EXPECT_THROW(random_transit_deployment(graph_, 1u << 30, rng), PreconditionError);
+}
+
+TEST_F(DeploymentFixture, Tier1AndDegreePlans) {
+  const auto t1 = tier1_deployment(tiers_);
+  EXPECT_EQ(t1.deployers, tiers_.tier1);
+
+  const auto core = degree_threshold_deployment(graph_, 30);
+  for (const AsId v : core.deployers) EXPECT_GE(graph_.degree(v), 30u);
+  EXPECT_NE(core.label.find("degree >= 30"), std::string::npos);
+
+  const auto topk = top_k_deployment(graph_, 25);
+  EXPECT_EQ(topk.deployers.size(), 25u);
+
+  const auto filters = to_filter_set(graph_, topk);
+  EXPECT_EQ(filters.count(), 25u);
+}
+
+TEST_F(DeploymentFixture, PollutionIsMonotoneInFilters) {
+  // Adding validators can only shrink the polluted set: a validator only
+  // removes bogus messages from the system, it never creates new ones.
+  SimConfig cfg;
+  cfg.policy.is_tier1.assign(tiers_.is_tier1.begin(), tiers_.is_tier1.end());
+  HijackSimulator sim(graph_, cfg);
+
+  Rng rng(7);
+  const auto transits = transit_ases(graph_);
+  for (int trial = 0; trial < 6; ++trial) {
+    const AsId target = static_cast<AsId>(rng.bounded(graph_.num_ases()));
+    AsId attacker = transits[rng.bounded(transits.size())];
+    if (attacker == target) continue;
+
+    std::uint32_t previous = 0xffffffffu;
+    for (const std::size_t k : {std::size_t{0}, std::size_t{5}, std::size_t{15},
+                                std::size_t{40}, std::size_t{100}}) {
+      const auto plan = top_k_deployment(graph_, k);
+      if (k == 0) {
+        sim.set_validators(std::nullopt);
+      } else {
+        sim.set_validators(to_filter_set(graph_, plan).bitset());
+      }
+      const auto result = sim.attack(target, attacker);
+      EXPECT_LE(result.polluted_ases, previous)
+          << "k=" << k << " target=" << target << " attacker=" << attacker;
+      previous = result.polluted_ases;
+    }
+  }
+}
+
+TEST_F(DeploymentFixture, ValidatorAtEveryTransitStopsTransitAttack) {
+  SimConfig cfg;
+  cfg.policy.is_tier1.assign(tiers_.is_tier1.begin(), tiers_.is_tier1.end());
+  HijackSimulator sim(graph_, cfg);
+  const auto transits = transit_ases(graph_);
+  FilterSet all_transit(graph_.num_ases(), transits);
+  sim.set_validators(all_transit.bitset());
+
+  Rng rng(3);
+  const AsId target = static_cast<AsId>(rng.bounded(graph_.num_ases()));
+  AsId attacker = transits[rng.bounded(transits.size())];
+  if (attacker == target) attacker = transits[(0 + 1) % transits.size()];
+  const auto result = sim.attack(target, attacker);
+  // With every transit validating, pollution can only reach the attacker's
+  // direct stub neighbors (peers/customers of the attacker).
+  std::uint32_t non_transit_neighbors = 0;
+  for (const auto& nbr : graph_.neighbors(attacker)) {
+    non_transit_neighbors += !transit_flags(graph_)[nbr.id];
+  }
+  EXPECT_LE(result.polluted_ases, non_transit_neighbors);
+}
+
+}  // namespace
+}  // namespace bgpsim

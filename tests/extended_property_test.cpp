@@ -1,0 +1,136 @@
+// Additional property suites over the extended attack API and the
+// single-origin equilibrium path.
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+#include "defense/deployment.hpp"
+#include "rpki/roa.hpp"
+#include "support/stats.hpp"
+
+namespace bgpsim {
+namespace {
+
+class ExtendedProperties : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    ScenarioParams params;
+    params.topology.total_ases = 1200;
+    params.topology.seed = GetParam();
+    scenario_ = std::make_unique<Scenario>(Scenario::generate(params));
+  }
+  std::unique_ptr<Scenario> scenario_;
+};
+
+TEST_P(ExtendedProperties, ComputeSingleLegitMatchesCompute) {
+  EquilibriumEngine engine(scenario_->graph(), scenario_->policy());
+  Rng rng(derive_seed(GetParam(), 1));
+  RouteTable a, b;
+  for (int trial = 0; trial < 4; ++trial) {
+    const AsId origin =
+        static_cast<AsId>(rng.bounded(scenario_->graph().num_ases()));
+    engine.compute(origin, nullptr, a);
+    engine.compute_single(origin, Origin::Legit, 1, nullptr, b);
+    ASSERT_EQ(a.routes.size(), b.routes.size());
+    for (std::size_t i = 0; i < a.routes.size(); ++i) {
+      ASSERT_EQ(a.routes[i].origin, b.routes[i].origin);
+      ASSERT_EQ(a.routes[i].path_len, b.routes[i].path_len);
+      ASSERT_EQ(a.routes[i].via, b.routes[i].via);
+    }
+  }
+}
+
+TEST_P(ExtendedProperties, AttackExIsDeterministic) {
+  HijackSimulator sim1 = scenario_->make_simulator();
+  HijackSimulator sim2 = scenario_->make_simulator();
+  const auto& transits = scenario_->transit();
+  AttackOptions sub;
+  sub.kind = AttackKind::SubPrefix;
+  sub.forged_origin = true;
+  const auto a = sim1.attack_ex(transits[2], transits[9], sub);
+  const auto b = sim2.attack_ex(transits[2], transits[9], sub);
+  EXPECT_EQ(a.polluted_ases, b.polluted_ases);
+  EXPECT_EQ(a.polluted_address_space, b.polluted_address_space);
+  EXPECT_EQ(a.claimed_origin, b.claimed_origin);
+}
+
+TEST_P(ExtendedProperties, SubPrefixPollutionMonotoneInValidators) {
+  HijackSimulator sim = scenario_->make_simulator();
+  const auto& transits = scenario_->transit();
+  Rng rng(derive_seed(GetParam(), 2));
+  const AsId target = transits[rng.bounded(transits.size())];
+  AsId attacker = transits[rng.bounded(transits.size())];
+  if (attacker == target) attacker = transits[0] == target ? transits[1] : transits[0];
+
+  AttackOptions sub;
+  sub.kind = AttackKind::SubPrefix;
+  std::uint32_t previous = 0xffffffffu;
+  for (const std::size_t k : {std::size_t{0}, std::size_t{10}, std::size_t{50},
+                              std::size_t{200}}) {
+    if (k == 0) {
+      sim.set_validators(std::nullopt);
+    } else {
+      sim.set_validators(
+          to_filter_set(scenario_->graph(), top_k_deployment(scenario_->graph(), k))
+              .bitset());
+    }
+    const auto result = sim.attack_ex(target, attacker, sub);
+    EXPECT_LE(result.polluted_ases, previous) << "k=" << k;
+    previous = result.polluted_ases;
+  }
+}
+
+TEST_P(ExtendedProperties, RoaPublicationMonotoneProtection) {
+  // With ROV deployed, publishing more ROAs never increases sub-prefix
+  // pollution (per attack, validators either engage or not).
+  const AsGraph& g = scenario_->graph();
+  const PrefixAllocation allocation = allocate_prefixes(g);
+  HijackSimulator sim = scenario_->make_simulator();
+  sim.set_validators(to_filter_set(g, top_k_deployment(g, 40)).bitset());
+
+  const auto& transits = scenario_->transit();
+  Rng rng(derive_seed(GetParam(), 3));
+  const AsId target = transits[rng.bounded(transits.size())];
+  AsId attacker = transits[rng.bounded(transits.size())];
+  if (attacker == target) attacker = transits[0] == target ? transits[1] : transits[0];
+
+  AttackOptions sub;
+  sub.kind = AttackKind::SubPrefix;
+
+  const RoaDatabase none;
+  const RpkiContext ctx_none{&none, &allocation};
+  const std::vector<AsId> just_target{target};
+  const RoaDatabase published = publish_roas(g, allocation, just_target, 0);
+  const RpkiContext ctx_published{&published, &allocation};
+
+  const auto unprotected = sim.attack_ex(target, attacker, sub, &ctx_none);
+  const auto protected_r = sim.attack_ex(target, attacker, sub, &ctx_published);
+  EXPECT_LE(protected_r.polluted_ases, unprotected.polluted_ases);
+  EXPECT_EQ(unprotected.validity, RpkiValidity::NotFound);
+  EXPECT_EQ(protected_r.validity, RpkiValidity::Invalid);
+}
+
+TEST_P(ExtendedProperties, ForgedOriginNeverBeatsHonestOnExactPrefix) {
+  HijackSimulator sim = scenario_->make_simulator();
+  const auto& transits = scenario_->transit();
+  Rng rng(derive_seed(GetParam(), 4));
+  for (int trial = 0; trial < 3; ++trial) {
+    const AsId target = transits[rng.bounded(transits.size())];
+    AsId attacker = transits[rng.bounded(transits.size())];
+    if (attacker == target) continue;
+    AttackOptions honest, forged;
+    forged.forged_origin = true;
+    const auto h = sim.attack_ex(target, attacker, honest);
+    const auto f = sim.attack_ex(target, attacker, forged);
+    EXPECT_LE(f.polluted_ases, h.polluted_ases)
+        << "target " << target << " attacker " << attacker;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtendedProperties,
+                         ::testing::Values(201, 202, 203),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace bgpsim

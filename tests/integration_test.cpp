@@ -1,0 +1,135 @@
+// End-to-end integration: the full pipeline on one mid-size scenario, plus
+// whole-pipeline determinism (same seed => bit-identical outputs).
+#include <gtest/gtest.h>
+
+#include "analysis/deployment_experiment.hpp"
+#include "analysis/detector_experiment.hpp"
+#include "analysis/regional.hpp"
+#include "analysis/vulnerability.hpp"
+#include "core/scenario.hpp"
+#include "defense/deployment.hpp"
+#include "detect/probe_set.hpp"
+
+namespace bgpsim {
+namespace {
+
+ScenarioParams params_for(std::uint32_t n, std::uint64_t seed) {
+  ScenarioParams params;
+  params.topology.total_ases = n;
+  params.topology.seed = seed;
+  return params;
+}
+
+TEST(Integration, FullPaperPipelineOnMidSizeTopology) {
+  const Scenario scenario = Scenario::generate(params_for(3000, 2014));
+  const AsGraph& g = scenario.graph();
+  const auto& depth = scenario.depth();
+  const auto& transits = scenario.transit();
+
+  // --- §IV analogues: depth-1 vs deep targets -------------------------------
+  TargetQuery shallow_query;
+  shallow_query.depth = 1;
+  const auto shallow = find_target(g, scenario.tiers(), depth, shallow_query);
+  ASSERT_TRUE(shallow.has_value());
+
+  TargetQuery deep_query;
+  deep_query.depth = 4;
+  auto deep = find_target(g, scenario.tiers(), depth, deep_query);
+  if (!deep) {
+    deep_query.depth = 3;
+    deep = find_target(g, scenario.tiers(), depth, deep_query);
+  }
+  ASSERT_TRUE(deep.has_value());
+
+  VulnerabilityAnalyzer analyzer(g, scenario.sim_config());
+  const std::vector<AsId> attackers(transits.begin(),
+                                    transits.begin() + std::min<std::size_t>(
+                                                           transits.size(), 150));
+  const auto shallow_curve = analyzer.sweep(*shallow, attackers, nullptr, "d1");
+  const auto deep_curve = analyzer.sweep(*deep, attackers, nullptr, "deep");
+  // The paper's core observation: deeper targets are more vulnerable.
+  EXPECT_GT(deep_curve.stats.mean(), shallow_curve.stats.mean());
+
+  // --- §V analogue: incremental deployment improves, cores beat random ------
+  DeploymentExperiment deployment(g, scenario.sim_config());
+  Rng rng(1);
+  std::vector<DeploymentPlan> plans;
+  plans.push_back(custom_deployment("baseline", {}));
+  plans.push_back(random_transit_deployment(g, scenario.scaled_count(500), rng));
+  plans.push_back(tier1_deployment(scenario.tiers()));
+  plans.push_back(degree_threshold_deployment(g, scenario.scaled_degree(500)));
+  plans.push_back(degree_threshold_deployment(g, scenario.scaled_degree(100)));
+  const auto outcomes = deployment.run(*deep, attackers, plans);
+  EXPECT_LT(outcomes[3].curve.stats.mean(), outcomes[0].curve.stats.mean());
+  EXPECT_LT(outcomes[4].curve.stats.mean(), outcomes[3].curve.stats.mean());
+  // Paper: random deployment "barely moves away from the baseline" while the
+  // degree cores bite. Compare improvements.
+  const double random_gain =
+      outcomes[0].curve.stats.mean() - outcomes[1].curve.stats.mean();
+  const double core_gain =
+      outcomes[0].curve.stats.mean() - outcomes[4].curve.stats.mean();
+  EXPECT_GT(core_gain, random_gain);
+
+  // --- §VI analogue: detector configurations --------------------------------
+  DetectorExperiment detectors(g, scenario.sim_config());
+  Rng det_rng(2);
+  const auto samples = detectors.sample_transit_attacks(300, det_rng);
+  Rng probe_rng(3);
+  const std::vector<ProbeSet> probe_sets{
+      ProbeSet::tier1(scenario.tiers()),
+      ProbeSet::bgpmon_style(g, 24, probe_rng),
+      ProbeSet::degree_core(g, scenario.scaled_degree(500)),
+  };
+  const auto det_results = detectors.run(samples, probe_sets);
+  ASSERT_EQ(det_results.size(), 3u);
+  // The degree core is the most reliable configuration (paper: 34%/11%/3%).
+  EXPECT_LE(det_results[2].missed_fraction, det_results[0].missed_fraction);
+
+  // --- §VII analogue: regional view works end to end ------------------------
+  RegionalAnalyzer regional(g, scenario.sim_config());
+  const auto impact = regional.attacks_from_region(*deep);
+  EXPECT_GT(impact.attacks, 0u);
+}
+
+TEST(Integration, WholePipelineIsDeterministic) {
+  const auto run_once = [](std::uint64_t seed) {
+    const Scenario scenario = Scenario::generate(params_for(1200, seed));
+    VulnerabilityAnalyzer analyzer(scenario.graph(), scenario.sim_config());
+    const auto& transits = scenario.transit();
+    const std::vector<AsId> attackers(transits.begin(), transits.begin() + 50);
+    const auto curve = analyzer.sweep(transits.back(), attackers);
+    return curve.pollution;
+  };
+  const auto a = run_once(77);
+  const auto b = run_once(77);
+  EXPECT_EQ(a, b);
+  const auto c = run_once(78);
+  EXPECT_NE(a, c);
+}
+
+TEST(Integration, GenerationEngineMatchesEquilibriumOnAggregate) {
+  // Run the same 20 attacks under both engines: mean pollution must be close
+  // (this is the library's RouteViews-style cross-validation).
+  const Scenario base = Scenario::generate(params_for(1500, 5));
+  SimConfig eq_cfg = base.sim_config();
+  SimConfig gen_cfg = base.sim_config();
+  gen_cfg.engine = EngineKind::Generation;
+  HijackSimulator eq(base.graph(), eq_cfg);
+  HijackSimulator gen(base.graph(), gen_cfg);
+
+  Rng rng(13);
+  const auto& transits = base.transit();
+  RunningStats eq_stats, gen_stats;
+  for (int i = 0; i < 20; ++i) {
+    const AsId target = transits[rng.bounded(transits.size())];
+    AsId attacker = transits[rng.bounded(transits.size())];
+    if (attacker == target) continue;
+    eq_stats.add(eq.attack(target, attacker).polluted_ases);
+    gen_stats.add(gen.attack(target, attacker).polluted_ases);
+  }
+  const double denominator = std::max(1.0, gen_stats.mean());
+  EXPECT_LT(std::abs(eq_stats.mean() - gen_stats.mean()) / denominator, 0.15);
+}
+
+}  // namespace
+}  // namespace bgpsim

@@ -1,0 +1,187 @@
+// Tests for the synthetic Internet generator, including parameterized
+// structural-invariant sweeps over seeds and sizes.
+#include "topology/internet_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/error.hpp"
+#include "topology/metrics.hpp"
+
+namespace bgpsim {
+namespace {
+
+InternetGenParams small_params(std::uint64_t seed, std::uint32_t n = 2000) {
+  InternetGenParams p;
+  p.total_ases = n;
+  p.seed = seed;
+  return p;
+}
+
+TEST(InternetGen, RejectsDegenerateParams) {
+  InternetGenParams p;
+  p.total_ases = 10;
+  EXPECT_THROW(generate_internet(p), ConfigError);
+  p = InternetGenParams{};
+  p.transit_fraction = 0.0;
+  EXPECT_THROW(generate_internet(p), ConfigError);
+  p = InternetGenParams{};
+  p.transit_fraction = 1.5;
+  EXPECT_THROW(generate_internet(p), ConfigError);
+}
+
+TEST(InternetGen, DeterministicInSeed) {
+  const AsGraph a = generate_internet(small_params(7));
+  const AsGraph b = generate_internet(small_params(7));
+  ASSERT_EQ(a.num_ases(), b.num_ases());
+  ASSERT_EQ(a.num_links(), b.num_links());
+  for (AsId v = 0; v < a.num_ases(); ++v) {
+    ASSERT_EQ(a.asn(v), b.asn(v));
+    ASSERT_EQ(a.address_space(v), b.address_space(v));
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    ASSERT_EQ(na.size(), nb.size());
+    for (std::size_t i = 0; i < na.size(); ++i) ASSERT_EQ(na[i], nb[i]) << v;
+  }
+}
+
+TEST(InternetGen, DifferentSeedsDiffer) {
+  const AsGraph a = generate_internet(small_params(1));
+  const AsGraph b = generate_internet(small_params(2));
+  // Same node count but the wiring should differ somewhere.
+  ASSERT_EQ(a.num_ases(), b.num_ases());
+  bool any_difference = a.num_links() != b.num_links();
+  for (AsId v = 0; !any_difference && v < a.num_ases(); ++v) {
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    if (na.size() != nb.size()) {
+      any_difference = true;
+      break;
+    }
+    for (std::size_t i = 0; i < na.size(); ++i) {
+      if (na[i] != nb[i]) {
+        any_difference = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(InternetGen, SiblingPairsWhenRequested) {
+  auto p = small_params(3);
+  p.sibling_pair_fraction = 0.2;
+  const AsGraph g = generate_internet(p);
+  std::uint32_t sibling_links = 0;
+  for (AsId v = 0; v < g.num_ases(); ++v) {
+    for (const auto& nbr : g.neighbors(v)) {
+      if (nbr.rel == Rel::Sibling && nbr.id > v) ++sibling_links;
+    }
+  }
+  EXPECT_GT(sibling_links, 0u);
+}
+
+struct GenCase {
+  std::uint64_t seed;
+  std::uint32_t size;
+};
+
+class InternetGenInvariants : public ::testing::TestWithParam<GenCase> {};
+
+TEST_P(InternetGenInvariants, StructuralInvariants) {
+  const auto [seed, size] = GetParam();
+  const AsGraph g = generate_internet(small_params(seed, size));
+
+  EXPECT_EQ(g.num_ases(), size);
+
+  // Link density near the paper's E/N ≈ 3.26.
+  const double density = static_cast<double>(g.num_links()) / size;
+  EXPECT_GT(density, 2.6);
+  EXPECT_LT(density, 3.9);
+
+  // Tier-1 clique exists and is provider-free.
+  const auto tiers = classify_tiers(g, scale_degree_threshold(size, 120));
+  EXPECT_GE(tiers.tier1.size(), 3u);
+  EXPECT_LE(tiers.tier1.size(), 17u);
+  for (const AsId t1 : tiers.tier1) {
+    for (const auto& nbr : g.neighbors(t1)) EXPECT_NE(nbr.rel, Rel::Provider);
+    for (const AsId other : tiers.tier1) {
+      if (other != t1) {
+        EXPECT_EQ(g.relationship(t1, other), Rel::Peer);
+      }
+    }
+  }
+
+  // Transit share near the paper's 14.7%.
+  const auto transits = transit_ases(g);
+  const double share = static_cast<double>(transits.size()) / size;
+  EXPECT_GT(share, 0.06);
+  EXPECT_LT(share, 0.30);
+
+  // Every AS reaches the tier-1/tier-2 roots via provider chains, and the
+  // depth spread covers the paper's measurement range (stubs at depth >= 4).
+  const auto depth = compute_depth(g, tiers, /*include_tier2=*/true);
+  std::uint16_t max_depth = 0;
+  for (AsId v = 0; v < g.num_ases(); ++v) {
+    ASSERT_NE(depth[v], kUnreachableDepth) << "AS " << g.asn(v) << " disconnected";
+    max_depth = std::max(max_depth, depth[v]);
+  }
+  EXPECT_GE(max_depth, 4);
+  EXPECT_LE(max_depth, 12);
+
+  // Regions exist and are labeled; region sizes are plausible.
+  EXPECT_GE(g.num_regions(), 2u);  // "global"/"core" plus >= 1 real region
+  std::set<std::uint16_t> seen_regions;
+  for (AsId v = 0; v < g.num_ases(); ++v) seen_regions.insert(g.region(v));
+  EXPECT_GE(seen_regions.size(), 2u);
+
+  // Heavy-tailed degrees: the top AS dominates the median.
+  const auto top = top_k_by_degree(g, 1);
+  EXPECT_GT(g.degree(top[0]), 25u * size / 2000u);
+
+  // Address space assigned everywhere.
+  for (AsId v = 0; v < g.num_ases(); ++v) EXPECT_GE(g.address_space(v), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndSizes, InternetGenInvariants,
+    ::testing::Values(GenCase{1, 1000}, GenCase{2, 1000}, GenCase{3, 2000},
+                      GenCase{4, 2000}, GenCase{5, 4000}, GenCase{77, 4000},
+                      GenCase{123, 800}, GenCase{999, 8000}),
+    [](const ::testing::TestParamInfo<GenCase>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_n" +
+             std::to_string(info.param.size);
+    });
+
+TEST(InternetGen, StubProfilesExistForExperiments) {
+  // The experiments need analogues of AS 98 (depth-1 stub on a tier-1,
+  // multi-homed), AS 35 (single-homed), and AS 55857 (deep stub).
+  const AsGraph g = generate_internet(small_params(42, 8000));
+  const auto tiers = classify_tiers(g, scale_degree_threshold(8000, 120));
+  const auto depth = compute_depth(g, tiers, true);
+
+  bool depth1_stub = false, deep_stub = false, multi_homed_depth1 = false;
+  for (AsId v = 0; v < g.num_ases(); ++v) {
+    if (!is_stub(g, v)) continue;
+    if (depth[v] == 1) {
+      depth1_stub = true;
+      if (is_multi_homed(g, v)) multi_homed_depth1 = true;
+    }
+    if (depth[v] >= 4) deep_stub = true;
+  }
+  EXPECT_TRUE(depth1_stub);
+  EXPECT_TRUE(multi_homed_depth1);
+  EXPECT_TRUE(deep_stub);
+}
+
+TEST(InternetGen, ScalingHelpers) {
+  EXPECT_EQ(scale_degree_threshold(kPaperTotalAses, 500), 500u);
+  EXPECT_EQ(scale_count(kPaperTotalAses, 62), 62u);
+  EXPECT_EQ(scale_count(kPaperTotalAses / 2, 62), 31u);
+  EXPECT_GE(scale_degree_threshold(100, 500), 2u);
+  EXPECT_GE(scale_count(100, 17), 1u);
+}
+
+}  // namespace
+}  // namespace bgpsim

@@ -1,0 +1,135 @@
+// Tests for reactive mitigation (sub-prefix promotion), the CAIDA writer
+// round-trip, and the "received" detection semantics.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/scenario.hpp"
+#include "detect/detector.hpp"
+#include "hijack/mitigation.hpp"
+#include "topology/caida_writer.hpp"
+#include "topology/caida_parser.hpp"
+#include "topology/graph_builder.hpp"
+
+namespace bgpsim {
+namespace {
+
+TEST(CaidaWriter, RoundTripsGeneratedTopology) {
+  InternetGenParams params;
+  params.total_ases = 600;
+  params.seed = 9;
+  params.sibling_pair_fraction = 0.1;  // exercise the sibling branch too
+  const AsGraph original = generate_internet(params);
+
+  std::stringstream buffer;
+  write_caida(buffer, original);
+  const AsGraph reparsed = parse_caida_graph(buffer);
+
+  ASSERT_EQ(reparsed.num_ases(), original.num_ases());
+  ASSERT_EQ(reparsed.num_links(), original.num_links());
+  for (AsId v = 0; v < original.num_ases(); ++v) {
+    const AsId w = reparsed.require(original.asn(v));
+    const auto nbrs = original.neighbors(v);
+    ASSERT_EQ(reparsed.degree(w), nbrs.size());
+    for (const auto& nbr : nbrs) {
+      const auto rel = reparsed.relationship(w, reparsed.require(original.asn(nbr.id)));
+      ASSERT_TRUE(rel.has_value());
+      EXPECT_EQ(*rel, nbr.rel);
+    }
+  }
+}
+
+TEST(CaidaWriter, FileErrors) {
+  GraphBuilder b;
+  b.add_peer(1, 2);
+  EXPECT_THROW(save_caida_file("/no/such/dir/file.txt", b.build()), Error);
+}
+
+class MitigationFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ScenarioParams params;
+    params.topology.total_ases = 1500;
+    params.topology.seed = 77;
+    scenario_ = std::make_unique<Scenario>(Scenario::generate(params));
+  }
+  std::unique_ptr<Scenario> scenario_;
+};
+
+TEST_F(MitigationFixture, PromotionRecoversMostPollutedAses) {
+  HijackSimulator sim = scenario_->make_simulator();
+  const auto& transits = scenario_->transit();
+  const AsId target = transits[transits.size() / 2];
+  const AsId attacker = transits[transits.size() / 4];
+
+  const auto result = promote_subprefix(sim, target, attacker);
+  EXPECT_TRUE(result.promotion_possible);
+  EXPECT_EQ(result.recovered + result.still_polluted, result.polluted_before);
+  if (result.polluted_before > 0) {
+    // The promotion is an unopposed legitimate announcement: it reaches
+    // nearly everyone, so recovery should be near-total.
+    EXPECT_GT(result.recovery_rate, 0.9);
+  }
+}
+
+TEST_F(MitigationFixture, PromotionBlockedBySlash24Limit) {
+  // Give the victim a /24 by shrinking its address space to one /24 unit.
+  GraphBuilder builder = GraphBuilder::from(scenario_->graph());
+  const auto& transits = scenario_->transit();
+  const AsId target = transits.back();
+  builder.set_address_space(scenario_->graph().asn(target), 1);
+  ScenarioParams params;
+  const Scenario small = Scenario::from_graph(builder.build(), params);
+  const PrefixAllocation allocation = allocate_prefixes(small.graph());
+  const AsId new_target = small.graph().require(scenario_->graph().asn(target));
+  ASSERT_GE(allocation.primary(new_target).length(), 24);
+
+  HijackSimulator sim = small.make_simulator();
+  const AsId attacker = small.transit()[0] == new_target ? small.transit()[1]
+                                                         : small.transit()[0];
+  const auto result = promote_subprefix(sim, new_target, attacker, &allocation);
+  EXPECT_FALSE(result.promotion_possible);
+  EXPECT_EQ(result.recovered, 0u);
+  EXPECT_EQ(result.still_polluted, result.polluted_before);
+}
+
+TEST_F(MitigationFixture, HeardDetectionIsUpperBoundOnSelected) {
+  SimConfig cfg = scenario_->sim_config();
+  cfg.engine = EngineKind::Generation;
+  GenerationEngine engine(scenario_->graph(), cfg.policy);
+
+  const auto& transits = scenario_->transit();
+  const AsId target = transits[3];
+  const AsId attacker = transits[transits.size() - 3];
+  engine.announce(target, Origin::Legit);
+  engine.announce(attacker, Origin::Attacker);
+  RouteTable table;
+  engine.export_routes(table);
+
+  const ProbeSet probes = ProbeSet::top_k(scenario_->graph(), 30);
+  const auto selected = evaluate_detection(table, probes);
+  const auto heard = evaluate_detection_heard(engine, probes);
+  EXPECT_GE(heard.probes_triggered, selected.probes_triggered);
+
+  // Global invariant: every AS selecting the bogus route must have heard it.
+  for (AsId v = 0; v < scenario_->graph().num_ases(); ++v) {
+    if (table.routes[v].origin == Origin::Attacker && v != attacker) {
+      EXPECT_TRUE(engine.offered_bogus(v)) << v;
+    }
+  }
+}
+
+TEST_F(MitigationFixture, HeardResetsWithEngine) {
+  SimConfig cfg = scenario_->sim_config();
+  GenerationEngine engine(scenario_->graph(), cfg.policy);
+  const auto& transits = scenario_->transit();
+  engine.announce(transits[0], Origin::Legit);
+  engine.announce(transits[1], Origin::Attacker);
+  engine.reset();
+  for (AsId v = 0; v < scenario_->graph().num_ases(); ++v) {
+    EXPECT_FALSE(engine.offered_bogus(v));
+  }
+}
+
+}  // namespace
+}  // namespace bgpsim

@@ -1,0 +1,197 @@
+// Tests for the IPv4 prefix substrate: parsing, containment, trie matching,
+// and the buddy address allocator.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/allocation.hpp"
+#include "net/prefix.hpp"
+#include "net/prefix_trie.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "topology/graph_builder.hpp"
+
+namespace bgpsim {
+namespace {
+
+TEST(Prefix, ParseAndFormatRoundTrip) {
+  for (const char* text : {"0.0.0.0/0", "10.0.0.0/8", "192.168.1.0/24",
+                           "255.255.255.255/32", "128.0.0.0/1"}) {
+    const auto p = Prefix::parse(text);
+    ASSERT_TRUE(p.has_value()) << text;
+    EXPECT_EQ(p->to_string(), text);
+  }
+}
+
+TEST(Prefix, ParseRejectsMalformed) {
+  for (const char* text :
+       {"", "10.0.0.0", "10.0.0/8", "10.0.0.0/33", "10.0.0.256/8",
+        "10.0.0.1/8" /* host bits */, "a.b.c.d/8", "10.0.0.0/x"}) {
+    EXPECT_FALSE(Prefix::parse(text).has_value()) << text;
+  }
+}
+
+TEST(Prefix, MakeValidatesHostBits) {
+  EXPECT_NO_THROW(Prefix::make(0x0a000000, 8));
+  EXPECT_THROW(Prefix::make(0x0a000001, 8), PreconditionError);
+  EXPECT_THROW(Prefix::make(0, 33), PreconditionError);
+}
+
+TEST(Prefix, Containment) {
+  const auto p8 = *Prefix::parse("10.0.0.0/8");
+  const auto p16 = *Prefix::parse("10.1.0.0/16");
+  const auto other = *Prefix::parse("11.0.0.0/16");
+  EXPECT_TRUE(p8.contains(p16));
+  EXPECT_FALSE(p16.contains(p8));
+  EXPECT_TRUE(p8.contains(p8));
+  EXPECT_FALSE(p8.contains(other));
+  EXPECT_TRUE(p8.contains_address(0x0a123456));
+  EXPECT_FALSE(p8.contains_address(0x0b000000));
+  // /0 contains everything.
+  EXPECT_TRUE(Prefix::make(0, 0).contains(other));
+}
+
+TEST(Prefix, SplitAndSlash24) {
+  const auto p16 = *Prefix::parse("10.1.0.0/16");
+  const auto [low, high] = p16.split();
+  EXPECT_EQ(low.to_string(), "10.1.0.0/17");
+  EXPECT_EQ(high.to_string(), "10.1.128.0/17");
+  EXPECT_TRUE(p16.contains(low));
+  EXPECT_TRUE(p16.contains(high));
+  EXPECT_EQ(p16.slash24_count(), 256u);
+  EXPECT_EQ(low.slash24_count(), 128u);
+  EXPECT_EQ(Prefix::parse("1.2.3.0/24")->slash24_count(), 1u);
+  EXPECT_EQ(Prefix::parse("1.2.3.128/25")->slash24_count(), 0u);
+  EXPECT_THROW(Prefix::parse("1.1.1.1/32")->split(), PreconditionError);
+}
+
+TEST(PrefixTrie, LongestMatch) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 8);
+  trie.insert(*Prefix::parse("10.1.0.0/16"), 16);
+  trie.insert(*Prefix::parse("10.1.2.0/24"), 24);
+
+  const auto* hit = trie.longest_match(*Prefix::parse("10.1.2.0/24"));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->front(), 24);
+  hit = trie.longest_match(*Prefix::parse("10.1.3.0/24"));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->front(), 16);
+  hit = trie.longest_match(*Prefix::parse("10.9.0.0/16"));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->front(), 8);
+  EXPECT_EQ(trie.longest_match(*Prefix::parse("11.0.0.0/8")), nullptr);
+  // A /8 lookup is not covered by the /16 entry (covering means shorter).
+  hit = trie.longest_match(*Prefix::parse("10.0.0.0/8"));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->front(), 8);
+  EXPECT_EQ(trie.size(), 3u);
+}
+
+TEST(PrefixTrie, CoveringWalkAndExact) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 1);
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 2);  // duplicate prefix, 2 values
+  trie.insert(*Prefix::parse("10.1.0.0/16"), 3);
+
+  std::vector<int> seen;
+  trie.for_each_covering(*Prefix::parse("10.1.2.0/24"),
+                         [&seen](const int& v) { seen.push_back(v); });
+  EXPECT_EQ(seen, (std::vector<int>{1, 2, 3}));  // shortest first
+
+  ASSERT_NE(trie.exact(*Prefix::parse("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(trie.exact(*Prefix::parse("10.0.0.0/8"))->size(), 2u);
+  EXPECT_EQ(trie.exact(*Prefix::parse("10.2.0.0/16")), nullptr);
+}
+
+TEST(PrefixTrie, RandomizedAgainstBruteForce) {
+  Rng rng(99);
+  std::vector<Prefix> prefixes;
+  PrefixTrie<std::size_t> trie;
+  for (int i = 0; i < 200; ++i) {
+    const auto len = static_cast<std::uint8_t>(rng.uniform_int(4, 28));
+    const std::uint32_t addr =
+        static_cast<std::uint32_t>(rng.next()) &
+        (len == 0 ? 0 : ~std::uint32_t{0} << (32 - len));
+    const Prefix p = Prefix::make(addr, len);
+    trie.insert(p, prefixes.size());
+    prefixes.push_back(p);
+  }
+  for (int i = 0; i < 500; ++i) {
+    const std::uint32_t addr = static_cast<std::uint32_t>(rng.next());
+    const Prefix lookup = Prefix::make(addr, 32);
+    // Brute force: longest covering prefix.
+    int best_len = -1;
+    for (const Prefix& p : prefixes) {
+      if (p.contains(lookup)) best_len = std::max<int>(best_len, p.length());
+    }
+    const auto* hit = trie.longest_match(lookup);
+    if (best_len < 0) {
+      EXPECT_EQ(hit, nullptr);
+    } else {
+      ASSERT_NE(hit, nullptr);
+      EXPECT_EQ(prefixes[hit->front()].length(), best_len);
+    }
+  }
+}
+
+TEST(Allocation, DisjointAndSized) {
+  GraphBuilder b;
+  b.add_provider_customer(1, 2);
+  b.add_provider_customer(1, 3);
+  b.set_address_space(1, 5000);
+  b.set_address_space(2, 3);
+  b.set_address_space(3, 1);
+  const AsGraph g = b.build();
+
+  const auto allocation = allocate_prefixes(g);
+  ASSERT_EQ(allocation.by_as.size(), 3u);
+  for (AsId v = 0; v < 3; ++v) {
+    ASSERT_EQ(allocation.by_as[v].size(), 1u);
+    // The block covers the AS's weight (power-of-two rounding).
+    EXPECT_GE(allocation.primary(v).slash24_count(), g.address_space(v))
+        << "AS " << g.asn(v);
+    EXPECT_LT(allocation.primary(v).slash24_count(), 2 * g.address_space(v) + 2);
+  }
+  // Pairwise disjoint.
+  for (AsId a = 0; a < 3; ++a) {
+    for (AsId b2 = a + 1; b2 < 3; ++b2) {
+      EXPECT_FALSE(allocation.primary(a).contains(allocation.primary(b2)));
+      EXPECT_FALSE(allocation.primary(b2).contains(allocation.primary(a)));
+    }
+  }
+  EXPECT_GE(allocation.total_slash24(), 5004u);
+}
+
+TEST(Allocation, ScalesToThousandsAndStaysDisjoint) {
+  GraphBuilder b;
+  Rng rng(5);
+  for (Asn asn = 1; asn <= 2000; ++asn) {
+    b.ensure_as(asn);
+    b.set_address_space(asn, rng.zipf(512, 1.2));
+  }
+  const AsGraph g = b.build();
+  const auto allocation = allocate_prefixes(g);
+
+  // Disjointness via sorted interval sweep.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> intervals;
+  for (const auto& list : allocation.by_as) {
+    for (const Prefix& p : list) {
+      const std::uint64_t lo = p.address();
+      const std::uint64_t hi = lo + (std::uint64_t{1} << (32 - p.length()));
+      intervals.emplace_back(lo, hi);
+    }
+  }
+  std::sort(intervals.begin(), intervals.end());
+  for (std::size_t i = 1; i < intervals.size(); ++i) {
+    EXPECT_LE(intervals[i - 1].second, intervals[i].first) << i;
+  }
+  // Deterministic.
+  const auto again = allocate_prefixes(g);
+  for (AsId v = 0; v < g.num_ases(); ++v) {
+    EXPECT_EQ(allocation.primary(v), again.primary(v));
+  }
+}
+
+}  // namespace
+}  // namespace bgpsim

@@ -1,0 +1,148 @@
+// Tests for the §VII regional analysis and the re-homing transform.
+#include "analysis/regional.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "topology/graph_builder.hpp"
+#include "topology/internet_gen.hpp"
+#include "topology/metrics.hpp"
+
+namespace bgpsim {
+namespace {
+
+class RegionalFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    InternetGenParams params;
+    params.total_ases = 2500;
+    params.seed = 31;
+    graph_ = generate_internet(params);
+    tiers_ = classify_tiers(graph_, scale_degree_threshold(2500, 120));
+    depth_ = compute_depth(graph_, tiers_, true);
+    config_.policy.is_tier1.assign(tiers_.is_tier1.begin(), tiers_.is_tier1.end());
+  }
+
+  /// A deep stub in a region with a healthy population.
+  AsId pick_deep_regional_target() {
+    AsId best = kInvalidAs;
+    std::uint16_t best_depth = 0;
+    for (AsId v = 0; v < graph_.num_ases(); ++v) {
+      if (!is_stub(graph_, v) || graph_.region(v) == 0) continue;
+      if (graph_.ases_in_region(graph_.region(v)).size() < 40) continue;
+      if (depth_[v] > best_depth) {
+        best_depth = depth_[v];
+        best = v;
+      }
+    }
+    return best;
+  }
+
+  AsGraph graph_;
+  TierClassification tiers_;
+  std::vector<std::uint16_t> depth_;
+  SimConfig config_;
+};
+
+TEST_F(RegionalFixture, RegionalImpactAccounting) {
+  RegionalAnalyzer analyzer(graph_, config_);
+  const AsId target = pick_deep_regional_target();
+  ASSERT_NE(target, kInvalidAs);
+
+  const auto impact = analyzer.attacks_from_region(target);
+  EXPECT_EQ(impact.region, graph_.region(target));
+  EXPECT_GT(impact.region_size, 0u);
+  EXPECT_EQ(impact.attacks, impact.compromised.count());
+  EXPECT_GT(impact.attacks, 0u);
+  // Compromised counts stay within the region's population.
+  EXPECT_LE(impact.compromised.max(), impact.region_size);
+  EXPECT_GE(impact.mean_fraction(), 0.0);
+  EXPECT_LE(impact.mean_fraction(), 1.0);
+}
+
+TEST_F(RegionalFixture, OutsideAttacksAreSampledOutside) {
+  RegionalAnalyzer analyzer(graph_, config_);
+  const AsId target = pick_deep_regional_target();
+  ASSERT_NE(target, kInvalidAs);
+  Rng rng(1);
+  const auto impact = analyzer.attacks_from_outside(target, 50, rng);
+  EXPECT_EQ(impact.attacks, 50u);
+}
+
+TEST_F(RegionalFixture, RehomingReducesDepthAndRegionalDamage) {
+  const AsId target = pick_deep_regional_target();
+  ASSERT_NE(target, kInvalidAs);
+  ASSERT_GE(depth_[target], 3);
+
+  const AsGraph rehomed =
+      rehome_up(graph_, graph_.asn(target), depth_, /*levels=*/2);
+  const auto new_tiers = classify_tiers(rehomed, scale_degree_threshold(2500, 120));
+  const auto new_depth = compute_depth(rehomed, new_tiers, true);
+  const AsId new_target = rehomed.require(graph_.asn(target));
+  EXPECT_LT(new_depth[new_target], depth_[target]);
+
+  // The paper's headline: re-homing reduces average regional compromise.
+  RegionalAnalyzer before(graph_, config_);
+  SimConfig new_config = config_;
+  new_config.policy.is_tier1.assign(new_tiers.is_tier1.begin(),
+                                    new_tiers.is_tier1.end());
+  RegionalAnalyzer after(rehomed, new_config);
+  const auto impact_before = before.attacks_from_region(target);
+  const auto impact_after = after.attacks_from_region(new_target);
+  EXPECT_LT(impact_after.compromised.mean(), impact_before.compromised.mean());
+}
+
+TEST(Rehome, TransformRewiresProviders) {
+  // Chain: 1 -> 2 -> 3 -> 4 (p2c); re-home 4 up one level => provider 2.
+  GraphBuilder b;
+  b.add_provider_customer(1, 2);
+  b.add_provider_customer(2, 3);
+  b.add_provider_customer(3, 4);
+  const AsGraph g = b.build();
+  const std::vector<std::uint16_t> depth =
+      compute_depth(g, std::vector<AsId>{g.require(1)});
+
+  const AsGraph up1 = rehome_up(g, 4, depth, 1);
+  EXPECT_EQ(up1.relationship(up1.require(2), up1.require(4)), Rel::Customer);
+  EXPECT_FALSE(up1.relationship(up1.require(3), up1.require(4)).has_value());
+
+  const AsGraph up2 = rehome_up(g, 4, depth, 2);
+  EXPECT_EQ(up2.relationship(up2.require(1), up2.require(4)), Rel::Customer);
+
+  // Climbing past the top sticks at the top provider.
+  const AsGraph up9 = rehome_up(g, 4, depth, 9);
+  EXPECT_EQ(up9.relationship(up9.require(1), up9.require(4)), Rel::Customer);
+}
+
+TEST(Rehome, RejectsBadInput) {
+  GraphBuilder b;
+  b.add_provider_customer(1, 2);
+  const AsGraph g = b.build();
+  const std::vector<std::uint16_t> depth =
+      compute_depth(g, std::vector<AsId>{g.require(1)});
+  EXPECT_THROW(rehome_up(g, 2, depth, 0), PreconditionError);
+  EXPECT_THROW(rehome_up(g, 1, depth, 1), PreconditionError);  // no providers
+  EXPECT_THROW(rehome_up(g, 2, depth, 1, 0), PreconditionError);
+}
+
+TEST(Rehome, KeepsMultiHomingUpToCap) {
+  // 4 multi-homed to 2 and 3; both have provider 1. Re-home by one level:
+  // the only candidate is 1 (dedup), single provider.
+  GraphBuilder b;
+  b.add_provider_customer(1, 2);
+  b.add_provider_customer(1, 3);
+  b.add_provider_customer(2, 4);
+  b.add_provider_customer(3, 4);
+  const AsGraph g = b.build();
+  const std::vector<std::uint16_t> depth =
+      compute_depth(g, std::vector<AsId>{g.require(1)});
+  const AsGraph up = rehome_up(g, 4, depth, 1);
+  std::uint32_t providers = 0;
+  for (const auto& nbr : up.neighbors(up.require(4))) {
+    providers += (nbr.rel == Rel::Provider);
+  }
+  EXPECT_EQ(providers, 1u);
+}
+
+}  // namespace
+}  // namespace bgpsim

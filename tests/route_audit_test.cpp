@@ -1,0 +1,140 @@
+// Unit tests for path/route-table auditing.
+#include "bgp/route_audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "topology/graph_builder.hpp"
+
+namespace bgpsim {
+namespace {
+
+// 1 -peer- 2; 1 over 3; 2 over 4; 3 over 5.
+AsGraph audit_graph() {
+  GraphBuilder b;
+  b.add_peer(1, 2);
+  b.add_provider_customer(1, 3);
+  b.add_provider_customer(2, 4);
+  b.add_provider_customer(3, 5);
+  return b.build();
+}
+
+TEST(RouteAudit, LoopFree) {
+  EXPECT_TRUE(path_is_loop_free(std::vector<AsId>{}));
+  EXPECT_TRUE(path_is_loop_free(std::vector<AsId>{1}));
+  EXPECT_TRUE(path_is_loop_free(std::vector<AsId>{1, 2, 3}));
+  EXPECT_FALSE(path_is_loop_free(std::vector<AsId>{1, 2, 1}));
+}
+
+TEST(RouteAudit, ValleyFreePaths) {
+  const AsGraph g = audit_graph();
+  const auto path = [&g](std::initializer_list<Asn> asns) {
+    std::vector<AsId> ids;
+    for (const Asn a : asns) ids.push_back(g.require(a));
+    return ids;
+  };
+  // Climb only: 1 learns from customer 3 which learns from customer 5.
+  EXPECT_TRUE(path_is_valley_free(g, path({1, 3, 5})));
+  // Up, peer, down: 4 <- 2 <- 1 <- 3 <- 5 read from origin 5 upwards.
+  EXPECT_TRUE(path_is_valley_free(g, path({4, 2, 1, 3, 5})));
+  // A valley: 3 -> 1 -> 2 (down then up, read origin 2: 2 exports to peer 1
+  // ok, then 1 exports peer-learned route to customer 3: fine!).
+  EXPECT_TRUE(path_is_valley_free(g, path({3, 1, 2})));
+  // True valley: origin 3, up to 1, down to... 5 learning from provider 3,
+  // then 3 passing a provider-learned route up to 1 is invalid. Path from
+  // 1's perspective: [1, 3, 5] with origin 5 is fine; invalid is [5, 3, 1]:
+  // origin 1 exports down to 3 (ok), 3 exports provider-learned route down
+  // to 5 (ok). Downhill-only is always fine. The broken case is
+  // up-after-down, e.g. [2, 1, 3] read origin 3: 3 climbs to 1 (ok: customer
+  // export), then 1 exports customer-learned route to peer 2 (ok!). Peer
+  // after up is legal. Illegal: two peer steps — 1 -peer- 2 twice can't be
+  // built here, so test down-then-up: [3, 1, 2, 4] origin 4: 4 -> its
+  // provider 2 (climb), 2 -> peer 1 (peer step), 1 -> customer 3 (down): ok.
+  EXPECT_TRUE(path_is_valley_free(g, path({3, 1, 2, 4})));
+  // Not adjacent at all => not valley-free.
+  EXPECT_FALSE(path_is_valley_free(g, path({5, 4})));
+}
+
+TEST(RouteAudit, DetectsUpAfterDown) {
+  // 10 -> 11 -> 12 chain plus 10 -> 13: path [13, 10, 11] read origin 11:
+  // 11 exports to provider 10 (climb), 10 exports customer-learned route
+  // down to 13 — legal. Build an illegal one: [12, 11, 10, 13] origin 13:
+  // 13 climbs to 10 (provider step ok), 10 descends to 11 (customer), then
+  // 11 descends to 12 (customer) — all legal. Force up-after-down with
+  // [11, 10, 13] reversed: origin 11, path [13, 10, 11] is legal as above.
+  // The genuinely illegal pattern needs down then up: origin 12, path
+  // [13, 10, 11, 12]: 12 climbs to 11, 11 climbs to 10, 10 descends to 13:
+  // legal again. Use peers: p1 -peer- p2, p2 -peer- p3: two peer steps.
+  GraphBuilder b;
+  b.add_peer(1, 2);
+  b.add_peer(2, 3);
+  const AsGraph g = b.build();
+  const std::vector<AsId> two_peers{g.require(1), g.require(2), g.require(3)};
+  EXPECT_FALSE(path_is_valley_free(g, two_peers));
+
+  // Down-then-up via providers: 4 provider of 5, 6 provider of 5. Path
+  // [6, 5, 4] read origin 4: 4 exports down to 5, then 5 exports a
+  // provider-learned route UP to 6 — illegal.
+  GraphBuilder b2;
+  b2.add_provider_customer(4, 5);
+  b2.add_provider_customer(6, 5);
+  const AsGraph g2 = b2.build();
+  const std::vector<AsId> valley{g2.require(6), g2.require(5), g2.require(4)};
+  EXPECT_FALSE(path_is_valley_free(g2, valley));
+}
+
+TEST(RouteAudit, AuditTableFlagsBrokenChains) {
+  const AsGraph g = audit_graph();
+  RouteTable table;
+  table.reset(g.num_ases());
+  // Origin 5, consistent chain 5 <- 3 <- 1.
+  table.routes[g.require(5)] = Route{Origin::Legit, RouteClass::Self, 1, kInvalidAs};
+  table.routes[g.require(3)] =
+      Route{Origin::Legit, RouteClass::Customer, 2, g.require(5)};
+  table.routes[g.require(1)] =
+      Route{Origin::Legit, RouteClass::Customer, 3, g.require(3)};
+  auto report = audit_route_table(g, table);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.routes_checked, 3u);
+
+  // Wrong length.
+  table.routes[g.require(1)].path_len = 9;
+  report = audit_route_table(g, table);
+  EXPECT_FALSE(report.clean());
+
+  // Dangling via.
+  table.routes[g.require(1)] =
+      Route{Origin::Legit, RouteClass::Customer, 3, g.require(4)};  // not a neighbor
+  report = audit_route_table(g, table);
+  EXPECT_GT(report.broken_via_chains, 0u);
+}
+
+TEST(RouteAudit, AgreementMetrics) {
+  RouteTable a, b;
+  a.reset(4);
+  b.reset(4);
+  a.routes[0].origin = Origin::Legit;
+  b.routes[0].origin = Origin::Legit;
+  a.routes[1].origin = Origin::Attacker;
+  b.routes[1].origin = Origin::Legit;
+  EXPECT_DOUBLE_EQ(origin_agreement(a, b), 0.75);
+  a.routes[0].path_len = 2;
+  EXPECT_DOUBLE_EQ(route_agreement(a, b), 0.5);  // idx 2,3 agree (both empty)
+  RouteTable c;
+  c.reset(3);
+  EXPECT_THROW(origin_agreement(a, c), PreconditionError);
+}
+
+TEST(RouteAudit, CountOriginHelper) {
+  RouteTable t;
+  t.reset(5);
+  t.routes[1].origin = Origin::Attacker;
+  t.routes[2].origin = Origin::Attacker;
+  t.routes[3].origin = Origin::Legit;
+  EXPECT_EQ(t.count_origin(Origin::Attacker), 2u);
+  EXPECT_EQ(t.count_origin(Origin::Legit), 1u);
+  EXPECT_EQ(t.count_origin(Origin::None), 2u);
+}
+
+}  // namespace
+}  // namespace bgpsim

@@ -1,0 +1,194 @@
+// Tests for ROA validation (RFC 6811 truth table) and publication, plus the
+// extended attack API: sub-prefix hijacks, forged origins, and RPKI-aware
+// origin validation with partial publication.
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+#include "defense/deployment.hpp"
+#include "hijack/hijack_simulator.hpp"
+#include "rpki/roa.hpp"
+#include "support/error.hpp"
+
+namespace bgpsim {
+namespace {
+
+TEST(Roa, ValidationTruthTable) {
+  RoaDatabase db;
+  db.add(Roa{*Prefix::parse("10.0.0.0/16"), 65001, 17});
+
+  // Same origin, covered length: Valid.
+  EXPECT_EQ(db.validate(*Prefix::parse("10.0.0.0/16"), 65001), RpkiValidity::Valid);
+  EXPECT_EQ(db.validate(*Prefix::parse("10.0.0.0/17"), 65001), RpkiValidity::Valid);
+  // Too specific for maxLength: Invalid even with the right origin.
+  EXPECT_EQ(db.validate(*Prefix::parse("10.0.0.0/18"), 65001),
+            RpkiValidity::Invalid);
+  // Wrong origin under a covering ROA: Invalid.
+  EXPECT_EQ(db.validate(*Prefix::parse("10.0.0.0/16"), 65002),
+            RpkiValidity::Invalid);
+  EXPECT_EQ(db.validate(*Prefix::parse("10.0.128.0/17"), 65002),
+            RpkiValidity::Invalid);
+  // No covering ROA: NotFound.
+  EXPECT_EQ(db.validate(*Prefix::parse("11.0.0.0/16"), 65002),
+            RpkiValidity::NotFound);
+  // A shorter announcement than the ROA prefix is NOT covered by it.
+  EXPECT_EQ(db.validate(*Prefix::parse("10.0.0.0/8"), 65001),
+            RpkiValidity::NotFound);
+}
+
+TEST(Roa, MultipleRoasAnyMatchValidates) {
+  RoaDatabase db;
+  db.add(Roa{*Prefix::parse("10.0.0.0/16"), 65001, 16});
+  db.add(Roa{*Prefix::parse("10.0.0.0/16"), 65002, 16});  // multi-origin
+  EXPECT_EQ(db.validate(*Prefix::parse("10.0.0.0/16"), 65001), RpkiValidity::Valid);
+  EXPECT_EQ(db.validate(*Prefix::parse("10.0.0.0/16"), 65002), RpkiValidity::Valid);
+  EXPECT_EQ(db.validate(*Prefix::parse("10.0.0.0/16"), 65003),
+            RpkiValidity::Invalid);
+}
+
+TEST(Roa, RejectsBadMaxLength) {
+  RoaDatabase db;
+  EXPECT_THROW(db.add(Roa{*Prefix::parse("10.0.0.0/16"), 1, 15}),
+               PreconditionError);
+  EXPECT_THROW(db.add(Roa{*Prefix::parse("10.0.0.0/16"), 1, 33}),
+               PreconditionError);
+}
+
+class RpkiAttackFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ScenarioParams params;
+    params.topology.total_ases = 1500;
+    params.topology.seed = 61;
+    scenario_ = std::make_unique<Scenario>(Scenario::generate(params));
+    allocation_ = allocate_prefixes(scenario_->graph());
+    // Origin validation deployed at a strong core.
+    const auto plan = top_k_deployment(scenario_->graph(), 60);
+    filters_ = std::make_unique<FilterSet>(
+        to_filter_set(scenario_->graph(), plan));
+  }
+
+  std::pair<AsId, AsId> pick_pair() const {
+    const auto& transits = scenario_->transit();
+    return {transits[transits.size() / 2], transits[transits.size() / 3]};
+  }
+
+  std::unique_ptr<Scenario> scenario_;
+  PrefixAllocation allocation_;
+  std::unique_ptr<FilterSet> filters_;
+};
+
+TEST_F(RpkiAttackFixture, SubPrefixOutPollutesExactPrefix) {
+  // Without any defense, the more-specific wins everywhere it propagates —
+  // at least as much pollution as the competing exact-prefix hijack.
+  HijackSimulator sim = scenario_->make_simulator();
+  const auto [target, attacker] = pick_pair();
+  AttackOptions exact;
+  AttackOptions sub;
+  sub.kind = AttackKind::SubPrefix;
+  const auto exact_result = sim.attack_ex(target, attacker, exact);
+  const auto sub_result = sim.attack_ex(target, attacker, sub);
+  EXPECT_GE(sub_result.polluted_ases, exact_result.polluted_ases);
+  // A sub-prefix hijack captures (nearly) the whole routed Internet.
+  EXPECT_GT(sub_result.polluted_ases, scenario_->graph().num_ases() * 9 / 10);
+}
+
+TEST_F(RpkiAttackFixture, PublishedVictimIsProtectedUnpublishedIsNot) {
+  HijackSimulator sim = scenario_->make_simulator();
+  sim.set_validators(filters_->bitset());
+  const auto [target, attacker] = pick_pair();
+
+  // Victim published a ROA (strict maxLength).
+  const std::vector<AsId> publishers{target};
+  const RoaDatabase db =
+      publish_roas(scenario_->graph(), allocation_, publishers, 0);
+  const RpkiContext rpki{&db, &allocation_};
+
+  AttackOptions sub;
+  sub.kind = AttackKind::SubPrefix;
+  const auto protected_result = sim.attack_ex(target, attacker, sub, &rpki);
+  EXPECT_EQ(protected_result.validity, RpkiValidity::Invalid);
+  EXPECT_TRUE(protected_result.validators_engaged);
+
+  // An unpublished victim gets NotFound — validators cannot help.
+  const RoaDatabase empty_db;
+  const RpkiContext no_roa{&empty_db, &allocation_};
+  const auto unprotected = sim.attack_ex(target, attacker, sub, &no_roa);
+  EXPECT_EQ(unprotected.validity, RpkiValidity::NotFound);
+  EXPECT_FALSE(unprotected.validators_engaged);
+  EXPECT_GT(unprotected.polluted_ases, protected_result.polluted_ases);
+}
+
+TEST_F(RpkiAttackFixture, MaxLengthSlackOpensForgedOriginHole) {
+  HijackSimulator sim = scenario_->make_simulator();
+  sim.set_validators(filters_->bitset());
+  const auto [target, attacker] = pick_pair();
+  const std::vector<AsId> publishers{target};
+
+  AttackOptions forged_sub;
+  forged_sub.kind = AttackKind::SubPrefix;
+  forged_sub.forged_origin = true;
+
+  // Strict maxLength: the forged-origin sub-prefix is too specific: Invalid.
+  const RoaDatabase strict =
+      publish_roas(scenario_->graph(), allocation_, publishers, 0);
+  const RpkiContext strict_ctx{&strict, &allocation_};
+  const auto blocked = sim.attack_ex(target, attacker, forged_sub, &strict_ctx);
+  EXPECT_EQ(blocked.validity, RpkiValidity::Invalid);
+  EXPECT_EQ(blocked.claimed_origin, scenario_->graph().asn(target));
+
+  // Slack maxLength authorizes the more-specific: the forged origin makes
+  // the announcement Valid and ROV waves it through (RFC 9319's warning).
+  const RoaDatabase slack =
+      publish_roas(scenario_->graph(), allocation_, publishers, 8);
+  const RpkiContext slack_ctx{&slack, &allocation_};
+  const auto evaded = sim.attack_ex(target, attacker, forged_sub, &slack_ctx);
+  EXPECT_EQ(evaded.validity, RpkiValidity::Valid);
+  EXPECT_FALSE(evaded.validators_engaged);
+  EXPECT_GT(evaded.polluted_ases, blocked.polluted_ases);
+}
+
+TEST_F(RpkiAttackFixture, ForgedOriginCostsAHopOnExactPrefix) {
+  // The forged path is one hop longer, so the competing hijack wins fewer
+  // ASes than the honest-origin variant (paths tie-break on length).
+  HijackSimulator sim = scenario_->make_simulator();
+  const auto [target, attacker] = pick_pair();
+  AttackOptions honest;
+  AttackOptions forged;
+  forged.forged_origin = true;
+  const auto honest_result = sim.attack_ex(target, attacker, honest);
+  const auto forged_result = sim.attack_ex(target, attacker, forged);
+  EXPECT_LE(forged_result.polluted_ases, honest_result.polluted_ases);
+  EXPECT_EQ(forged_result.claimed_origin, scenario_->graph().asn(target));
+  EXPECT_EQ(honest_result.claimed_origin, scenario_->graph().asn(attacker));
+}
+
+TEST_F(RpkiAttackFixture, GenerationEngineAgreesOnSubPrefix) {
+  SimConfig gen_cfg = scenario_->sim_config();
+  gen_cfg.engine = EngineKind::Generation;
+  HijackSimulator eq = scenario_->make_simulator();
+  HijackSimulator gen(scenario_->graph(), gen_cfg);
+  const auto [target, attacker] = pick_pair();
+  AttackOptions sub;
+  sub.kind = AttackKind::SubPrefix;
+  const auto a = eq.attack_ex(target, attacker, sub);
+  const auto b = gen.attack_ex(target, attacker, sub);
+  // Single-origin propagation: the engines should agree almost exactly.
+  EXPECT_NEAR(a.polluted_ases, b.polluted_ases,
+              scenario_->graph().num_ases() / 100.0 + 2);
+}
+
+TEST_F(RpkiAttackFixture, ForgedOriginLoopRejectedByVictim) {
+  // The victim sees itself in the spoofed path and never accepts it.
+  SimConfig gen_cfg = scenario_->sim_config();
+  gen_cfg.engine = EngineKind::Generation;
+  HijackSimulator gen(scenario_->graph(), gen_cfg);
+  const auto [target, attacker] = pick_pair();
+  AttackOptions forged_sub;
+  forged_sub.kind = AttackKind::SubPrefix;
+  forged_sub.forged_origin = true;
+  gen.attack_ex(target, attacker, forged_sub);
+  EXPECT_NE(gen.routes().routes[target].origin, Origin::Attacker);
+}
+
+}  // namespace
+}  // namespace bgpsim

@@ -1,0 +1,106 @@
+// Unit tests for sibling-group contraction.
+#include "topology/sibling_contraction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/graph_builder.hpp"
+
+namespace bgpsim {
+namespace {
+
+TEST(SiblingContraction, NoSiblingsIsIdentity) {
+  GraphBuilder b;
+  b.add_provider_customer(1, 2);
+  b.add_peer(2, 3);
+  const AsGraph g = b.build();
+  const auto result = contract_siblings(g);
+  EXPECT_EQ(result.groups_contracted, 0u);
+  EXPECT_EQ(result.graph.num_ases(), 3u);
+  EXPECT_EQ(result.graph.num_links(), 2u);
+  for (AsId v = 0; v < g.num_ases(); ++v) EXPECT_EQ(result.old_to_new[v], v);
+}
+
+TEST(SiblingContraction, MergesPairKeepingSmallestAsn) {
+  // 10 and 20 are siblings; 10 has provider 1, 20 has customer 30.
+  GraphBuilder b;
+  b.add_sibling(10, 20);
+  b.add_provider_customer(1, 10);
+  b.add_provider_customer(20, 30);
+  const AsGraph g = b.build();
+  const auto result = contract_siblings(g);
+
+  EXPECT_EQ(result.groups_contracted, 1u);
+  EXPECT_EQ(result.graph.num_ases(), 3u);  // {1, 10(merged), 30}
+  EXPECT_TRUE(result.graph.find(10).has_value());
+  EXPECT_FALSE(result.graph.find(20).has_value());
+  const AsId merged = result.graph.require(10);
+  EXPECT_EQ(result.graph.relationship(result.graph.require(1), merged), Rel::Customer);
+  EXPECT_EQ(result.graph.relationship(merged, result.graph.require(30)), Rel::Customer);
+  // Both original ids map to the merged node.
+  EXPECT_EQ(result.old_to_new[g.require(10)], merged);
+  EXPECT_EQ(result.old_to_new[g.require(20)], merged);
+}
+
+TEST(SiblingContraction, TransitiveGroups) {
+  GraphBuilder b;
+  b.add_sibling(1, 2);
+  b.add_sibling(2, 3);
+  b.add_sibling(4, 5);
+  b.add_peer(3, 4);
+  const AsGraph g = b.build();
+  const auto result = contract_siblings(g);
+  EXPECT_EQ(result.groups_contracted, 2u);
+  EXPECT_EQ(result.graph.num_ases(), 2u);  // {1,2,3} and {4,5}
+  EXPECT_EQ(result.graph.relationship(result.graph.require(1), result.graph.require(4)),
+            Rel::Peer);
+}
+
+TEST(SiblingContraction, SumsAddressSpace) {
+  GraphBuilder b;
+  b.add_sibling(1, 2);
+  b.set_address_space(1, 100);
+  b.set_address_space(2, 23);
+  const AsGraph g = b.build();
+  const auto result = contract_siblings(g);
+  EXPECT_EQ(result.graph.address_space(result.graph.require(1)), 123u);
+}
+
+TEST(SiblingContraction, ConflictingExternalViewsResolveToStrongest) {
+  // Sibling group {1,2}: AS 1 sees 9 as its provider, AS 2 sees 9 as its
+  // customer. The merged org keeps the customer-side view.
+  GraphBuilder b;
+  b.add_sibling(1, 2);
+  b.add_provider_customer(9, 1);  // 9 provider of 1
+  b.add_provider_customer(2, 9);  // 9 customer of 2
+  const AsGraph g = b.build();
+  const auto result = contract_siblings(g);
+  const AsId merged = result.graph.require(1);
+  const AsId nine = result.graph.require(9);
+  EXPECT_EQ(result.graph.relationship(merged, nine), Rel::Customer);
+}
+
+TEST(SiblingContraction, DropsInternalNonSiblingLinks) {
+  // A peer link inside a sibling group disappears after contraction.
+  GraphBuilder b;
+  b.add_sibling(1, 2);
+  b.add_sibling(2, 3);
+  b.add_peer(1, 3);
+  const AsGraph g = b.build();
+  const auto result = contract_siblings(g);
+  EXPECT_EQ(result.graph.num_ases(), 1u);
+  EXPECT_EQ(result.graph.num_links(), 0u);
+}
+
+TEST(SiblingContraction, RegionOfRepresentativeWins) {
+  GraphBuilder b;
+  b.add_sibling(5, 6);
+  b.set_region(5, "NZ");
+  b.set_region(6, "AU");
+  const AsGraph g = b.build();
+  const auto result = contract_siblings(g);
+  const AsId merged = result.graph.require(5);
+  EXPECT_EQ(result.graph.region_name(result.graph.region(merged)), "NZ");
+}
+
+}  // namespace
+}  // namespace bgpsim

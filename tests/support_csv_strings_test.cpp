@@ -1,0 +1,94 @@
+// Unit tests for CSV writing and string parsing helpers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/csv.hpp"
+#include "support/env.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace bgpsim {
+namespace {
+
+TEST(Csv, PlainFieldsAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.field(std::string_view{"a"}).field(std::uint64_t{42}).field(-7.5);
+  csv.end_row();
+  csv.row({"x", "y"});
+  EXPECT_EQ(out.str(), "a,42,-7.5\nx,y\n");
+  EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.field(std::string_view{"he,llo"}).field(std::string_view{"qu\"ote"});
+  csv.field(std::string_view{"line\nbreak"});
+  csv.end_row();
+  EXPECT_EQ(out.str(), "\"he,llo\",\"qu\"\"ote\",\"line\nbreak\"\n");
+}
+
+TEST(Csv, TsvSeparator) {
+  std::ostringstream out;
+  CsvWriter csv(out, '\t');
+  csv.field(std::string_view{"a"}).field(std::string_view{"b,c"});
+  csv.end_row();
+  EXPECT_EQ(out.str(), "a\tb,c\n");  // comma needs no quoting in TSV
+}
+
+TEST(Csv, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv"), Error);
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  abc \t\n"), "abc");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, Split) {
+  const auto parts = split("a|b||c", '|');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(split("", '|').size(), 1u);
+}
+
+TEST(Strings, ParseU64) {
+  EXPECT_EQ(parse_u64("123"), 123u);
+  EXPECT_EQ(parse_u64("  99 "), 99u);
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_FALSE(parse_u64("").has_value());
+  EXPECT_FALSE(parse_u64("12x").has_value());
+  EXPECT_FALSE(parse_u64("-1").has_value());
+  EXPECT_FALSE(parse_u64("99999999999999999999999").has_value());
+}
+
+TEST(Strings, ParseI64) {
+  EXPECT_EQ(parse_i64("-42"), -42);
+  EXPECT_EQ(parse_i64("17"), 17);
+  EXPECT_FALSE(parse_i64("4.2").has_value());
+  EXPECT_FALSE(parse_i64("").has_value());
+}
+
+TEST(Env, FallbacksAndParsing) {
+  ::setenv("BGPSIM_TEST_ENV_U64", "1234", 1);
+  EXPECT_EQ(env_u64("BGPSIM_TEST_ENV_U64", 7), 1234u);
+  ::setenv("BGPSIM_TEST_ENV_U64", "notanumber", 1);
+  EXPECT_EQ(env_u64("BGPSIM_TEST_ENV_U64", 7), 7u);
+  ::unsetenv("BGPSIM_TEST_ENV_U64");
+  EXPECT_EQ(env_u64("BGPSIM_TEST_ENV_U64", 7), 7u);
+
+  ::setenv("BGPSIM_TEST_ENV_STR", "hello", 1);
+  EXPECT_EQ(env_string("BGPSIM_TEST_ENV_STR", "d"), "hello");
+  ::unsetenv("BGPSIM_TEST_ENV_STR");
+  EXPECT_EQ(env_string("BGPSIM_TEST_ENV_STR", "d"), "d");
+}
+
+}  // namespace
+}  // namespace bgpsim

@@ -1,0 +1,155 @@
+// Unit tests for the deterministic RNG.
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace bgpsim {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(99);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(a.next());
+  a.reseed(99);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), first[i]);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.bounded(17), 17u);
+    EXPECT_LT(rng.bounded(1), 1u);
+  }
+}
+
+TEST(Rng, BoundedIsRoughlyUniform) {
+  Rng rng(5);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.bounded(kBuckets)];
+  for (const int c : counts) {
+    EXPECT_GT(c, kDraws / kBuckets * 0.9);
+    EXPECT_LT(c, kDraws / kBuckets * 1.1);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformDoubleInHalfOpenUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, v);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(23);
+  std::vector<int> pop(100);
+  for (int i = 0; i < 100; ++i) pop[i] = i;
+  const auto sample = rng.sample_without_replacement(pop, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<int> uniq(sample.begin(), sample.end());
+  EXPECT_EQ(uniq.size(), 30u);
+}
+
+TEST(Rng, SampleWithoutReplacementFullPopulation) {
+  Rng rng(29);
+  std::vector<int> pop{1, 2, 3};
+  auto sample = rng.sample_without_replacement(pop, 3);
+  std::sort(sample.begin(), sample.end());
+  EXPECT_EQ(sample, pop);
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsOversizedRequest) {
+  Rng rng(31);
+  std::vector<int> pop{1, 2};
+  EXPECT_THROW(rng.sample_without_replacement(pop, 3), PreconditionError);
+}
+
+TEST(Rng, ZipfInRangeAndHeavyHead) {
+  Rng rng(37);
+  int head = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto v = rng.zipf(1000, 1.2);
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, 1000u);
+    head += (v <= 10);
+  }
+  // A zipf(1.2) head is far heavier than uniform (which would give ~1%).
+  EXPECT_GT(head, kDraws / 4);
+}
+
+TEST(Rng, ZipfRejectsBadParams) {
+  Rng rng(41);
+  EXPECT_THROW(rng.zipf(0, 1.0), PreconditionError);
+  EXPECT_THROW(rng.zipf(10, 0.0), PreconditionError);
+}
+
+TEST(Rng, SampleCumulativeRespectsWeights) {
+  Rng rng(43);
+  const std::vector<double> cumulative{1.0, 1.0, 101.0};  // index 1 has weight 0
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) ++counts[rng.sample_cumulative(cumulative)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_GT(counts[2], counts[0]);  // weight 100 vs 1
+}
+
+TEST(DeriveSeed, DistinctStreams) {
+  const auto a = derive_seed(7, 0);
+  const auto b = derive_seed(7, 1);
+  const auto c = derive_seed(8, 0);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a, derive_seed(7, 0));
+}
+
+}  // namespace
+}  // namespace bgpsim

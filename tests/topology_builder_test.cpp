@@ -1,0 +1,142 @@
+// Unit tests for GraphBuilder and AsGraph.
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "topology/graph_builder.hpp"
+
+namespace bgpsim {
+namespace {
+
+TEST(GraphBuilder, BuildsSimpleTriangle) {
+  GraphBuilder b;
+  b.add_provider_customer(100, 200);
+  b.add_provider_customer(100, 300);
+  b.add_peer(200, 300);
+  const AsGraph g = b.build();
+
+  EXPECT_EQ(g.num_ases(), 3u);
+  EXPECT_EQ(g.num_links(), 3u);
+  const AsId a100 = g.require(100);
+  const AsId a200 = g.require(200);
+  const AsId a300 = g.require(300);
+  EXPECT_EQ(g.relationship(a100, a200), Rel::Customer);
+  EXPECT_EQ(g.relationship(a200, a100), Rel::Provider);
+  EXPECT_EQ(g.relationship(a200, a300), Rel::Peer);
+  EXPECT_EQ(g.relationship(a300, a200), Rel::Peer);
+  EXPECT_FALSE(g.relationship(a100, a100).has_value());
+  EXPECT_EQ(g.degree(a100), 2u);
+}
+
+TEST(GraphBuilder, NeighborsSortedByIndex) {
+  GraphBuilder b;
+  b.add_peer(5, 9);
+  b.add_peer(5, 7);
+  b.add_peer(5, 3);
+  const AsGraph g = b.build();
+  const auto nbrs = g.neighbors(g.require(5));
+  ASSERT_EQ(nbrs.size(), 3u);
+  for (std::size_t i = 1; i < nbrs.size(); ++i) EXPECT_LT(nbrs[i - 1].id, nbrs[i].id);
+}
+
+TEST(GraphBuilder, RejectsSelfLink) {
+  GraphBuilder b;
+  EXPECT_THROW(b.add_peer(1, 1), ConfigError);
+}
+
+TEST(GraphBuilder, RejectsConflictingRelationship) {
+  GraphBuilder b;
+  b.add_provider_customer(1, 2);
+  EXPECT_THROW(b.add_peer(1, 2), ConfigError);
+  // Reversing provider/customer on the same pair also conflicts.
+  EXPECT_THROW(b.add_provider_customer(2, 1), ConfigError);
+  // Exact duplicate is fine.
+  EXPECT_NO_THROW(b.add_provider_customer(1, 2));
+  EXPECT_EQ(b.num_links(), 1u);
+}
+
+TEST(GraphBuilder, RemoveLink) {
+  GraphBuilder b;
+  b.add_peer(1, 2);
+  b.add_peer(2, 3);
+  EXPECT_TRUE(b.has_link(1, 2));
+  b.remove_link(2, 1);  // order-insensitive
+  EXPECT_FALSE(b.has_link(1, 2));
+  EXPECT_THROW(b.remove_link(1, 2), ConfigError);
+  EXPECT_THROW(b.remove_link(1, 99), ConfigError);
+  EXPECT_EQ(b.build().num_links(), 1u);
+}
+
+TEST(GraphBuilder, AttributesRoundTrip) {
+  GraphBuilder b;
+  b.add_provider_customer(10, 20);
+  b.set_address_space(10, 500);
+  b.set_region(20, "NZ");
+  const AsGraph g = b.build();
+  EXPECT_EQ(g.address_space(g.require(10)), 500u);
+  EXPECT_EQ(g.address_space(g.require(20)), 1u);  // default
+  EXPECT_EQ(g.total_address_space(), 501u);
+  EXPECT_EQ(g.region_name(g.region(g.require(20))), "NZ");
+  EXPECT_EQ(g.region_name(g.region(g.require(10))), "global");
+  EXPECT_EQ(g.num_regions(), 2u);
+  const auto nz = g.ases_in_region(g.region(g.require(20)));
+  ASSERT_EQ(nz.size(), 1u);
+  EXPECT_EQ(g.asn(nz[0]), 20u);
+}
+
+TEST(GraphBuilder, FindAndRequire) {
+  GraphBuilder b;
+  b.ensure_as(777);
+  const AsGraph g = b.build();
+  EXPECT_TRUE(g.find(777).has_value());
+  EXPECT_FALSE(g.find(778).has_value());
+  EXPECT_THROW(g.require(778), PreconditionError);
+}
+
+TEST(GraphBuilder, FromGraphRoundTrip) {
+  GraphBuilder b;
+  b.add_provider_customer(1, 2);
+  b.add_peer(2, 3);
+  b.add_sibling(3, 4);
+  b.set_address_space(2, 77);
+  b.set_region(3, "EU");
+  const AsGraph original = b.build();
+
+  GraphBuilder copy = GraphBuilder::from(original);
+  const AsGraph rebuilt = copy.build();
+  EXPECT_EQ(rebuilt.num_ases(), original.num_ases());
+  EXPECT_EQ(rebuilt.num_links(), original.num_links());
+  for (AsId v = 0; v < original.num_ases(); ++v) {
+    const AsId w = rebuilt.require(original.asn(v));
+    EXPECT_EQ(rebuilt.address_space(w), original.address_space(v));
+    EXPECT_EQ(rebuilt.region_name(rebuilt.region(w)),
+              original.region_name(original.region(v)));
+  }
+  EXPECT_EQ(rebuilt.relationship(rebuilt.require(1), rebuilt.require(2)), Rel::Customer);
+  EXPECT_EQ(rebuilt.relationship(rebuilt.require(3), rebuilt.require(4)), Rel::Sibling);
+}
+
+TEST(GraphBuilder, FromGraphSupportsRehoming) {
+  GraphBuilder b;
+  b.add_provider_customer(1, 2);
+  b.add_provider_customer(2, 3);  // 3 hangs off 2
+  const AsGraph g = b.build();
+
+  GraphBuilder rehome = GraphBuilder::from(g);
+  rehome.remove_link(2, 3);
+  rehome.add_provider_customer(1, 3);  // re-home 3 one level up
+  const AsGraph g2 = rehome.build();
+  EXPECT_EQ(g2.relationship(g2.require(1), g2.require(3)), Rel::Customer);
+  EXPECT_FALSE(g2.relationship(g2.require(2), g2.require(3)).has_value());
+}
+
+TEST(Relationship, InverseAndNames) {
+  EXPECT_EQ(inverse(Rel::Customer), Rel::Provider);
+  EXPECT_EQ(inverse(Rel::Provider), Rel::Customer);
+  EXPECT_EQ(inverse(Rel::Peer), Rel::Peer);
+  EXPECT_EQ(inverse(Rel::Sibling), Rel::Sibling);
+  EXPECT_EQ(to_string(Rel::Customer), "customer");
+  EXPECT_EQ(to_string(Rel::Provider), "provider");
+}
+
+}  // namespace
+}  // namespace bgpsim

@@ -1,0 +1,134 @@
+// Tests for the visualization layer: polar layout geometry, SVG output,
+// trace rendering, CSV series.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/scenario.hpp"
+#include "viz/polar_layout.hpp"
+#include "viz/polar_render.hpp"
+#include "viz/series_writer.hpp"
+#include "viz/svg.hpp"
+
+namespace bgpsim {
+namespace {
+
+TEST(Svg, WellFormedDocument) {
+  SvgDocument svg(100, 50);
+  svg.circle(10, 10, 3, "#ff0000");
+  svg.line(0, 0, 100, 50, "#00ff00", 2.0, 0.5);
+  svg.text(5, 45, "a<b & \"c\"");
+  svg.ring(50, 25, 20, "#ccc");
+  const std::string out = svg.str();
+  EXPECT_NE(out.find("<?xml"), std::string::npos);
+  EXPECT_NE(out.find("<svg"), std::string::npos);
+  EXPECT_NE(out.find("</svg>"), std::string::npos);
+  EXPECT_NE(out.find("a&lt;b &amp; &quot;c&quot;"), std::string::npos);
+  EXPECT_EQ(out.find("a<b"), std::string::npos);  // raw text never leaks
+  EXPECT_THROW(svg.save("/no/such/dir/x.svg"), Error);
+}
+
+TEST(PolarLayout, GeometryInvariants) {
+  const Scenario scenario = [] {
+    ScenarioParams params;
+    params.topology.total_ases = 800;
+    params.topology.seed = 3;
+    return Scenario::generate(params);
+  }();
+  const auto layout = polar_layout(scenario.graph(), scenario.depth());
+  ASSERT_EQ(layout.points.size(), scenario.graph().num_ases());
+  EXPECT_GE(layout.max_depth, 3);
+
+  for (AsId v = 0; v < scenario.graph().num_ases(); ++v) {
+    const auto& p = layout.points[v];
+    EXPECT_GE(p.angle, 0.0);
+    EXPECT_LT(p.angle, 6.2832);
+    EXPECT_GT(p.radius, 0.0);
+    EXPECT_LE(p.radius, 1.0);
+    EXPECT_GT(p.size, 0.0);
+    EXPECT_GE(layout.x(v), -1.0);
+    EXPECT_LE(layout.x(v), 1.0);
+  }
+
+  // Depth maps to radius: depth-0 ASes sit further out than the deepest AS.
+  AsId shallow = kInvalidAs, deep = kInvalidAs;
+  for (AsId v = 0; v < scenario.graph().num_ases(); ++v) {
+    if (scenario.depth()[v] == 0 && shallow == kInvalidAs) shallow = v;
+    if (scenario.depth()[v] == layout.max_depth && deep == kInvalidAs) deep = v;
+  }
+  ASSERT_NE(shallow, kInvalidAs);
+  ASSERT_NE(deep, kInvalidAs);
+  EXPECT_GT(layout.points[shallow].radius, layout.points[deep].radius);
+}
+
+TEST(PolarRender, TraceFramesToSvgFiles) {
+  ScenarioParams params;
+  params.topology.total_ases = 500;
+  params.topology.seed = 9;
+  const Scenario scenario = Scenario::generate(params);
+  HijackSimulator sim = scenario.make_simulator();
+
+  PropagationTrace trace;
+  const auto& transits = scenario.transit();
+  sim.attack_with_trace(transits[0], transits[1], trace);
+  ASSERT_FALSE(trace.frames.empty());
+
+  const auto layout = polar_layout(scenario.graph(), scenario.depth());
+  PolarRenderOptions options;
+  options.title = "test attack";
+  const std::string prefix =
+      (std::filesystem::temp_directory_path() / "bgpsim_viz_test").string();
+  const auto files = render_polar_trace(scenario.graph(), layout, trace,
+                                        sim.routes(), prefix, options);
+  ASSERT_EQ(files.size(), trace.frames.size());
+  for (const auto& name : files) {
+    std::ifstream in(name);
+    ASSERT_TRUE(in.good()) << name;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_NE(buffer.str().find("</svg>"), std::string::npos);
+    in.close();
+    std::remove(name.c_str());
+  }
+}
+
+TEST(SeriesWriter, CcdfAndDeploymentFiles) {
+  ScenarioParams params;
+  params.topology.total_ases = 600;
+  params.topology.seed = 21;
+  const Scenario scenario = Scenario::generate(params);
+  VulnerabilityAnalyzer analyzer(scenario.graph(), scenario.sim_config());
+  const auto& transits = scenario.transit();
+  const std::vector<AsId> attackers(transits.begin(), transits.begin() + 20);
+  auto curve = analyzer.sweep(transits.back(), attackers, nullptr, "demo");
+
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string ccdf_path = (dir / "bgpsim_test_ccdf.csv").string();
+  write_ccdf_csv(ccdf_path, curve);
+  {
+    std::ifstream in(ccdf_path);
+    std::string header;
+    std::getline(in, header);
+    EXPECT_EQ(header, "pollution_threshold,attackers_at_least");
+    std::size_t rows = 0;
+    for (std::string line; std::getline(in, line);) ++rows;
+    EXPECT_EQ(rows, curve.curve.size());
+  }
+  std::remove(ccdf_path.c_str());
+
+  const std::string family_path = (dir / "bgpsim_test_family.csv").string();
+  write_ccdf_family_csv(family_path, {curve, curve});
+  {
+    std::ifstream in(family_path);
+    std::size_t rows = 0;
+    for (std::string line; std::getline(in, line);) ++rows;
+    EXPECT_EQ(rows, 1 + 2 * curve.curve.size());
+  }
+  std::remove(family_path.c_str());
+}
+
+}  // namespace
+}  // namespace bgpsim

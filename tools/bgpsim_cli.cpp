@@ -1,0 +1,219 @@
+// bgpsim — command-line front end to the library.
+//
+//   bgpsim generate --ases N [--seed S] --out topo.txt
+//       synthesize an Internet and export it in CAIDA serial-1 format
+//   bgpsim info (--topo file | --ases N [--seed S])
+//       topology statistics: tiers, transit share, depth histogram
+//   bgpsim attack (--topo file | --ases N) --victim ASN --attacker ASN
+//                 [--subprefix] [--forged] [--core K]
+//       simulate one hijack, optionally with ROV deployed at the top-K core
+//   bgpsim sweep (--topo file | --ases N) --victim ASN [--core K]
+//       attack the victim from every transit AS; print the profile
+//   bgpsim detect (--topo file | --ases N) [--attacks N] [--probes K]
+//       random transit attacks vs a top-K probe set; print the miss rate
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "analysis/detector_experiment.hpp"
+#include "analysis/vulnerability.hpp"
+#include "core/scenario.hpp"
+#include "defense/deployment.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+#include "topology/caida_writer.hpp"
+
+using namespace bgpsim;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  std::optional<std::uint64_t> number(const std::string& key) const {
+    const auto it = options.find(key);
+    if (it == options.end()) return std::nullopt;
+    return parse_u64(it->second);
+  }
+
+  std::optional<std::string> text(const std::string& key) const {
+    const auto it = options.find(key);
+    if (it == options.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool flag(const std::string& key) const { return options.contains(key); }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) throw ConfigError("unexpected argument: " + key);
+    key = key.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args.options[key] = argv[++i];
+    } else {
+      args.options[key] = "";  // boolean flag
+    }
+  }
+  return args;
+}
+
+Scenario load_scenario(const Args& args) {
+  ScenarioParams params;
+  if (const auto path = args.text("topo")) {
+    return Scenario::load_caida(*path, params);
+  }
+  params.topology.total_ases =
+      static_cast<std::uint32_t>(args.number("ases").value_or(4000));
+  params.topology.seed = args.number("seed").value_or(42);
+  return Scenario::generate(params);
+}
+
+int cmd_generate(const Args& args) {
+  const auto out = args.text("out");
+  if (!out) throw ConfigError("generate requires --out <file>");
+  InternetGenParams params;
+  params.total_ases = static_cast<std::uint32_t>(args.number("ases").value_or(4000));
+  params.seed = args.number("seed").value_or(42);
+  const AsGraph graph = generate_internet(params);
+  save_caida_file(*out, graph);
+  std::printf("wrote %u ASes / %llu links to %s\n", graph.num_ases(),
+              static_cast<unsigned long long>(graph.num_links()), out->c_str());
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  const Scenario scenario = load_scenario(args);
+  const AsGraph& g = scenario.graph();
+  std::printf("ases: %u  links: %llu  (E/N %.2f)\n", g.num_ases(),
+              static_cast<unsigned long long>(g.num_links()),
+              static_cast<double>(g.num_links()) / g.num_ases());
+  std::printf("tier-1 clique (%zu):", scenario.tiers().tier1.size());
+  for (const AsId t1 : scenario.tiers().tier1) std::printf(" %u", g.asn(t1));
+  std::printf("\ntier-2: %zu   transit: %zu (%.1f%%)   regions: %u\n",
+              scenario.tiers().tier2.size(), scenario.transit().size(),
+              100.0 * scenario.transit().size() / g.num_ases(), g.num_regions());
+  std::map<std::uint16_t, std::uint32_t> depth_hist;
+  for (AsId v = 0; v < g.num_ases(); ++v) ++depth_hist[scenario.depth()[v]];
+  std::printf("depth histogram:");
+  for (const auto& [depth, count] : depth_hist) {
+    if (depth == kUnreachableDepth) {
+      std::printf("  unreachable:%u", count);
+    } else {
+      std::printf("  %u:%u", depth, count);
+    }
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_attack(const Args& args) {
+  const Scenario scenario = load_scenario(args);
+  const AsGraph& g = scenario.graph();
+  const auto victim_asn = args.number("victim");
+  const auto attacker_asn = args.number("attacker");
+  if (!victim_asn || !attacker_asn) {
+    throw ConfigError("attack requires --victim and --attacker ASNs");
+  }
+  HijackSimulator sim = scenario.make_simulator();
+  if (const auto core = args.number("core")) {
+    sim.set_validators(
+        to_filter_set(g, top_k_deployment(g, *core)).bitset());
+  }
+  AttackOptions options;
+  if (args.flag("subprefix")) options.kind = AttackKind::SubPrefix;
+  options.forged_origin = args.flag("forged");
+
+  const auto result =
+      sim.attack_ex(g.require(static_cast<Asn>(*victim_asn)),
+                    g.require(static_cast<Asn>(*attacker_asn)), options);
+  std::printf("%s%s hijack of AS%llu by AS%llu:\n",
+              options.forged_origin ? "forged-origin " : "",
+              options.kind == AttackKind::SubPrefix ? "sub-prefix" : "exact-prefix",
+              static_cast<unsigned long long>(*victim_asn),
+              static_cast<unsigned long long>(*attacker_asn));
+  std::printf("  polluted: %u of %u ASes (%.1f%%), %.1f%% of address space\n",
+              result.polluted_ases, g.num_ases(),
+              100.0 * result.polluted_ases / g.num_ases(),
+              100.0 * result.polluted_address_fraction);
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  const Scenario scenario = load_scenario(args);
+  const AsGraph& g = scenario.graph();
+  const auto victim_asn = args.number("victim");
+  if (!victim_asn) throw ConfigError("sweep requires --victim ASN");
+  const AsId victim = g.require(static_cast<Asn>(*victim_asn));
+
+  VulnerabilityAnalyzer analyzer(g, scenario.sim_config());
+  std::optional<FilterSet> filters;
+  if (const auto core = args.number("core")) {
+    filters = to_filter_set(g, top_k_deployment(g, *core));
+  }
+  const auto curve = analyzer.sweep(victim, scenario.transit(),
+                                    filters ? &*filters : nullptr);
+  std::printf("AS%llu (depth %u): %zu transit attackers\n",
+              static_cast<unsigned long long>(*victim_asn),
+              scenario.depth()[victim], curve.attackers.size());
+  std::printf("  mean pollution %.1f  median %.0f  max %.0f\n",
+              curve.stats.mean(),
+              quantile(std::vector<double>(curve.pollution.begin(),
+                                           curve.pollution.end()),
+                       0.5),
+              curve.stats.max());
+  std::printf("  attackers polluting >=10%% of the net: %u\n",
+              curve.attackers_at_least(g.num_ases() / 10));
+  return 0;
+}
+
+int cmd_detect(const Args& args) {
+  const Scenario scenario = load_scenario(args);
+  const AsGraph& g = scenario.graph();
+  const auto attacks = static_cast<std::uint32_t>(args.number("attacks").value_or(1000));
+  const auto k = args.number("probes").value_or(scenario.scaled_count(62));
+
+  DetectorExperiment experiment(g, scenario.sim_config());
+  Rng rng(args.number("seed").value_or(42));
+  const auto samples = experiment.sample_transit_attacks(attacks, rng);
+  const std::vector<ProbeSet> probe_sets{ProbeSet::top_k(g, k)};
+  const auto results = experiment.run(samples, probe_sets);
+  const auto& r = results[0];
+  std::printf("%s vs %u random transit attacks:\n", r.label.c_str(), attacks);
+  std::printf("  missed completely: %u (%.1f%%)\n", r.missed,
+              100.0 * r.missed_fraction);
+  if (r.missed > 0) {
+    std::printf("  largest undetected attack: %u polluted ASes\n",
+                static_cast<std::uint32_t>(r.missed_pollution.max()));
+  }
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bgpsim <generate|info|attack|sweep|detect> [options]\n"
+               "see the header of tools/bgpsim_cli.cpp for details\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse_args(argc, argv);
+    if (args.command == "generate") return cmd_generate(args);
+    if (args.command == "info") return cmd_info(args);
+    if (args.command == "attack") return cmd_attack(args);
+    if (args.command == "sweep") return cmd_sweep(args);
+    if (args.command == "detect") return cmd_detect(args);
+    return usage();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
