@@ -1,0 +1,38 @@
+# Sanitizer and hardening configuration.
+#
+# BGPSIM_SANITIZE selects an instrumentation profile applied to every target
+# in the tree (libraries, tests, tools, benches):
+#   OFF      — no instrumentation (default)
+#   address  — AddressSanitizer + UndefinedBehaviorSanitizer
+#   undefined— UndefinedBehaviorSanitizer alone (cheapest, catches signed
+#              overflow / bad shifts / misaligned loads in metric code)
+#   thread   — ThreadSanitizer (for the upcoming parallel engines; mutually
+#              exclusive with address)
+#
+# All profiles set -fno-sanitize-recover=all so the first report aborts the
+# process and CTest records a hard failure, and -fno-omit-frame-pointer for
+# usable stacks. Use the `asan` / `ubsan` / `tsan` presets in CMakePresets.json
+# rather than setting the cache variable by hand.
+
+set(BGPSIM_SANITIZE "OFF" CACHE STRING
+    "Sanitizer profile: OFF | address | undefined | thread")
+set_property(CACHE BGPSIM_SANITIZE PROPERTY STRINGS OFF address undefined thread)
+
+set(BGPSIM_SANITIZER_FLAGS "")
+if(BGPSIM_SANITIZE STREQUAL "address")
+  set(BGPSIM_SANITIZER_FLAGS -fsanitize=address,undefined)
+elseif(BGPSIM_SANITIZE STREQUAL "undefined")
+  set(BGPSIM_SANITIZER_FLAGS -fsanitize=undefined)
+elseif(BGPSIM_SANITIZE STREQUAL "thread")
+  set(BGPSIM_SANITIZER_FLAGS -fsanitize=thread)
+elseif(NOT BGPSIM_SANITIZE STREQUAL "OFF")
+  message(FATAL_ERROR "Unknown BGPSIM_SANITIZE value: ${BGPSIM_SANITIZE}")
+endif()
+
+if(BGPSIM_SANITIZER_FLAGS)
+  add_compile_options(${BGPSIM_SANITIZER_FLAGS}
+                      -fno-sanitize-recover=all
+                      -fno-omit-frame-pointer)
+  add_link_options(${BGPSIM_SANITIZER_FLAGS})
+  message(STATUS "bgpsim: sanitizer profile '${BGPSIM_SANITIZE}' enabled")
+endif()
