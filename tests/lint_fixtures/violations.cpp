@@ -1,0 +1,15 @@
+// Deliberately rule-violating fixture for the lint_detects_violations test.
+// bgpsim-lint must exit nonzero on this file; it is never compiled or linked.
+#include <cassert>
+#include <random>
+
+int pick_random_as(int n) {
+  std::random_device rd;          // rng-policy: non-reproducible seeding
+  std::mt19937 gen(rd());         // rng-policy: banned engine type
+  assert(n > 0);                  // raw-assert: bypasses support/assert.hpp
+  return static_cast<int>(gen() % static_cast<unsigned>(n));
+}
+
+void fail_hard() {
+  abort();                        // raw-assert: uncatchable termination
+}

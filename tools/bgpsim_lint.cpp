@@ -1,0 +1,356 @@
+// bgpsim-lint — domain-specific linter for rules no generic tool knows.
+//
+// Rules (see DESIGN.md "Correctness tooling"):
+//   pragma-once    every header carries #pragma once
+//   raw-assert     no assert()/abort()/<cassert> outside support/assert.hpp;
+//                  invariants must throw via BGPSIM_ASSERT so experiment
+//                  drivers can catch, log the scenario seed, and continue
+//   rng-policy     no std::random_device / std:: engine types / rand()
+//                  outside support/rng.*; all randomness flows through the
+//                  deterministic, explicitly seeded bgpsim::Rng
+//   library-io     no std::cout / std::cerr / printf in src/ library code —
+//                  libraries report through return values and exceptions,
+//                  only tools/examples/benches own stdio
+//   self-contained every public header under src/ compiles standalone
+//                  (--check-headers; invokes the compiler per header)
+//
+// Exit status: 0 clean, 1 findings, 2 usage or I/O error. Diagnostics are
+// file:line: rule: message, one per line, so editors and CI annotate them.
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Options {
+  fs::path root;
+  std::vector<fs::path> explicit_paths;
+  bool check_headers = false;
+  std::string cxx = "c++";
+};
+
+bool has_extension(const fs::path& p, std::initializer_list<const char*> exts) {
+  const std::string ext = p.extension().string();
+  for (const char* e : exts) {
+    if (ext == e) return true;
+  }
+  return false;
+}
+
+std::string generic_rel(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(p, root, ec);
+  if (ec || rel.empty()) return p.generic_string();
+  return rel.generic_string();
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+/// Strip // and /* */ comments and the contents of string/char literals so
+/// rule regexes only see code. Keeps line structure intact for line numbers.
+std::string strip_comments_and_strings(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  enum class State { Code, LineComment, BlockComment, String, Char };
+  State state = State::Code;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::Code:
+        if (c == '/' && next == '/') {
+          state = State::LineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::BlockComment;
+          ++i;
+        } else if (c == '"') {
+          state = State::String;
+          out.push_back(c);
+        } else if (c == '\'') {
+          state = State::Char;
+          out.push_back(c);
+        } else {
+          out.push_back(c);
+        }
+        break;
+      case State::LineComment:
+        if (c == '\n') {
+          state = State::Code;
+          out.push_back(c);
+        }
+        break;
+      case State::BlockComment:
+        if (c == '*' && next == '/') {
+          state = State::Code;
+          ++i;
+        } else if (c == '\n') {
+          out.push_back(c);
+        }
+        break;
+      case State::String:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          state = State::Code;
+          out.push_back(c);
+        } else if (c == '\n') {
+          out.push_back(c);  // unterminated; keep lines aligned
+        }
+        break;
+      case State::Char:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::Code;
+          out.push_back(c);
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (const char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  lines.push_back(current);
+  return lines;
+}
+
+/// True when `token` occurs in `line` as a whole identifier (not a suffix of
+/// a longer name like static_assert or BGPSIM_ASSERT).
+bool has_identifier(const std::string& line, const std::string& token) {
+  std::size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    const bool left_ok =
+        pos == 0 || (!std::isalnum(static_cast<unsigned char>(line[pos - 1])) &&
+                     line[pos - 1] != '_');
+    const std::size_t end = pos + token.size();
+    const bool right_ok =
+        end >= line.size() ||
+        (!std::isalnum(static_cast<unsigned char>(line[end])) && line[end] != '_');
+    if (left_ok && right_ok) return true;
+    pos += token.size();
+  }
+  return false;
+}
+
+bool has_call(const std::string& line, const std::string& name) {
+  std::size_t pos = 0;
+  while ((pos = line.find(name, pos)) != std::string::npos) {
+    const bool left_ok =
+        pos == 0 || (!std::isalnum(static_cast<unsigned char>(line[pos - 1])) &&
+                     line[pos - 1] != '_' && line[pos - 1] != ':' &&
+                     line[pos - 1] != '.' && line[pos - 1] != '>');
+    std::size_t end = pos + name.size();
+    while (end < line.size() && std::isspace(static_cast<unsigned char>(line[end]))) {
+      ++end;
+    }
+    if (left_ok && end < line.size() && line[end] == '(') return true;
+    pos += name.size();
+  }
+  return false;
+}
+
+void lint_file(const fs::path& path, const fs::path& root,
+               std::vector<Finding>& findings) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    findings.push_back({path.string(), 0, "io", "cannot open file"});
+    return;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string raw = buffer.str();
+  const std::string code = strip_comments_and_strings(raw);
+  const std::vector<std::string> lines = split_lines(code);
+
+  const std::string rel = generic_rel(path, root);
+  const bool is_header = has_extension(path, {".hpp", ".h"});
+  const bool is_library = starts_with(rel, "src/");
+  const bool is_assert_home = rel == "src/support/assert.hpp";
+  const bool is_rng_home = starts_with(rel, "src/support/rng");
+
+  if (is_header && code.find("#pragma once") == std::string::npos) {
+    findings.push_back({rel, 1, "pragma-once", "header is missing #pragma once"});
+  }
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    const std::size_t lineno = i + 1;
+
+    if (!is_assert_home) {
+      if (has_call(line, "assert")) {
+        findings.push_back({rel, lineno, "raw-assert",
+                            "use BGPSIM_ASSERT/BGPSIM_REQUIRE/BGPSIM_DASSERT "
+                            "(support/assert.hpp) instead of assert()"});
+      }
+      if (has_call(line, "abort")) {
+        findings.push_back({rel, lineno, "raw-assert",
+                            "use BGPSIM_ASSERT (throws, catchable by drivers) "
+                            "instead of abort()"});
+      }
+      if (line.find("<cassert>") != std::string::npos ||
+          line.find("<assert.h>") != std::string::npos) {
+        findings.push_back({rel, lineno, "raw-assert",
+                            "include support/assert.hpp, not <cassert>"});
+      }
+    }
+
+    if (!is_rng_home) {
+      for (const char* banned :
+           {"std::random_device", "std::mt19937", "std::mt19937_64",
+            "std::minstd_rand", "std::default_random_engine"}) {
+        if (line.find(banned) != std::string::npos) {
+          findings.push_back({rel, lineno, "rng-policy",
+                              std::string(banned) +
+                                  " breaks run reproducibility; draw from an "
+                                  "explicitly seeded bgpsim::Rng"});
+        }
+      }
+      if (has_call(line, "rand") || has_call(line, "srand")) {
+        findings.push_back({rel, lineno, "rng-policy",
+                            "rand()/srand() is non-deterministic across "
+                            "platforms; use bgpsim::Rng"});
+      }
+    }
+
+    if (is_library) {
+      if (has_identifier(line, "cout") || has_identifier(line, "cerr")) {
+        findings.push_back({rel, lineno, "library-io",
+                            "library code must not write to stdio; return "
+                            "values / throw, or take an std::ostream&"});
+      }
+      if (has_call(line, "printf") || has_call(line, "puts")) {
+        findings.push_back({rel, lineno, "library-io",
+                            "library code must not write to stdio"});
+      }
+    }
+  }
+}
+
+void collect_sources(const fs::path& dir, std::vector<fs::path>& out) {
+  if (!fs::exists(dir)) return;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (entry.is_regular_file() &&
+        has_extension(entry.path(), {".cpp", ".hpp", ".h", ".cc"})) {
+      out.push_back(entry.path());
+    }
+  }
+}
+
+int check_headers(const Options& opts, std::vector<Finding>& findings) {
+  std::vector<fs::path> headers;
+  for (const auto& entry :
+       fs::recursive_directory_iterator(opts.root / "src")) {
+    if (entry.is_regular_file() && has_extension(entry.path(), {".hpp", ".h"})) {
+      headers.push_back(entry.path());
+    }
+  }
+  std::sort(headers.begin(), headers.end());
+  for (const fs::path& header : headers) {
+    std::ostringstream cmd;
+    cmd << opts.cxx << " -std=c++20 -fsyntax-only -x c++ -I '"
+        << (opts.root / "src").string() << "' '" << header.string() << "'";
+    const int rc = std::system(cmd.str().c_str());
+    if (rc != 0) {
+      findings.push_back({generic_rel(header, opts.root), 1, "self-contained",
+                          "header does not compile standalone (missing "
+                          "includes or forward declarations)"});
+    }
+  }
+  std::cout << "bgpsim-lint: " << headers.size()
+            << " headers checked for self-containment\n";
+  return 0;
+}
+
+int usage() {
+  std::cerr << "usage: bgpsim_lint --root DIR [--check-headers] [--cxx CXX] "
+               "[PATH...]\n"
+               "  With no PATHs, lints DIR/{src,tools,bench,examples}.\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      opts.root = argv[++i];
+    } else if (arg == "--check-headers") {
+      opts.check_headers = true;
+    } else if (arg == "--cxx" && i + 1 < argc) {
+      opts.cxx = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      opts.explicit_paths.emplace_back(arg);
+    }
+  }
+  if (opts.root.empty()) return usage();
+  std::error_code ec;
+  opts.root = fs::canonical(opts.root, ec);
+  if (ec) {
+    std::cerr << "bgpsim-lint: bad --root: " << ec.message() << '\n';
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  if (opts.explicit_paths.empty()) {
+    for (const char* dir : {"src", "tools", "bench", "examples"}) {
+      collect_sources(opts.root / dir, files);
+    }
+  } else {
+    for (const fs::path& p : opts.explicit_paths) {
+      if (fs::is_directory(p)) {
+        collect_sources(p, files);
+      } else {
+        files.push_back(p);
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> findings;
+  for (const fs::path& file : files) lint_file(file, opts.root, findings);
+  if (opts.check_headers) check_headers(opts, findings);
+
+  for (const Finding& f : findings) {
+    std::cout << f.file << ':' << f.line << ": " << f.rule << ": " << f.message
+              << '\n';
+  }
+  std::cout << "bgpsim-lint: " << files.size() << " files, " << findings.size()
+            << " finding(s)\n";
+  return findings.empty() ? 0 : 1;
+}
