@@ -77,21 +77,39 @@ std::uint32_t GenerationEngine::count_origin(Origin origin) const {
   return count;
 }
 
+bool GenerationEngine::withdraw(AsId to, std::uint32_t rib_idx) {
+  if (rib_[rib_idx].cls == RouteClass::None) return false;
+  rib_[rib_idx] = RibEntry{};
+  rib_path_[rib_idx].clear();
+  if (best_slot_[to] == rib_idx) {
+    reselect(to);
+    return true;
+  }
+  return false;
+}
+
 bool GenerationEngine::deliver(AsId from, AsId to, std::uint32_t to_slot,
                                const RibEntry& entry,
                                const std::vector<AsId>& path,
                                const ValidatorSet* validators) {
   if (entry.origin == Origin::Attacker) offered_bogus_[to] = 1;
 
+  const std::uint32_t rib_idx = edge_offset_[to] + to_slot;
+
+  // An UPDATE replaces whatever this neighbor announced before, so a rejected
+  // one leaves no route behind (RFC 7606 treat-as-withdraw). Without this,
+  // the receiver keeps using a route its neighbor no longer has.
+  //
   // Route-origin validation: a deploying AS drops bogus announcements.
   if (entry.origin == Origin::Attacker && validators != nullptr &&
       (*validators)[to] != 0) {
-    return false;
+    return withdraw(to, rib_idx);
   }
   // Loop rejection: the receiver appears in the announced AS path.
-  if (std::find(path.begin(), path.end(), to) != path.end()) return false;
+  if (std::find(path.begin(), path.end(), to) != path.end()) {
+    return withdraw(to, rib_idx);
+  }
 
-  const std::uint32_t rib_idx = edge_offset_[to] + to_slot;
   const RibEntry old = rib_[rib_idx];
   const bool replaced_same = old.cls == entry.cls && old.origin == entry.origin &&
                              old.len == entry.len && rib_path_[rib_idx] == path;
@@ -104,9 +122,19 @@ bool GenerationEngine::deliver(AsId from, AsId to, std::uint32_t to_slot,
   if (best_slot_[to] == rib_idx) {
     // Implicit withdraw: the neighbor replaced the route we were using.
     if (replaced_same) return false;
-    if (!rank_better(best.cls, best.path_len, entry.cls, entry.len, is_t1,
-                     config_.tier1_shortest_path)) {
-      // Same or better rank from the same neighbor: keep using it.
+    const bool improved = rank_better(entry.cls, entry.len, best.cls,
+                                      best.path_len, is_t1,
+                                      config_.tier1_shortest_path);
+    const bool degraded = rank_better(best.cls, best.path_len, entry.cls,
+                                      entry.len, is_t1,
+                                      config_.tier1_shortest_path);
+    // Keep using the same neighbor when the replacement is still guaranteed
+    // best: strictly improved (nothing else in the Adj-RIB-In can displace
+    // it), or equal rank without downgrading to the attacker's origin (an
+    // equal-rank legitimate route elsewhere in the RIB would win the tie).
+    if (improved ||
+        (!degraded && (entry.origin == best.origin ||
+                       entry.origin == Origin::Legit))) {
       best.origin = entry.origin;
       best.cls = entry.cls;
       best.path_len = entry.len;
@@ -114,13 +142,14 @@ bool GenerationEngine::deliver(AsId from, AsId to, std::uint32_t to_slot,
       best_path_[to].insert(best_path_[to].end(), path.begin(), path.end());
       return true;
     }
-    // Degraded: fall back to the full Adj-RIB-In.
+    // Degraded (or an equal-rank origin downgrade): fall back to the full
+    // Adj-RIB-In.
     reselect(to);
     return true;
   }
 
-  if (strictly_better(best.cls, best.path_len, entry.cls, entry.len, is_t1,
-                      config_.tier1_shortest_path)) {
+  if (displaces(best.origin, best.cls, best.path_len, entry.origin, entry.cls,
+                entry.len, is_t1, config_.tier1_shortest_path)) {
     best = Route{entry.origin, entry.cls, entry.len, from};
     best_slot_[to] = rib_idx;
     best_path_[to].assign(1, to);
@@ -139,9 +168,11 @@ void GenerationEngine::reselect(AsId v) {
   for (std::uint32_t k = 0; k < nbrs.size(); ++k) {
     const RibEntry& entry = rib_[base + k];
     if (entry.cls == RouteClass::None) continue;
+    // Ascending slot order keeps the remaining full ties on the lowest
+    // neighbor id, matching EquilibriumEngine's tie order.
     if (best_idx == kSelfSlot ||
-        rank_better(entry.cls, entry.len, best.cls, best.path_len, is_t1,
-                    config_.tier1_shortest_path)) {
+        displaces(best.origin, best.cls, best.path_len, entry.origin,
+                  entry.cls, entry.len, is_t1, config_.tier1_shortest_path)) {
       best = Route{entry.origin, entry.cls, entry.len, nbrs[k].id};
       best_idx = base + k;
     }
@@ -197,7 +228,6 @@ ConvergeStats GenerationEngine::announce(AsId origin, Origin tag,
     for (const AsId v : frontier_) {
       changed_flag_[v] = 0;
       const Route& route = best_[v];
-      if (!route.valid()) continue;  // defensive; routes never disappear
       const std::vector<AsId>& announce_path = best_path_[v];
       const RibEntry entry{route.origin, RouteClass::None,
                            static_cast<std::uint16_t>(route.path_len + 1)};
@@ -205,8 +235,33 @@ ConvergeStats GenerationEngine::announce(AsId origin, Origin tag,
       const auto nbrs = graph_.neighbors(v);
       for (std::uint32_t k = 0; k < nbrs.size(); ++k) {
         const Neighbor& nbr = nbrs[k];
-        if (!exports_to(route.cls, nbr.rel)) continue;
-        if (nbr.id == route.via) continue;  // split horizon (loop-rejected anyway)
+        const std::uint32_t peer_rib_idx =
+            edge_offset_[nbr.id] + mirror_[base + k];
+        // Valley-free export plus poison reverse: no route, a route class
+        // this edge must not carry, or a route through the neighbor itself
+        // all mean "nothing to offer". If an earlier selection WAS exported
+        // on this edge, the neighbor still holds it, so send an explicit
+        // WITHDRAW — announce-only propagation would leave the neighbor
+        // routing through a path that no longer exists (e.g. below a tier-1
+        // that switched from its customer route to a shorter peer route).
+        const bool exportable = route.valid() && exports_to(route.cls, nbr.rel) &&
+                                nbr.id != route.via;
+        if (!exportable) {
+          if (rib_[peer_rib_idx].cls == RouteClass::None) continue;
+          ++stats.messages_sent;
+          const bool changed = withdraw(nbr.id, peer_rib_idx);
+          if (changed) {
+            ++stats.messages_accepted;
+            if (!changed_flag_[nbr.id]) {
+              changed_flag_[nbr.id] = 1;
+              next_frontier_.push_back(nbr.id);
+            }
+          }
+          if (trace != nullptr) {
+            frame.edges.emplace_back(v, nbr.id, changed);
+          }
+          continue;
+        }
         // Optimistic first-hop defense (fig. 4): a provider knows its *stub*
         // customers' prefixes and drops a bogus origination arriving directly
         // from one (transit customers legitimately re-announce third-party
@@ -215,9 +270,17 @@ ConvergeStats GenerationEngine::announce(AsId origin, Origin tag,
             route.origin == Origin::Attacker && nbr.rel == Rel::Provider &&
             is_stub_[v]) {
           // The provider still *receives* the bogus origination before
-          // discarding it ("heard" detection semantics).
+          // discarding it ("heard" detection semantics); the discarded
+          // update still replaces (withdraws) the stub's earlier route.
           offered_bogus_[nbr.id] = 1;
           ++stats.messages_sent;
+          if (withdraw(nbr.id, peer_rib_idx)) {
+            ++stats.messages_accepted;
+            if (!changed_flag_[nbr.id]) {
+              changed_flag_[nbr.id] = 1;
+              next_frontier_.push_back(nbr.id);
+            }
+          }
           continue;
         }
         RibEntry delivered = entry;
@@ -233,7 +296,7 @@ ConvergeStats GenerationEngine::announce(AsId origin, Origin tag,
           }
         }
         if (trace != nullptr) {
-          frame.edges.push_back(TraceEdge{v, nbr.id, accepted});
+          frame.edges.emplace_back(v, nbr.id, accepted);
         }
       }
     }

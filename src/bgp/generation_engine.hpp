@@ -102,6 +102,9 @@ class GenerationEngine {
 
   bool deliver(AsId from, AsId to, std::uint32_t to_slot, const RibEntry& entry,
                const std::vector<AsId>& path, const ValidatorSet* validators);
+  /// Clear the Adj-RIB-In entry at rib_idx; reselect when it was the
+  /// receiver's selected route. Returns true when the selection changed.
+  bool withdraw(AsId to, std::uint32_t rib_idx);
   void reselect(AsId v);
 
   const AsGraph& graph_;

@@ -86,6 +86,37 @@ constexpr bool rank_better(RouteClass a_cls, std::uint16_t a_len, RouteClass b_c
   return a_len < b_len;
 }
 
+/// Canonical displacement test for a candidate route competing with a
+/// different incumbent: the candidate wins when it ranks strictly higher in
+/// the total order (rank_better), or ties in rank while carrying the
+/// legitimate origin against an attacker-held incumbent.
+///
+/// The origin tie-break encodes the paper's first-mover semantics at steady
+/// state: the victim's announcement converges before the attack is injected,
+/// so every equal-(LOCAL_PREF, length) contest was already decided in the
+/// legitimate route's favor when the attacker arrives. Making that explicit
+/// (instead of relying on arrival order) turns per-AS preferences into a
+/// strict total order, under which the Gao–Rexford stable state is unique —
+/// the message-driven engines and EquilibriumEngine then agree *exactly*
+/// (audit_runner enforces origin_agreement == 1.0), where incumbent-keeps-
+/// ties semantics was path-dependent under transient withdrawal cascades.
+constexpr bool displaces(Origin inc_origin, RouteClass inc_cls,
+                         std::uint16_t inc_len, Origin cand_origin,
+                         RouteClass cand_cls, std::uint16_t cand_len,
+                         bool is_tier1, bool tier1_shortest_path) {
+  if (inc_cls == RouteClass::Self) return false;
+  if (cand_cls == RouteClass::Self) return true;
+  if (rank_better(cand_cls, cand_len, inc_cls, inc_len, is_tier1,
+                  tier1_shortest_path)) {
+    return true;
+  }
+  if (rank_better(inc_cls, inc_len, cand_cls, cand_len, is_tier1,
+                  tier1_shortest_path)) {
+    return false;
+  }
+  return cand_origin == Origin::Legit && inc_origin == Origin::Attacker;
+}
+
 /// Valley-free export rule: a route is announced to a customer always, and to
 /// a peer/provider only when self-originated or learned from a customer.
 constexpr bool exports_to(RouteClass route_cls, Rel to_rel) {
