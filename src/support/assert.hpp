@@ -40,10 +40,14 @@ namespace bgpsim::detail {
     if (!(expr)) ::bgpsim::detail::fail_assert(#expr, __FILE__, __LINE__, msg); \
   } while (false)
 
+// Both branches of BGPSIM_DASSERT expand to a single statement, so the macro
+// is safe in braceless if/else (verified by tests/assert_macro_checks_*.cpp,
+// which compile it both ways). The disabled branch mentions expr and msg
+// inside sizeof — unevaluated, zero cost — so variables used only in debug
+// assertions don't trip -Wunused under -Werror release builds.
 #ifdef BGPSIM_DEBUG_CHECKS
 #define BGPSIM_DASSERT(expr, msg) BGPSIM_ASSERT(expr, msg)
 #else
 #define BGPSIM_DASSERT(expr, msg) \
-  do {                            \
-  } while (false)
+  ((void)sizeof((expr) ? 1 : 0), (void)sizeof(msg))
 #endif

@@ -1,0 +1,5 @@
+// BGPSIM_DASSERT *disabled* branch — see assert_macro_checks.inc.
+#ifdef BGPSIM_DEBUG_CHECKS
+#undef BGPSIM_DEBUG_CHECKS
+#endif
+#include "assert_macro_checks.inc"

@@ -1,0 +1,5 @@
+// BGPSIM_DASSERT *enabled* branch — see assert_macro_checks.inc.
+#ifndef BGPSIM_DEBUG_CHECKS
+#define BGPSIM_DEBUG_CHECKS 1
+#endif
+#include "assert_macro_checks.inc"

@@ -1,0 +1,47 @@
+// Runtime behavior of the assertion macros (the if/else statement-safety of
+// both BGPSIM_DASSERT branches is a compile-time property checked by
+// assert_macro_checks_{on,off}.cpp).
+#include <gtest/gtest.h>
+
+#include "support/assert.hpp"
+#include "support/error.hpp"
+
+namespace bgpsim {
+namespace {
+
+TEST(AssertMacros, RequireThrowsPreconditionError) {
+  EXPECT_NO_THROW(BGPSIM_REQUIRE(1 + 1 == 2, "holds"));
+  EXPECT_THROW(BGPSIM_REQUIRE(false, "broken precondition"), PreconditionError);
+}
+
+TEST(AssertMacros, AssertThrowsInvariantError) {
+  EXPECT_NO_THROW(BGPSIM_ASSERT(true, "holds"));
+  EXPECT_THROW(BGPSIM_ASSERT(false, "broken invariant"), InvariantError);
+}
+
+TEST(AssertMacros, MessagesCarryExpressionAndLocation) {
+  try {
+    BGPSIM_ASSERT(2 < 1, "two is not less than one");
+    FAIL() << "BGPSIM_ASSERT(false) must throw";
+  } catch (const InvariantError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("assert_macro_test.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos) << what;
+  }
+}
+
+TEST(AssertMacros, DassertFollowsBuildMode) {
+#ifdef BGPSIM_DEBUG_CHECKS
+  EXPECT_THROW(BGPSIM_DASSERT(false, "debug checks on"), InvariantError);
+#else
+  // Disabled branch must not evaluate the expression at all.
+  int evaluations = 0;
+  BGPSIM_DASSERT(++evaluations > 0, "debug checks off");
+  EXPECT_EQ(evaluations, 0);
+#endif
+  EXPECT_NO_THROW(BGPSIM_DASSERT(true, "always fine"));
+}
+
+}  // namespace
+}  // namespace bgpsim
