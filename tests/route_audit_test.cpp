@@ -5,6 +5,7 @@
 
 #include "support/error.hpp"
 #include "topology/graph_builder.hpp"
+#include "topology/sibling_contraction.hpp"
 
 namespace bgpsim {
 namespace {
@@ -107,6 +108,83 @@ TEST(RouteAudit, AuditTableFlagsBrokenChains) {
       Route{Origin::Legit, RouteClass::Customer, 3, g.require(4)};  // not a neighbor
   report = audit_route_table(g, table);
   EXPECT_GT(report.broken_via_chains, 0u);
+}
+
+TEST(RouteAudit, EmptyAndSingleAsPaths) {
+  const AsGraph g = audit_graph();
+  // Empty path: trivially loop-free and valley-free (no hops to violate).
+  EXPECT_TRUE(path_is_loop_free(std::vector<AsId>{}));
+  EXPECT_TRUE(path_is_valley_free(g, std::vector<AsId>{}));
+  // Single-AS path (self-originated route): also trivially compliant.
+  const std::vector<AsId> self_path{g.require(1)};
+  EXPECT_TRUE(path_is_loop_free(self_path));
+  EXPECT_TRUE(path_is_valley_free(g, self_path));
+  // An empty route table audits clean with zero routes checked.
+  RouteTable empty;
+  empty.reset(g.num_ases());
+  const auto report = audit_route_table(g, empty);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.routes_checked, 0u);
+}
+
+TEST(RouteAudit, SiblingEdgesRejectedRawButValidAfterContraction) {
+  // 10 and 11 are siblings (one organization); 10 is 20's provider and 11 is
+  // 21's provider. Engines require contracted graphs, so a path that walks
+  // the raw sibling edge must be rejected by the valley check...
+  GraphBuilder b;
+  b.add_sibling(10, 11);
+  b.add_provider_customer(10, 20);
+  b.add_provider_customer(11, 21);
+  const AsGraph raw = b.build();
+  const std::vector<AsId> through_sibling{raw.require(20), raw.require(10),
+                                          raw.require(11), raw.require(21)};
+  EXPECT_FALSE(path_is_valley_free(raw, through_sibling));
+
+  // ...while after contraction the same organizational route — customer 21
+  // up into the merged {10,11} node, down to customer 20 — is valley-free.
+  const ContractionResult contracted = contract_siblings(raw);
+  EXPECT_EQ(contracted.groups_contracted, 1u);
+  const AsId rep = contracted.old_to_new[raw.require(10)];
+  EXPECT_EQ(rep, contracted.old_to_new[raw.require(11)]);
+  const std::vector<AsId> merged_path{contracted.old_to_new[raw.require(20)],
+                                      rep,
+                                      contracted.old_to_new[raw.require(21)]};
+  EXPECT_TRUE(path_is_valley_free(contracted.graph, merged_path));
+
+  // A route table over the contracted graph using the merged node audits
+  // clean end to end.
+  RouteTable table;
+  table.reset(contracted.graph.num_ases());
+  const AsId origin = contracted.old_to_new[raw.require(21)];
+  table.routes[origin] = Route{Origin::Legit, RouteClass::Self, 1, kInvalidAs};
+  table.routes[rep] = Route{Origin::Legit, RouteClass::Customer, 2, origin};
+  table.routes[merged_path[0]] =
+      Route{Origin::Legit, RouteClass::Provider, 3, rep};
+  const auto report = audit_route_table(contracted.graph, table);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.routes_checked, 3u);
+}
+
+TEST(RouteAudit, FlagsValleyViolatingTable) {
+  // 4 and 6 are both providers of 5. A route table claiming 6 learned the
+  // prefix from 5, which learned it from its *other provider* 4, encodes the
+  // classic valley (down into 5, then up to 6) and must be flagged.
+  GraphBuilder b;
+  b.add_provider_customer(4, 5);
+  b.add_provider_customer(6, 5);
+  const AsGraph g = b.build();
+  RouteTable table;
+  table.reset(g.num_ases());
+  table.routes[g.require(4)] = Route{Origin::Legit, RouteClass::Self, 1, kInvalidAs};
+  table.routes[g.require(5)] =
+      Route{Origin::Legit, RouteClass::Provider, 2, g.require(4)};
+  table.routes[g.require(6)] =
+      Route{Origin::Legit, RouteClass::Customer, 3, g.require(5)};
+  const auto report = audit_route_table(g, table);
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.valley_violations, 1u);
+  EXPECT_EQ(report.loops, 0u);
+  EXPECT_EQ(report.broken_via_chains, 0u);
 }
 
 TEST(RouteAudit, AgreementMetrics) {
