@@ -47,9 +47,8 @@ std::vector<PotentAttacker> DeploymentExperiment::top_potent_attackers(
   for (std::size_t i = 0; i < order.size() && top.size() < k; ++i) {
     const std::size_t idx = order[i];
     const AsId attacker = curve.attackers[idx];
-    top.push_back(PotentAttacker{attacker, graph_.asn(attacker),
-                                 curve.pollution[idx], graph_.degree(attacker),
-                                 depth[attacker]});
+    top.emplace_back(attacker, graph_.asn(attacker), curve.pollution[idx],
+                     graph_.degree(attacker), depth[attacker]);
   }
   return top;
 }

@@ -78,7 +78,7 @@ std::vector<AttackSample> DetectorExperiment::sample_transit_attacks(
     const AsId attacker = transits[rng.bounded(transits.size())];
     const AsId target = transits[rng.bounded(transits.size())];
     if (attacker == target) continue;
-    samples.push_back(AttackSample{attacker, target});
+    samples.emplace_back(attacker, target);
   }
   return samples;
 }

@@ -93,7 +93,7 @@ std::vector<CcdfPoint> ccdf(std::vector<double> sample) {
   while (i < sample.size()) {
     const double v = sample[i];
     // All samples at index >= i are >= v.
-    curve.push_back({v, n - i});
+    curve.emplace_back(v, n - i);
     std::size_t j = i;
     while (j < sample.size() && sample[j] == v) ++j;
     i = j;

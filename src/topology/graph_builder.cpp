@@ -36,7 +36,7 @@ std::uint32_t GraphBuilder::intern(Asn asn) {
   const auto it = index_.find(asn);
   if (it != index_.end()) return it->second;
   const auto id = static_cast<std::uint32_t>(nodes_.size());
-  nodes_.push_back(NodeInfo{asn, 1, 0});
+  nodes_.emplace_back(asn, 1, 0);
   index_.emplace(asn, id);
   return id;
 }

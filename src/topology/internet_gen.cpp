@@ -31,7 +31,7 @@ class GenState {
  private:
   Asn new_as(bool transit, const std::string& region) {
     const Asn asn = next_asn_++;
-    protos_.push_back(ProtoAs{asn, transit, 0});
+    protos_.emplace_back(asn, transit, 0);
     builder_.ensure_as(asn);
     builder_.set_region(asn, region);
     return asn;
