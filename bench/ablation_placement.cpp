@@ -37,6 +37,7 @@ double mean_pollution(HijackSimulator& sim, AsId target,
 
 int main() {
   BenchEnv env = make_env(
+      "ablation_placement",
       "Ablation — degree heuristic vs greedy victim-specific placement");
   const Scenario& scenario = env.scenario;
   const AsGraph& g = scenario.graph();

@@ -2,36 +2,69 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
+#include <system_error>
 
+#include "obs/trace.hpp"
 #include "topology/metrics.hpp"
 
 namespace bgpsim::bench {
 
-BenchEnv make_env(const char* bench_name) {
-  const auto scale = static_cast<std::uint32_t>(env_u64("BGPSIM_SCALE", 8000));
-  const auto seed = env_u64("BGPSIM_SEED", 2014);
+namespace {
 
+/// The live BenchEnv, so print_paper_row can record rows into its report.
+BenchEnv* g_active_env = nullptr;
+
+Scenario make_scenario(std::uint32_t scale, std::uint64_t seed) {
   ScenarioParams params;
   params.topology.total_ases = scale;
   params.topology.seed = seed;
-  BenchEnv env(Scenario::generate(params));
-  env.scale = scale;
-  env.seed = seed;
-  env.outdir = env_string("BGPSIM_OUTDIR", ".");
+  return Scenario::generate(params);
+}
 
-  const AsGraph& g = env.scenario.graph();
+}  // namespace
+
+BenchEnv::BenchEnv(const char* slug_in, const char* title)
+    : scale(static_cast<std::uint32_t>(env_u64("BGPSIM_SCALE", 8000))),
+      seed(env_u64("BGPSIM_SEED", 2014)),
+      outdir(env_string("BGPSIM_OUTDIR", ".")),
+      slug(slug_in),
+      scenario(make_scenario(scale, seed)),
+      report(slug_in) {
+  report.set_seed(seed);
+  report.set_scale(scale);
+  g_active_env = this;
+
+  const AsGraph& g = scenario.graph();
   std::printf("================================================================\n");
-  std::printf("%s\n", bench_name);
+  std::printf("%s\n", title);
   std::printf("  topology: %u ASes / %llu links (paper: 42697 / 139156), seed %llu\n",
               g.num_ases(), static_cast<unsigned long long>(g.num_links()),
-              static_cast<unsigned long long>(env.seed));
+              static_cast<unsigned long long>(seed));
   std::printf("  tier-1 clique: %zu, transit: %zu (%.1f%%), regions: %u\n",
-              env.scenario.tiers().tier1.size(), env.scenario.transit().size(),
-              100.0 * env.scenario.transit().size() / g.num_ases(),
+              scenario.tiers().tier1.size(), scenario.transit().size(),
+              100.0 * scenario.transit().size() / g.num_ases(),
               g.num_regions());
   std::printf("  (scale with BGPSIM_SCALE=<n>, e.g. 42697 for full paper scale)\n");
   std::printf("================================================================\n");
-  return env;
+}
+
+BenchEnv::~BenchEnv() {
+  if (g_active_env == this) g_active_env = nullptr;
+  report.set_total_wall_seconds(wall.elapsed_seconds());
+  if (env_bool("BGPSIM_OBS_REPORT", true)) {
+    const std::string path = out_path(*this, "BENCH_" + slug + ".json");
+    if (report.write(path)) {
+      std::printf("  run report: %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "  run report: failed to write %s\n", path.c_str());
+    }
+  }
+  obs::flush_trace();
+}
+
+BenchEnv make_env(const char* slug, const char* title) {
+  return BenchEnv(slug, title);
 }
 
 AsId representative_target(const Scenario& scenario, TargetQuery query, Rng& rng) {
@@ -82,6 +115,9 @@ void print_paper_row(const char* metric, const char* paper_value,
                      const std::string& measured) {
   std::printf("  %-52s paper: %-18s measured: %s\n", metric, paper_value,
               measured.c_str());
+  if (g_active_env != nullptr) {
+    g_active_env->report.add_row(obs::PaperRow{metric, paper_value, measured});
+  }
 }
 
 std::string fmt(double value, int digits) {
@@ -95,6 +131,10 @@ std::string fmt_count_pct(double value, double fraction, int digits) {
 }
 
 std::string out_path(const BenchEnv& env, const std::string& file) {
+  // Best-effort: a missing output directory should never abort a bench run
+  // (the subsequent open reports the real error, if any).
+  std::error_code ec;
+  std::filesystem::create_directories(env.outdir, ec);
   return env.outdir + "/" + file;
 }
 

@@ -2,9 +2,12 @@
 //
 // Every bench binary regenerates one table/figure of the paper on a
 // deterministic synthetic Internet. Environment knobs:
-//   BGPSIM_SCALE  — topology size (default 8000; the paper used 42697)
-//   BGPSIM_SEED   — topology/workload seed (default 2014)
-//   BGPSIM_OUTDIR — where CSV/SVG artifacts are written (default ".")
+//   BGPSIM_SCALE      — topology size (default 8000; the paper used 42697)
+//   BGPSIM_SEED       — topology/workload seed (default 2014)
+//   BGPSIM_OUTDIR     — where CSV/SVG/report artifacts land (default ".";
+//                       created when missing)
+//   BGPSIM_OBS_REPORT — write BENCH_<slug>.json run report (default on)
+//   BGPSIM_TRACE      — write a Perfetto/chrome://tracing trace to <path>
 #pragma once
 
 #include <cstdint>
@@ -12,22 +15,37 @@
 
 #include "analysis/vulnerability.hpp"
 #include "core/scenario.hpp"
+#include "obs/report.hpp"
+#include "obs/timer.hpp"
 #include "support/env.hpp"
 #include "support/rng.hpp"
 
 namespace bgpsim::bench {
 
+/// One bench run: scenario, env knobs, and the run report that accumulates
+/// paper-vs-measured rows plus the metrics-registry snapshot. Construction
+/// generates the topology and prints the run header; destruction finalizes
+/// wall time, writes BENCH_<slug>.json into BGPSIM_OUTDIR (unless
+/// BGPSIM_OBS_REPORT=0), and flushes any active trace. Non-copyable: exactly
+/// one report per process (make_env returns it by guaranteed copy elision).
 struct BenchEnv {
-  explicit BenchEnv(Scenario s) : scenario(std::move(s)) {}
+  BenchEnv(const char* slug, const char* title);
+  ~BenchEnv();
+  BenchEnv(const BenchEnv&) = delete;
+  BenchEnv& operator=(const BenchEnv&) = delete;
 
-  Scenario scenario;
   std::uint32_t scale = 8000;
   std::uint64_t seed = 2014;
   std::string outdir = ".";
+  std::string slug;
+  Scenario scenario;
+  obs::RunReport report;
+  obs::StopWatch wall;
 };
 
-/// Build the standard bench scenario and print the run header.
-BenchEnv make_env(const char* bench_name);
+/// Build the standard bench scenario and print the run header. `slug` names
+/// the report artifact (BENCH_<slug>.json); `title` is the human header.
+BenchEnv make_env(const char* slug, const char* title);
 
 /// Representative target for a topological profile: among the profile's
 /// matches, the one with median estimated vulnerability (the paper's AS 98 /
@@ -38,7 +56,8 @@ AsId representative_target(const Scenario& scenario, TargetQuery query, Rng& rng
 /// Print a CCDF curve as a compact two-column series.
 void print_ccdf(const VulnerabilityCurve& curve, std::size_t max_points = 16);
 
-/// Print one paper-vs-measured comparison row.
+/// Print one paper-vs-measured comparison row (also recorded into the
+/// active BenchEnv's run report).
 void print_paper_row(const char* metric, const char* paper_value,
                      const std::string& measured);
 
@@ -48,6 +67,7 @@ std::string fmt(double value, int digits = 1);
 /// "<value> (<pct>%)" convenience.
 std::string fmt_count_pct(double value, double fraction, int digits = 1);
 
+/// Join BGPSIM_OUTDIR with `file`, creating the directory when missing.
 std::string out_path(const BenchEnv& env, const std::string& file);
 
 }  // namespace bgpsim::bench

@@ -16,7 +16,9 @@ using namespace bgpsim;
 using namespace bgpsim::bench;
 
 int main() {
-  BenchEnv env = make_env("Extension — critical mass for a protection target");
+  BenchEnv env = make_env(
+      "ext_critical_mass",
+      "Extension — critical mass for a protection target");
   const Scenario& scenario = env.scenario;
   const AsGraph& g = scenario.graph();
   Rng rng(derive_seed(env.seed, 99));

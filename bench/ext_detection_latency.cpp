@@ -16,7 +16,9 @@ using namespace bgpsim;
 using namespace bgpsim::bench;
 
 int main() {
-  BenchEnv env = make_env("Extension — detection latency (asynchronous engine)");
+  BenchEnv env = make_env(
+      "ext_detection_latency",
+      "Extension — detection latency (asynchronous engine)");
   const Scenario& scenario = env.scenario;
   const AsGraph& g = scenario.graph();
 

@@ -20,6 +20,7 @@ using namespace bgpsim::bench;
 
 int main() {
   BenchEnv env = make_env(
+      "ext_subprefix_rov",
       "Extension — sub-prefix hijacks and RPKI-aware origin validation");
   const Scenario& scenario = env.scenario;
   const AsGraph& g = scenario.graph();

@@ -14,7 +14,9 @@ using namespace bgpsim;
 using namespace bgpsim::bench;
 
 int main() {
-  BenchEnv env = make_env("Figure 1 — polar propagation of an aggressive origin hijack");
+  BenchEnv env = make_env(
+      "fig1_propagation",
+      "Figure 1 — polar propagation of an aggressive origin hijack");
   const Scenario& scenario = env.scenario;
   const AsGraph& g = scenario.graph();
 

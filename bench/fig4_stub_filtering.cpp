@@ -12,7 +12,9 @@ using namespace bgpsim;
 using namespace bgpsim::bench;
 
 int main() {
-  BenchEnv env = make_env("Figure 4 — worst case vs defensive stub filtering");
+  BenchEnv env = make_env(
+      "fig4_stub_filtering",
+      "Figure 4 — worst case vs defensive stub filtering");
   const Scenario& scenario = env.scenario;
   const AsGraph& g = scenario.graph();
   Rng rng(derive_seed(env.seed, 4));

@@ -16,6 +16,7 @@ using namespace bgpsim::bench;
 
 int main() {
   BenchEnv env = make_env(
+      "fig5_incremental_resistant",
       "Figure 5 — incremental deployment, attack-resistant depth-1 target");
   const Scenario& scenario = env.scenario;
   const AsGraph& g = scenario.graph();

@@ -16,6 +16,7 @@ using namespace bgpsim::bench;
 
 int main() {
   BenchEnv env = make_env(
+      "fig6_incremental_vulnerable",
       "Figure 6 — incremental deployment, very vulnerable deep target");
   const Scenario& scenario = env.scenario;
   const AsGraph& g = scenario.graph();

@@ -20,7 +20,9 @@ using namespace bgpsim;
 using namespace bgpsim::bench;
 
 int main() {
-  BenchEnv env = make_env("Figure 7 — detector configurations vs 8000 random attacks");
+  BenchEnv env = make_env(
+      "fig7_detectors",
+      "Figure 7 — detector configurations vs 8000 random attacks");
   const Scenario& scenario = env.scenario;
   const AsGraph& g = scenario.graph();
 

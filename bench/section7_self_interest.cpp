@@ -17,7 +17,9 @@ using namespace bgpsim;
 using namespace bgpsim::bench;
 
 int main() {
-  BenchEnv env = make_env("Section VII — self-interest actions (NZ case study)");
+  BenchEnv env = make_env(
+      "section7_self_interest",
+      "Section VII — self-interest actions (NZ case study)");
   const Scenario& scenario = env.scenario;
   const AsGraph& g = scenario.graph();
   Rng rng(derive_seed(env.seed, 70));

@@ -27,6 +27,7 @@ void print_table(const char* title, const std::vector<PotentAttacker>& rows) {
 
 int main() {
   BenchEnv env = make_env(
+      "table_potent_attackers",
       "Section V tables — top still-potent attackers under the 299-core");
   const Scenario& scenario = env.scenario;
   const AsGraph& g = scenario.graph();

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace bgpsim {
 
 DeploymentExperiment::DeploymentExperiment(const AsGraph& graph, SimConfig config,
@@ -14,6 +16,11 @@ std::vector<DeploymentOutcome> DeploymentExperiment::run(
   std::vector<DeploymentOutcome> outcomes;
   outcomes.reserve(plans.size());
   for (const DeploymentPlan& plan : plans) {
+    BGPSIM_TRACE_SPAN(plan_span, "deployment.plan");
+    plan_span.arg("deployers", plan.deployers.size());
+    plan_span.arg("attackers", attackers.size());
+    BGPSIM_GAUGE_SET("defense.deployed_ases", plan.deployers.size());
+    BGPSIM_COUNTER_ADD("deployment.plans_evaluated", 1);
     DeploymentOutcome outcome;
     outcome.label = plan.label;
     outcome.deployed_ases = static_cast<std::uint32_t>(plan.deployers.size());

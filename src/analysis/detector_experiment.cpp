@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 #include "topology/metrics.hpp"
 
@@ -86,6 +87,8 @@ std::vector<AttackSample> DetectorExperiment::sample_transit_attacks(
 std::vector<DetectorCaseResult> DetectorExperiment::run(
     std::span<const AttackSample> attacks, std::span<const ProbeSet> probe_sets,
     std::size_t top_k) {
+  BGPSIM_TIMED_SCOPE("detector.experiment");
+  BGPSIM_COUNTER_ADD("detect.attack_samples", attacks.size());
   std::vector<Accumulator> totals;
   totals.reserve(probe_sets.size());
   for (const ProbeSet& probes : probe_sets) totals.emplace_back(probes.size());

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 
 namespace bgpsim {
@@ -57,6 +58,8 @@ void EquilibriumEngine::run(AsId primary, Origin primary_tag,
   BGPSIM_REQUIRE(primary < graph_.num_ases(), "origin out of range");
   BGPSIM_REQUIRE(validators == nullptr || validators->size() == graph_.num_ases(),
                  "validator set size mismatch");
+  BGPSIM_TIMED_SCOPE("equilibrium.compute");
+  validator_drop_count_ = 0;
   std::fill(customer_.begin(), customer_.end(), Claim{});
   std::fill(peer_.begin(), peer_.end(), Claim{});
   out.reset(graph_.num_ases());
@@ -66,6 +69,11 @@ void EquilibriumEngine::run(AsId primary, Origin primary_tag,
   stage2_peer_routes(validators);
   stage3_select_and_descend(primary, primary_tag, primary_len, secondary,
                             secondary_len, validators, out);
+
+  BGPSIM_COUNTER_ADD("engine.equilibrium_runs", 1);
+  if (validator_drop_count_ != 0) {
+    BGPSIM_COUNTER_ADD("defense.validator_drops", validator_drop_count_);
+  }
 }
 
 void EquilibriumEngine::stage1_customer_routes(AsId primary, Origin primary_tag,
@@ -114,7 +122,10 @@ void EquilibriumEngine::stage1_customer_routes(AsId primary, Origin primary_tag,
           const AsId w = nbr.id;
           if (customer_[w].origin != Origin::None) continue;
           if (origin == Origin::Attacker) {
-            if (validators != nullptr && (*validators)[w] != 0) continue;
+            if (validators != nullptr && (*validators)[w] != 0) {
+              ++validator_drop_count_;
+              continue;
+            }
             if (stub_filter_attacker && u == attacker_seed) continue;
           }
           customer_[w] = Claim{origin, next_len, u};
@@ -183,6 +194,7 @@ void EquilibriumEngine::stage2_peer_routes(const ValidatorSet* validators) {
       const Claim& offer = customer_[nbr.id];
       if (offer.origin == Origin::Attacker && validators != nullptr &&
           (*validators)[v] != 0) {
+        ++validator_drop_count_;
         continue;
       }
       const auto cand_len = static_cast<std::uint16_t>(offer.len + 1);
@@ -258,6 +270,7 @@ void EquilibriumEngine::stage3_select_and_descend(AsId primary, Origin primary_t
         if (out.routes[v].valid()) continue;
         if (route.origin == Origin::Attacker && validators != nullptr &&
             (*validators)[v] != 0) {
+          ++validator_drop_count_;
           continue;
         }
         const auto new_len = static_cast<std::uint16_t>(len + 1);

@@ -78,6 +78,10 @@ class EquilibriumEngine {
   PolicyConfig config_;
   std::vector<std::uint8_t> is_stub_;
 
+  // Validator rejections during the current run(); flushed to the
+  // defense.validator_drops counter when it returns.
+  std::uint64_t validator_drop_count_ = 0;
+
   // Scratch (sized once, reused per run).
   std::vector<Claim> customer_;
   std::vector<Claim> peer_;

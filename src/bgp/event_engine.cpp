@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 #include "support/rng.hpp"
 
@@ -105,6 +106,7 @@ bool EventEngine::deliver(const Message& msg, const ValidatorSet* validators) {
   const AsId to = msg.to;
   if (msg.origin == Origin::Attacker && validators != nullptr &&
       (*validators)[to] != 0) {
+    ++validator_drop_count_;
     return false;
   }
   if (std::find(msg.path.begin(), msg.path.end(), to) != msg.path.end()) {
@@ -182,6 +184,8 @@ EventRunStats EventEngine::announce(AsId origin, Origin tag, double at_time,
   BGPSIM_REQUIRE(tag != Origin::None, "announce: tag must be Legit or Attacker");
   BGPSIM_REQUIRE(validators == nullptr || validators->size() == graph_.num_ases(),
                  "validator set size mismatch");
+  BGPSIM_TIMED_SCOPE("event.announce");
+  validator_drop_count_ = 0;
 
   best_[origin] = Route{tag, RouteClass::Self, 1, kInvalidAs};
   best_slot_[origin] = kSelfSlot;
@@ -209,6 +213,12 @@ EventRunStats EventEngine::announce(AsId origin, Origin tag, double at_time,
       }
       schedule_exports(msg.to, msg.time);
     }
+  }
+
+  BGPSIM_COUNTER_ADD("engine.event_msgs_delivered", stats.messages_delivered);
+  BGPSIM_COUNTER_ADD("engine.event_msgs_accepted", stats.messages_accepted);
+  if (validator_drop_count_ != 0) {
+    BGPSIM_COUNTER_ADD("defense.validator_drops", validator_drop_count_);
   }
   return stats;
 }

@@ -113,6 +113,10 @@ class EventEngine {
 
   std::priority_queue<Message, std::vector<Message>, std::greater<>> queue_;
   std::uint64_t next_seq_ = 0;
+
+  // Validator rejections during the current announce(); flushed to the
+  // defense.validator_drops counter when it returns.
+  std::uint64_t validator_drop_count_ = 0;
 };
 
 }  // namespace bgpsim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 
 namespace bgpsim {
@@ -103,6 +104,7 @@ bool GenerationEngine::deliver(AsId from, AsId to, std::uint32_t to_slot,
   // Route-origin validation: a deploying AS drops bogus announcements.
   if (entry.origin == Origin::Attacker && validators != nullptr &&
       (*validators)[to] != 0) {
+    ++validator_drop_count_;
     return withdraw(to, rib_idx);
   }
   // Loop rejection: the receiver appears in the announced AS path.
@@ -200,6 +202,9 @@ ConvergeStats GenerationEngine::announce(AsId origin, Origin tag,
                      (forged_tail < graph_.num_ases() && forged_tail != origin),
                  "announce: bad forged_tail");
 
+  BGPSIM_TIMED_SCOPE("generation.announce");
+  validator_drop_count_ = 0;
+
   ConvergeStats stats;
 
   // Originate: a self route always wins locally (the attacker overrides any
@@ -221,6 +226,10 @@ ConvergeStats GenerationEngine::announce(AsId origin, Origin tag,
     ++stats.generations;
     next_frontier_.clear();
     std::sort(frontier_.begin(), frontier_.end());
+
+    BGPSIM_TRACE_SPAN(gen_span, "generation");
+    gen_span.arg("generation", stats.generations);
+    gen_span.arg("frontier", static_cast<double>(frontier_.size()));
 
     GenerationFrame frame;
     if (trace != nullptr) frame.generation = stats.generations;
@@ -249,6 +258,7 @@ ConvergeStats GenerationEngine::announce(AsId origin, Origin tag,
         if (!exportable) {
           if (rib_[peer_rib_idx].cls == RouteClass::None) continue;
           ++stats.messages_sent;
+          ++stats.withdrawals;
           const bool changed = withdraw(nbr.id, peer_rib_idx);
           if (changed) {
             ++stats.messages_accepted;
@@ -258,7 +268,7 @@ ConvergeStats GenerationEngine::announce(AsId origin, Origin tag,
             }
           }
           if (trace != nullptr) {
-            frame.edges.emplace_back(v, nbr.id, changed);
+            frame.edges.emplace_back(v, nbr.id, changed, best_[nbr.id].origin);
           }
           continue;
         }
@@ -296,7 +306,7 @@ ConvergeStats GenerationEngine::announce(AsId origin, Origin tag,
           }
         }
         if (trace != nullptr) {
-          frame.edges.emplace_back(v, nbr.id, accepted);
+          frame.edges.emplace_back(v, nbr.id, accepted, best_[nbr.id].origin);
         }
       }
     }
@@ -308,11 +318,25 @@ ConvergeStats GenerationEngine::announce(AsId origin, Origin tag,
       frame.polluted_so_far = count_origin(Origin::Attacker);
       trace->frames.push_back(std::move(frame));
     }
+    // Perfetto counter track: pollution over simulated generations. The
+    // count is O(n), so only pay for it when a trace file is being written.
+    BGPSIM_TRACE_COUNTER("engine.polluted_ases",
+                         static_cast<double>(count_origin(Origin::Attacker)));
 
     frontier_.swap(next_frontier_);
   }
 
   stats.converged = frontier_.empty();
+  BGPSIM_COUNTER_ADD("engine.announce_runs", 1);
+  BGPSIM_COUNTER_ADD("engine.msgs_propagated", stats.messages_sent);
+  BGPSIM_COUNTER_ADD("engine.msgs_accepted", stats.messages_accepted);
+  BGPSIM_COUNTER_ADD("engine.withdrawals", stats.withdrawals);
+  if (validator_drop_count_ != 0) {
+    BGPSIM_COUNTER_ADD("defense.validator_drops", validator_drop_count_);
+  }
+  BGPSIM_HISTOGRAM_OBSERVE("engine.generations_to_converge",
+                           ::bgpsim::obs::HistogramSpec::linear(0, 64, 64),
+                           stats.generations);
   return stats;
 }
 

@@ -22,11 +22,15 @@
 
 namespace bgpsim {
 
-/// One observed message delivery, for visualization.
+/// One observed message delivery, for visualization and detection replay.
 struct TraceEdge {
   AsId from = kInvalidAs;
   AsId to = kInvalidAs;
-  bool accepted = false;  ///< did the receiver adopt the route?
+  bool accepted = false;  ///< did the receiver change its selection?
+  /// Origin of the receiver's selected route right after this delivery
+  /// (None when it ended up routeless) — lets detection replay find the
+  /// generation a probe first adopted the attacker's route.
+  Origin new_origin = Origin::None;
 };
 
 /// Per-generation record of a propagation (drives the paper's figure 1).
@@ -47,6 +51,7 @@ struct ConvergeStats {
   std::uint32_t generations = 0;
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_accepted = 0;
+  std::uint64_t withdrawals = 0;  ///< explicit WITHDRAWs among messages_sent
   bool converged = false;  ///< false only if the generation cap was hit
 };
 
@@ -134,6 +139,10 @@ class GenerationEngine {
   std::vector<AsId> frontier_;
   std::vector<AsId> next_frontier_;
   std::vector<AsId> scratch_path_;
+
+  // Validator rejections during the current announce(); flushed to the
+  // defense.validator_drops counter when it returns.
+  std::uint64_t validator_drop_count_ = 0;
 };
 
 }  // namespace bgpsim

@@ -1,8 +1,18 @@
 #include "detect/detector.hpp"
 
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 
 namespace bgpsim {
+
+namespace {
+
+void record_outcome(const DetectionOutcome& outcome) {
+  BGPSIM_COUNTER_ADD("detect.evaluations", 1);
+  if (!outcome.detected()) BGPSIM_COUNTER_ADD("detect.missed", 1);
+}
+
+}  // namespace
 
 DetectionOutcome evaluate_detection(const RouteTable& routes,
                                     const ProbeSet& probes) {
@@ -13,6 +23,7 @@ DetectionOutcome evaluate_detection(const RouteTable& routes,
       ++outcome.probes_triggered;
     }
   }
+  record_outcome(outcome);
   return outcome;
 }
 
@@ -23,7 +34,23 @@ DetectionOutcome evaluate_detection_heard(const GenerationEngine& engine,
     BGPSIM_REQUIRE(probe < engine.graph().num_ases(), "probe outside topology");
     if (engine.offered_bogus(probe)) ++outcome.probes_triggered;
   }
+  record_outcome(outcome);
   return outcome;
+}
+
+std::uint32_t first_detection_generation(const PropagationTrace& trace,
+                                         const ProbeSet& probes) {
+  for (const GenerationFrame& frame : trace.frames) {
+    for (const TraceEdge& edge : frame.edges) {
+      if (edge.new_origin == Origin::Attacker && probes.contains(edge.to)) {
+        BGPSIM_HISTOGRAM_OBSERVE("detect.first_detection_generation",
+                                 ::bgpsim::obs::HistogramSpec::linear(0, 32, 32),
+                                 frame.generation);
+        return frame.generation;
+      }
+    }
+  }
+  return 0;
 }
 
 }  // namespace bgpsim

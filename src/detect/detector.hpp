@@ -27,4 +27,11 @@ DetectionOutcome evaluate_detection(const RouteTable& routes, const ProbeSet& pr
 DetectionOutcome evaluate_detection_heard(const GenerationEngine& engine,
                                           const ProbeSet& probes);
 
+/// Replay a propagation trace and return the generation in which some probe
+/// first *selected* the attacker's route (TraceEdge::new_origin), i.e. the
+/// earliest clock tick the detection service could have raised an alarm.
+/// Returns 0 when no probe ever adopted the bogus route.
+std::uint32_t first_detection_generation(const PropagationTrace& trace,
+                                         const ProbeSet& probes);
+
 }  // namespace bgpsim

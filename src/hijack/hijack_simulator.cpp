@@ -1,5 +1,6 @@
 #include "hijack/hijack_simulator.hpp"
 
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 
 namespace bgpsim {
@@ -131,6 +132,7 @@ AttackResult HijackSimulator::attack_with_trace(AsId target, AsId attacker,
 
 AttackResult HijackSimulator::summarize(AsId target, AsId attacker,
                                         std::uint32_t generations) const {
+  BGPSIM_TRACE_SPAN(attack_span, "hijack.attack");
   AttackResult result;
   result.target = target;
   result.attacker = attacker;
@@ -149,6 +151,15 @@ AttackResult HijackSimulator::summarize(AsId target, AsId attacker,
       total == 0 ? 0.0
                  : static_cast<double>(result.polluted_address_space) /
                        static_cast<double>(total);
+
+  BGPSIM_COUNTER_ADD("hijack.attacks", 1);
+  BGPSIM_HISTOGRAM_OBSERVE(
+      "hijack.polluted_ases",
+      ::bgpsim::obs::HistogramSpec::exponential(1.0, 2.0, 24),
+      result.polluted_ases);
+  attack_span.arg("target", target);
+  attack_span.arg("attacker", attacker);
+  attack_span.arg("polluted_ases", result.polluted_ases);
   return result;
 }
 

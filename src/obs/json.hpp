@@ -1,0 +1,119 @@
+// Minimal JSON emitter for observability artifacts (registry snapshots,
+// Chrome trace events, run reports). Emit-only on purpose: the repo has no
+// JSON dependency and does not need parsing, just well-formed output.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bgpsim::obs {
+
+/// Escape a string for inclusion inside JSON double quotes.
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Streaming writer for nested objects/arrays; tracks comma placement.
+/// Usage: begin_object(); field("k", 1); end_object(); str().
+class JsonWriter {
+ public:
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  void key(std::string_view name) {
+    separate();
+    out_ += '"';
+    out_ += json_escape(name);
+    out_ += "\":";
+    just_keyed_ = true;
+  }
+
+  void value(std::string_view s) {
+    separate();
+    out_ += '"';
+    out_ += json_escape(s);
+    out_ += '"';
+  }
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(double v) {
+    separate();
+    if (!std::isfinite(v)) {
+      out_ += "null";
+      return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_ += buf;
+  }
+  void value(std::uint64_t v) {
+    separate();
+    out_ += std::to_string(v);
+  }
+  void value(std::uint32_t v) { value(static_cast<std::uint64_t>(v)); }
+  void value(bool b) {
+    separate();
+    out_ += b ? "true" : "false";
+  }
+
+  template <typename T>
+  void field(std::string_view name, const T& v) {
+    key(name);
+    value(v);
+  }
+
+  std::string str() && { return std::move(out_); }
+  const std::string& str() const& { return out_; }
+
+ private:
+  void open(char c) {
+    separate();
+    out_ += c;
+    need_comma_.push_back(false);
+  }
+  void close(char c) {
+    out_ += c;
+    need_comma_.pop_back();
+    if (!need_comma_.empty()) need_comma_.back() = true;
+  }
+  void separate() {
+    if (just_keyed_) {
+      just_keyed_ = false;
+      return;
+    }
+    if (!need_comma_.empty()) {
+      if (need_comma_.back()) out_ += ',';
+      need_comma_.back() = true;
+    }
+  }
+
+  std::string out_;
+  std::vector<bool> need_comma_;
+  bool just_keyed_ = false;
+};
+
+}  // namespace bgpsim::obs

@@ -1,0 +1,101 @@
+#include "obs/report.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace bgpsim::obs {
+
+const char* git_rev() {
+#if defined(BGPSIM_GIT_REV)
+  return BGPSIM_GIT_REV;
+#else
+  return "unknown";
+#endif
+}
+
+std::string RunReport::to_json() const {
+  const RegistrySnapshot snap = registry().snapshot();
+
+  JsonWriter json;
+  json.begin_object();
+  json.field("name", name_);
+  json.field("seed", seed_);
+  json.field("scale", static_cast<std::uint64_t>(scale_));
+  json.field("git_rev", git_rev());
+  json.key("wall_time_seconds");
+  json.begin_object();
+  json.field("total", total_wall_seconds_);
+  json.key("phases");
+  json.begin_object();
+  for (const auto& [phase, seconds] : phases_) json.field(phase, seconds);
+  json.end_object();
+  json.end_object();
+  if (!extras_.empty()) {
+    json.key("extras");
+    json.begin_object();
+    for (const auto& [key, value] : extras_) json.field(key, value);
+    json.end_object();
+  }
+  json.key("paper_rows");
+  json.begin_array();
+  for (const PaperRow& row : rows_) {
+    json.begin_object();
+    json.field("metric", row.metric);
+    json.field("paper", row.paper);
+    json.field("measured", row.measured);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("metrics");
+  json.begin_object();
+  json.key("counters");
+  json.begin_object();
+  for (const auto& [name, value] : snap.counters) json.field(name, value);
+  json.end_object();
+  json.key("gauges");
+  json.begin_object();
+  for (const auto& [name, value] : snap.gauges) json.field(name, value);
+  json.end_object();
+  json.key("histograms");
+  json.begin_object();
+  for (const auto& [name, hist] : snap.histograms) {
+    json.key(name);
+    json.begin_object();
+    json.field("count", hist.count);
+    json.field("sum", hist.sum);
+    json.field("min", hist.min);
+    json.field("max", hist.max);
+    json.key("bounds");
+    json.begin_array();
+    for (const double b : hist.bounds) json.value(b);
+    json.end_array();
+    json.key("counts");
+    json.begin_array();
+    for (const std::uint64_t c : hist.counts) json.value(c);
+    json.end_array();
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+  json.end_object();
+  return std::move(json).str();
+}
+
+bool RunReport::write(const std::string& path) const {
+  std::error_code ec;
+  const std::filesystem::path target(path);
+  if (target.has_parent_path()) {
+    std::filesystem::create_directories(target.parent_path(), ec);
+    // A pre-existing directory reports an error code on some platforms; the
+    // ofstream open below is the real success test either way.
+  }
+  std::ofstream out(target, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << to_json() << '\n';
+  return out.good();
+}
+
+}  // namespace bgpsim::obs

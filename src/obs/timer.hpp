@@ -1,0 +1,51 @@
+// RAII scoped timers feeding latency histograms (and trace spans when a
+// trace sink is active). Instrument code with BGPSIM_TIMED_SCOPE("phase")
+// from obs/obs.hpp rather than using these types directly — the macro caches
+// the histogram handle per call site and compiles out under BGPSIM_OBS=OFF.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace bgpsim::obs {
+
+/// Movable elapsed-seconds watch for wall-time accounting that outlives a
+/// lexical scope (run reports, bench drivers).
+class StopWatch {
+ public:
+  StopWatch() : start_(std::chrono::steady_clock::now()) {}
+
+  double elapsed_seconds() const {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Times one scope; at destruction observes the duration (seconds) into the
+/// given latency histogram and, when tracing, records a span of the same
+/// name. Non-copyable; intended to be created by BGPSIM_TIMED_SCOPE.
+class TimedScope {
+ public:
+  TimedScope(const char* name, HistogramMetric& histogram)
+      : histogram_(histogram), span_(name) {}
+
+  TimedScope(const TimedScope&) = delete;
+  TimedScope& operator=(const TimedScope&) = delete;
+
+  ~TimedScope() { histogram_.observe(watch_.elapsed_seconds()); }
+
+ private:
+  HistogramMetric& histogram_;
+  StopWatch watch_;
+  TraceSpan span_;  // emits the matching trace event when tracing is on
+};
+
+}  // namespace bgpsim::obs

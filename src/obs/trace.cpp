@@ -1,0 +1,120 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <fstream>
+
+#include "obs/json.hpp"
+#include "support/env.hpp"
+
+namespace bgpsim::obs {
+
+namespace {
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Dense per-thread ids; thread_local caches the assignment so the sink's
+// mutex is only touched on a thread's first event.
+std::uint32_t assign_tid(std::uint32_t& next, std::mutex& mutex) {
+  std::lock_guard<std::mutex> lock(mutex);
+  return next++;
+}
+
+}  // namespace
+
+TraceSink& TraceSink::instance() {
+  static TraceSink sink;
+  return sink;
+}
+
+TraceSink::TraceSink() : epoch_ns_(steady_ns()) {
+  const std::string path = env_string("BGPSIM_TRACE", "");
+  if (!path.empty()) {
+    path_ = path;
+    enabled_ = true;
+  }
+}
+
+TraceSink::~TraceSink() { flush(); }
+
+void TraceSink::set_output(std::string path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  path_ = std::move(path);
+  enabled_ = !path_.empty();
+}
+
+double TraceSink::now_us() const {
+  return static_cast<double>(steady_ns() - epoch_ns_) / 1000.0;
+}
+
+std::uint32_t TraceSink::thread_id() {
+  thread_local std::uint32_t tid = assign_tid(next_tid_, mutex_);
+  return tid;
+}
+
+void TraceSink::record(const Event& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(event);
+}
+
+void TraceSink::counter(const char* name, double value) {
+  if (!enabled_) return;
+  const double ts = now_us();
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.push_back(CounterEvent{name, ts, value});
+}
+
+void TraceSink::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (path_.empty() || (events_.empty() && counters_.empty())) return;
+
+  JsonWriter json;
+  json.begin_object();
+  json.field("displayTimeUnit", "ms");
+  json.key("traceEvents");
+  json.begin_array();
+  for (const Event& e : events_) {
+    json.begin_object();
+    json.field("name", e.name);
+    json.field("cat", e.category);
+    json.field("ph", "X");
+    json.field("ts", e.ts_us);
+    json.field("dur", e.dur_us);
+    json.field("pid", std::uint64_t{1});
+    json.field("tid", static_cast<std::uint64_t>(e.tid));
+    if (e.n_args > 0) {
+      json.key("args");
+      json.begin_object();
+      for (std::size_t i = 0; i < e.n_args; ++i) {
+        json.field(e.arg_names[i], e.arg_values[i]);
+      }
+      json.end_object();
+    }
+    json.end_object();
+  }
+  for (const CounterEvent& c : counters_) {
+    json.begin_object();
+    json.field("name", c.name);
+    json.field("cat", "bgpsim");
+    json.field("ph", "C");
+    json.field("ts", c.ts_us);
+    json.field("pid", std::uint64_t{1});
+    json.key("args");
+    json.begin_object();
+    json.field("value", c.value);
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  if (out) out << json.str();
+}
+
+void flush_trace() { TraceSink::instance().flush(); }
+
+}  // namespace bgpsim::obs

@@ -1,0 +1,132 @@
+// Chrome trace-event / Perfetto-compatible trace sink.
+//
+// When BGPSIM_TRACE=<path> is set (or set_output() is called), spans emitted
+// through TraceSpan are buffered and flushed to <path> as trace-event JSON:
+// open the file in chrome://tracing or https://ui.perfetto.dev. Each span is
+// a complete ("ph":"X") event with microsecond timestamps relative to process
+// start, a per-thread track, and optional numeric args.
+//
+// When tracing is inactive (the default) a span is a branch on one bool; a
+// -DBGPSIM_OBS=OFF build compiles spans out entirely (see obs/obs.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bgpsim::obs {
+
+class TraceSink {
+ public:
+  /// Process-wide sink; reads BGPSIM_TRACE once at first use.
+  static TraceSink& instance();
+
+  bool enabled() const { return enabled_; }
+
+  /// (Re)direct output programmatically (CLI flags, tests). An empty path
+  /// disables tracing. Does not clear already-buffered events.
+  void set_output(std::string path);
+
+  /// Microseconds since process trace epoch (steady clock).
+  double now_us() const;
+
+  /// Up to this many numeric args survive per span (small and fixed so the
+  /// hot path never allocates for metadata).
+  static constexpr std::size_t kMaxArgs = 4;
+
+  struct Event {
+    const char* name = "";  ///< must be a string literal / static storage
+    const char* category = "bgpsim";
+    double ts_us = 0.0;
+    double dur_us = 0.0;
+    std::uint32_t tid = 0;
+    std::size_t n_args = 0;
+    const char* arg_names[kMaxArgs] = {};
+    double arg_values[kMaxArgs] = {};
+  };
+
+  void record(const Event& event);
+
+  /// Emit a counter-track event ("ph":"C"): a named series Perfetto plots
+  /// over time (e.g. polluted ASes per generation).
+  void counter(const char* name, double value);
+
+  /// Write everything buffered so far to the output path. Safe to call
+  /// repeatedly; the file is rewritten with the full buffer each time.
+  /// Called automatically at process exit.
+  void flush();
+
+  /// Small dense id for the calling thread (trace "tid").
+  std::uint32_t thread_id();
+
+  ~TraceSink();
+
+ private:
+  TraceSink();
+
+  struct CounterEvent {
+    const char* name;
+    double ts_us;
+    double value;
+  };
+
+  bool enabled_ = false;
+  std::string path_;
+  std::int64_t epoch_ns_ = 0;
+  std::mutex mutex_;
+  std::vector<Event> events_;
+  std::vector<CounterEvent> counters_;
+  std::uint32_t next_tid_ = 0;
+};
+
+inline bool trace_enabled() { return TraceSink::instance().enabled(); }
+
+/// RAII span: times its scope and records a complete event at destruction.
+/// All methods no-op when tracing is inactive.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category = "bgpsim") {
+    TraceSink& sink = TraceSink::instance();
+    if (!sink.enabled()) return;
+    active_ = true;
+    event_.name = name;
+    event_.category = category;
+    event_.ts_us = sink.now_us();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attach a numeric arg (generation number, frontier size, ...). Silently
+  /// drops args beyond kMaxArgs.
+  void arg(const char* name, double value) {
+    if (!active_ || event_.n_args >= TraceSink::kMaxArgs) return;
+    event_.arg_names[event_.n_args] = name;
+    event_.arg_values[event_.n_args] = value;
+    ++event_.n_args;
+  }
+
+  ~TraceSpan() {
+    if (!active_) return;
+    TraceSink& sink = TraceSink::instance();
+    event_.dur_us = sink.now_us() - event_.ts_us;
+    event_.tid = sink.thread_id();
+    sink.record(event_);
+  }
+
+ private:
+  bool active_ = false;
+  TraceSink::Event event_;
+};
+
+/// Drop-in for TraceSpan where instrumentation is compiled out.
+struct NullSpan {
+  void arg(const char*, double) {}
+};
+
+/// Flush the process trace sink (no-op when tracing is inactive).
+void flush_trace();
+
+}  // namespace bgpsim::obs

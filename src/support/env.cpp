@@ -1,5 +1,6 @@
 #include "support/env.hpp"
 
+#include <cctype>
 #include <cstdlib>
 
 #include "support/strings.hpp"
@@ -16,6 +17,20 @@ std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
 std::string env_string(const char* name, const std::string& fallback) {
   const char* raw = std::getenv(name);
   return raw ? std::string{raw} : fallback;
+}
+
+bool env_bool(const char* name, bool fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  std::string value{trim(raw)};
+  for (char& c : value) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (value == "1" || value == "true" || value == "yes" || value == "on") {
+    return true;
+  }
+  if (value == "0" || value == "false" || value == "no" || value == "off") {
+    return false;
+  }
+  return fallback;
 }
 
 }  // namespace bgpsim

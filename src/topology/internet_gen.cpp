@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
@@ -376,13 +377,17 @@ void GenState::add_siblings() {
 }
 
 AsGraph GenState::run() {
+  BGPSIM_TIMED_SCOPE("topology.generate");
   build_tier1();
   build_tier2();
   build_regions();
   add_peering_mesh();
   assign_address_space();
   add_siblings();
-  return builder_.build();
+  AsGraph graph = builder_.build();
+  BGPSIM_COUNTER_ADD("topology.graphs_generated", 1);
+  BGPSIM_TRACE_COUNTER("topology.ases", graph.num_ases());
+  return graph;
 }
 
 }  // namespace

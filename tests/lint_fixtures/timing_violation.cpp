@@ -1,0 +1,12 @@
+// Deliberately rule-violating fixture for the lint_detects_timing test.
+// bgpsim-lint treats tests/lint_fixtures/ as library code, so the raw
+// std::chrono use below must trip the timing-policy rule (instrumentation
+// must flow through bgpsim::obs so -DBGPSIM_OBS=OFF compiles it out).
+// Never compiled or linked.
+#include <chrono>
+
+double measure_phase() {
+  const auto start = std::chrono::steady_clock::now();  // timing-policy
+  const auto stop = std::chrono::steady_clock::now();   // timing-policy
+  return std::chrono::duration<double>(stop - start).count();
+}

@@ -1,0 +1,95 @@
+// Env-var knob parsing (support/env): u64, string, and bool readers.
+#include "support/env.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace bgpsim {
+namespace {
+
+/// Sets an env var for one test and restores the previous state on exit.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_value_ = old != nullptr;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+
+  ~ScopedEnv() {
+    if (had_value_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+TEST(EnvU64, ReturnsFallbackWhenUnset) {
+  ScopedEnv guard("BGPSIM_TEST_U64", nullptr);
+  EXPECT_EQ(env_u64("BGPSIM_TEST_U64", 77), 77u);
+}
+
+TEST(EnvU64, ParsesValue) {
+  ScopedEnv guard("BGPSIM_TEST_U64", "42697");
+  EXPECT_EQ(env_u64("BGPSIM_TEST_U64", 0), 42697u);
+}
+
+TEST(EnvU64, FallsBackOnGarbage) {
+  ScopedEnv guard("BGPSIM_TEST_U64", "not-a-number");
+  EXPECT_EQ(env_u64("BGPSIM_TEST_U64", 13), 13u);
+}
+
+TEST(EnvString, ReturnsFallbackWhenUnset) {
+  ScopedEnv guard("BGPSIM_TEST_STR", nullptr);
+  EXPECT_EQ(env_string("BGPSIM_TEST_STR", "out"), "out");
+}
+
+TEST(EnvString, ReturnsValueVerbatim) {
+  ScopedEnv guard("BGPSIM_TEST_STR", "/tmp/artifacts");
+  EXPECT_EQ(env_string("BGPSIM_TEST_STR", "."), "/tmp/artifacts");
+}
+
+TEST(EnvBool, ReturnsFallbackWhenUnset) {
+  ScopedEnv guard("BGPSIM_TEST_BOOL", nullptr);
+  EXPECT_TRUE(env_bool("BGPSIM_TEST_BOOL", true));
+  EXPECT_FALSE(env_bool("BGPSIM_TEST_BOOL", false));
+}
+
+TEST(EnvBool, AcceptsTruthySpellings) {
+  for (const char* spelling : {"1", "true", "TRUE", "Yes", "on", " 1 "}) {
+    ScopedEnv guard("BGPSIM_TEST_BOOL", spelling);
+    EXPECT_TRUE(env_bool("BGPSIM_TEST_BOOL", false)) << spelling;
+  }
+}
+
+TEST(EnvBool, AcceptsFalsySpellings) {
+  for (const char* spelling : {"0", "false", "FALSE", "No", "off", " off "}) {
+    ScopedEnv guard("BGPSIM_TEST_BOOL", spelling);
+    EXPECT_FALSE(env_bool("BGPSIM_TEST_BOOL", true)) << spelling;
+  }
+}
+
+TEST(EnvBool, FallsBackOnUnrecognized) {
+  ScopedEnv guard("BGPSIM_TEST_BOOL", "maybe");
+  EXPECT_TRUE(env_bool("BGPSIM_TEST_BOOL", true));
+  EXPECT_FALSE(env_bool("BGPSIM_TEST_BOOL", false));
+}
+
+}  // namespace
+}  // namespace bgpsim

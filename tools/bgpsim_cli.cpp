@@ -11,7 +11,14 @@
 //       attack the victim from every transit AS; print the profile
 //   bgpsim detect (--topo file | --ases N) [--attacks N] [--probes K]
 //       random transit attacks vs a top-K probe set; print the miss rate
+//
+// Observability (any command):
+//   --obs [file]    dump the metrics-registry snapshot as JSON after the
+//                   command (to stdout, or to <file> when given)
+//   --trace <file>  write a chrome://tracing / Perfetto trace of the run
+//                   (equivalent to BGPSIM_TRACE=<file>)
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <optional>
 #include <string>
@@ -20,6 +27,8 @@
 #include "analysis/vulnerability.hpp"
 #include "core/scenario.hpp"
 #include "defense/deployment.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 #include "topology/caida_writer.hpp"
@@ -201,17 +210,44 @@ int usage() {
   return 2;
 }
 
+/// Dump the metrics-registry snapshot after a command ran under --obs.
+void emit_obs_snapshot(const std::string& destination) {
+  const std::string json = obs::registry().snapshot().to_json();
+  if (destination.empty()) {
+    std::printf("%s\n", json.c_str());
+    return;
+  }
+  std::ofstream out(destination);
+  out << json << '\n';
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write metrics snapshot to %s\n",
+                 destination.c_str());
+  } else {
+    std::printf("metrics snapshot: %s\n", destination.c_str());
+  }
+}
+
+int run_command(const Args& args) {
+  if (args.command == "generate") return cmd_generate(args);
+  if (args.command == "info") return cmd_info(args);
+  if (args.command == "attack") return cmd_attack(args);
+  if (args.command == "sweep") return cmd_sweep(args);
+  if (args.command == "detect") return cmd_detect(args);
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     const Args args = parse_args(argc, argv);
-    if (args.command == "generate") return cmd_generate(args);
-    if (args.command == "info") return cmd_info(args);
-    if (args.command == "attack") return cmd_attack(args);
-    if (args.command == "sweep") return cmd_sweep(args);
-    if (args.command == "detect") return cmd_detect(args);
-    return usage();
+    if (const auto trace = args.text("trace"); trace && !trace->empty()) {
+      obs::TraceSink::instance().set_output(*trace);
+    }
+    const int status = run_command(args);
+    if (args.flag("obs")) emit_obs_snapshot(args.text("obs").value_or(""));
+    obs::flush_trace();
+    return status;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -11,8 +11,15 @@
 //   library-io     no std::cout / std::cerr / printf in src/ library code —
 //                  libraries report through return values and exceptions,
 //                  only tools/examples/benches own stdio
+//   timing-policy  no raw std::chrono / <chrono> in src/ outside src/obs/ —
+//                  all timing flows through bgpsim::obs (BGPSIM_TIMED_SCOPE,
+//                  obs::StopWatch) so instrumentation compiles out under
+//                  -DBGPSIM_OBS=OFF
 //   self-contained every public header under src/ compiles standalone
 //                  (--check-headers; invokes the compiler per header)
+//
+// Files under tests/lint_fixtures/ are linted as library code: they are
+// deliberate violations that pin each rule's behavior in CI (WILL_FAIL).
 //
 // Exit status: 0 clean, 1 findings, 2 usage or I/O error. Diagnostics are
 // file:line: rule: message, one per line, so editors and CI annotate them.
@@ -193,9 +200,11 @@ void lint_file(const fs::path& path, const fs::path& root,
 
   const std::string rel = generic_rel(path, root);
   const bool is_header = has_extension(path, {".hpp", ".h"});
-  const bool is_library = starts_with(rel, "src/");
+  const bool is_fixture = starts_with(rel, "tests/lint_fixtures/");
+  const bool is_library = starts_with(rel, "src/") || is_fixture;
   const bool is_assert_home = rel == "src/support/assert.hpp";
   const bool is_rng_home = starts_with(rel, "src/support/rng");
+  const bool is_obs_home = starts_with(rel, "src/obs/");
 
   if (is_header && code.find("#pragma once") == std::string::npos) {
     findings.push_back({rel, 1, "pragma-once", "header is missing #pragma once"});
@@ -238,6 +247,17 @@ void lint_file(const fs::path& path, const fs::path& root,
         findings.push_back({rel, lineno, "rng-policy",
                             "rand()/srand() is non-deterministic across "
                             "platforms; use bgpsim::Rng"});
+      }
+    }
+
+    if (is_library && !is_obs_home) {
+      if (line.find("std::chrono") != std::string::npos ||
+          line.find("<chrono>") != std::string::npos ||
+          line.find("<ctime>") != std::string::npos) {
+        findings.push_back({rel, lineno, "timing-policy",
+                            "raw timing in library code; go through "
+                            "bgpsim::obs (BGPSIM_TIMED_SCOPE / obs::StopWatch) "
+                            "so it compiles out under -DBGPSIM_OBS=OFF"});
       }
     }
 
