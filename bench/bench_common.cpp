@@ -33,6 +33,9 @@ BenchEnv::BenchEnv(const char* slug_in, const char* title)
       report(slug_in) {
   report.set_seed(seed);
   report.set_scale(scale);
+  report.set_topology_checksum(topology_checksum(scenario.graph()));
+  report.set_repeat(
+      static_cast<std::uint32_t>(env_u64("BGPSIM_REPEAT", 1)));
   g_active_env = this;
 
   const AsGraph& g = scenario.graph();

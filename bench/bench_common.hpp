@@ -8,6 +8,10 @@
 //                       created when missing)
 //   BGPSIM_OBS_REPORT — write BENCH_<slug>.json run report (default on)
 //   BGPSIM_TRACE      — write a Perfetto/chrome://tracing trace to <path>
+//   BGPSIM_EVENTLOG   — write the structured NDJSON event log to <path>
+//   BGPSIM_REPEAT     — repetition index recorded in the run report, so
+//                       bgpsim-perfdiff can tell deliberate repeated runs
+//                       (perf samples) from accidental duplicates
 #pragma once
 
 #include <cstdint>

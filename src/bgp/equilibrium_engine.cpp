@@ -59,6 +59,12 @@ void EquilibriumEngine::run(AsId primary, Origin primary_tag,
   BGPSIM_REQUIRE(validators == nullptr || validators->size() == graph_.num_ases(),
                  "validator set size mismatch");
   BGPSIM_TIMED_SCOPE("equilibrium.compute");
+  BGPSIM_EVENT(::bgpsim::obs::EventRecord ev("run_start");
+               ev.str("engine", "equilibrium");
+               ev.u64("origin_asn", graph_.asn(primary));
+               ev.str("tag", to_string(primary_tag));
+               ev.boolean("hijack", secondary != kInvalidAs);
+               ev.emit());
   validator_drop_count_ = 0;
   std::fill(customer_.begin(), customer_.end(), Claim{});
   std::fill(peer_.begin(), peer_.end(), Claim{});
@@ -74,6 +80,13 @@ void EquilibriumEngine::run(AsId primary, Origin primary_tag,
   if (validator_drop_count_ != 0) {
     BGPSIM_COUNTER_ADD("defense.validator_drops", validator_drop_count_);
   }
+  BGPSIM_EVENT(::bgpsim::obs::EventRecord ev("run_end");
+               ev.str("engine", "equilibrium");
+               ev.boolean("converged", true);
+               ev.u64("routed", out.count_origin(Origin::Legit) +
+                                    out.count_origin(Origin::Attacker));
+               ev.u64("polluted", out.count_origin(Origin::Attacker));
+               ev.emit());
 }
 
 void EquilibriumEngine::stage1_customer_routes(AsId primary, Origin primary_tag,

@@ -185,6 +185,12 @@ EventRunStats EventEngine::announce(AsId origin, Origin tag, double at_time,
   BGPSIM_REQUIRE(validators == nullptr || validators->size() == graph_.num_ases(),
                  "validator set size mismatch");
   BGPSIM_TIMED_SCOPE("event.announce");
+  BGPSIM_EVENT(::bgpsim::obs::EventRecord ev("run_start");
+               ev.str("engine", "event");
+               ev.u64("origin_asn", graph_.asn(origin));
+               ev.str("tag", to_string(tag));
+               ev.f64("at_time", at_time);
+               ev.emit());
   validator_drop_count_ = 0;
 
   best_[origin] = Route{tag, RouteClass::Self, 1, kInvalidAs};
@@ -220,6 +226,13 @@ EventRunStats EventEngine::announce(AsId origin, Origin tag, double at_time,
   if (validator_drop_count_ != 0) {
     BGPSIM_COUNTER_ADD("defense.validator_drops", validator_drop_count_);
   }
+  BGPSIM_EVENT(::bgpsim::obs::EventRecord ev("run_end");
+               ev.str("engine", "event");
+               ev.boolean("converged", stats.converged);
+               ev.u64("messages_delivered", stats.messages_delivered);
+               ev.u64("messages_accepted", stats.messages_accepted);
+               ev.f64("quiescent_time", stats.quiescent_time);
+               ev.emit());
   return stats;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "bgp/introspect.hpp"
 #include "obs/obs.hpp"
 #include "support/assert.hpp"
 
@@ -161,6 +162,109 @@ bool GenerationEngine::deliver(AsId from, AsId to, std::uint32_t to_slot,
   return false;
 }
 
+void GenerationEngine::set_decision_watch(AsId watched, DecisionHistory* history) {
+#if defined(BGPSIM_OBS_DISABLED)
+  (void)watched;
+  (void)history;
+#else
+  if (history != nullptr) {
+    BGPSIM_REQUIRE(watched < graph_.num_ases(),
+                   "set_decision_watch: AS out of range");
+    history->watched = watched;
+  }
+  watch_history_ = history;
+  watch_as_ = history != nullptr ? watched : kInvalidAs;
+  watch_round_ = 0;
+#endif
+}
+
+void GenerationEngine::snapshot_watch(std::uint32_t generation) {
+#if defined(BGPSIM_OBS_DISABLED)
+  (void)generation;
+#else
+  const AsId v = watch_as_;
+  const bool is_t1 = config_.as_is_tier1(v);
+
+  DecisionSnapshot snap;
+  snap.announce_round = watch_round_;
+  snap.generation = generation;
+  snap.selected = best_[v];
+  snap.selected_path = best_path_[v];
+
+  if (best_slot_[v] == kSelfSlot && best_[v].valid()) {
+    DecisionCandidate self;
+    self.neighbor = kInvalidAs;
+    self.origin = best_[v].origin;
+    self.cls = RouteClass::Self;
+    self.len = best_[v].path_len;
+    snap.candidates.push_back(std::move(self));
+  }
+  const std::uint32_t base = edge_offset_[v];
+  const auto nbrs = graph_.neighbors(v);
+  for (std::uint32_t k = 0; k < nbrs.size(); ++k) {
+    const RibEntry& entry = rib_[base + k];
+    if (entry.cls == RouteClass::None) continue;
+    DecisionCandidate cand;
+    cand.neighbor = nbrs[k].id;
+    cand.origin = entry.origin;
+    cand.cls = entry.cls;
+    cand.len = entry.len;
+    cand.path = rib_path_[base + k];
+    snap.candidates.push_back(std::move(cand));
+  }
+
+  // Rank in the engine's strict total order; stable sort keeps the residual
+  // ascending-neighbor tie order candidates were gathered in.
+  std::stable_sort(
+      snap.candidates.begin(), snap.candidates.end(),
+      [&](const DecisionCandidate& a, const DecisionCandidate& b) {
+        if (rank_better(a.cls, a.len, b.cls, b.len, is_t1,
+                        config_.tier1_shortest_path)) {
+          return true;
+        }
+        if (rank_better(b.cls, b.len, a.cls, a.len, is_t1,
+                        config_.tier1_shortest_path)) {
+          return false;
+        }
+        return a.origin == Origin::Legit && b.origin == Origin::Attacker;
+      });
+  for (std::uint32_t rank = 0; rank < snap.candidates.size(); ++rank) {
+    DecisionCandidate& cand = snap.candidates[rank];
+    cand.rank = rank + 1;
+    cand.selected = rank == 0;
+    cand.reason = rank == 0
+                      ? (snap.candidates.size() == 1
+                             ? "only candidate"
+                             : "best rank among " +
+                                   std::to_string(snap.candidates.size()) +
+                                   " candidates")
+                      : losing_reason(snap.selected, cand.origin, cand.cls,
+                                      cand.len, is_t1,
+                                      config_.tier1_shortest_path);
+  }
+
+  // Record only generations where the watched state actually moved.
+  if (!watch_history_->snapshots.empty()) {
+    const DecisionSnapshot& last = watch_history_->snapshots.back();
+    const auto same_route = [](const Route& a, const Route& b) {
+      return a.origin == b.origin && a.cls == b.cls && a.path_len == b.path_len &&
+             a.via == b.via;
+    };
+    bool unchanged = same_route(last.selected, snap.selected) &&
+                     last.selected_path == snap.selected_path &&
+                     last.candidates.size() == snap.candidates.size();
+    for (std::size_t i = 0; unchanged && i < snap.candidates.size(); ++i) {
+      const DecisionCandidate& a = last.candidates[i];
+      const DecisionCandidate& b = snap.candidates[i];
+      unchanged = a.neighbor == b.neighbor && a.origin == b.origin &&
+                  a.cls == b.cls && a.len == b.len && a.path == b.path;
+    }
+    if (unchanged) return;
+  }
+  watch_history_->snapshots.push_back(std::move(snap));
+#endif
+}
+
 void GenerationEngine::reselect(AsId v) {
   const bool is_t1 = config_.as_is_tier1(v);
   const std::uint32_t base = edge_offset_[v];
@@ -205,6 +309,13 @@ ConvergeStats GenerationEngine::announce(AsId origin, Origin tag,
   BGPSIM_TIMED_SCOPE("generation.announce");
   validator_drop_count_ = 0;
 
+  BGPSIM_EVENT(::bgpsim::obs::EventRecord ev("run_start");
+               ev.str("engine", "generation");
+               ev.u64("origin_asn", graph_.asn(origin));
+               ev.str("tag", to_string(tag));
+               ev.boolean("forged_path", forged_tail != kInvalidAs);
+               ev.emit());
+
   ConvergeStats stats;
 
   // Originate: a self route always wins locally (the attacker overrides any
@@ -219,6 +330,13 @@ ConvergeStats GenerationEngine::announce(AsId origin, Origin tag,
   frontier_.assign(1, origin);
   changed_flag_[origin] = 1;
 
+#if !defined(BGPSIM_OBS_DISABLED)
+  if (watch_history_ != nullptr) {
+    ++watch_round_;
+    snapshot_watch(0);  // state at origination (before any propagation)
+  }
+#endif
+
   // Safety cap only; Gao–Rexford-compatible policies converge long before.
   const std::uint32_t generation_cap = 4 * graph_.num_ases() + 16;
 
@@ -226,6 +344,12 @@ ConvergeStats GenerationEngine::announce(AsId origin, Origin tag,
     ++stats.generations;
     next_frontier_.clear();
     std::sort(frontier_.begin(), frontier_.end());
+
+    [[maybe_unused]] const std::uint64_t gen_sent_before = stats.messages_sent;
+    [[maybe_unused]] const std::uint64_t gen_accepted_before =
+        stats.messages_accepted;
+    [[maybe_unused]] const std::uint64_t gen_withdrawals_before =
+        stats.withdrawals;
 
     BGPSIM_TRACE_SPAN(gen_span, "generation");
     gen_span.arg("generation", stats.generations);
@@ -322,6 +446,21 @@ ConvergeStats GenerationEngine::announce(AsId origin, Origin tag,
     // count is O(n), so only pay for it when a trace file is being written.
     BGPSIM_TRACE_COUNTER("engine.polluted_ases",
                          static_cast<double>(count_origin(Origin::Attacker)));
+    // Same O(n) caveat for the event-log pollution field: the count runs
+    // only when an event log is active.
+    BGPSIM_EVENT(::bgpsim::obs::EventRecord ev("generation_end");
+                 ev.u64("generation", stats.generations);
+                 ev.u64("frontier", frontier_.size());
+                 ev.u64("messages_sent", stats.messages_sent - gen_sent_before);
+                 ev.u64("messages_accepted",
+                        stats.messages_accepted - gen_accepted_before);
+                 ev.u64("withdrawals", stats.withdrawals - gen_withdrawals_before);
+                 ev.u64("polluted", count_origin(Origin::Attacker));
+                 ev.emit());
+
+#if !defined(BGPSIM_OBS_DISABLED)
+    if (watch_history_ != nullptr) snapshot_watch(stats.generations);
+#endif
 
     frontier_.swap(next_frontier_);
   }
@@ -337,6 +476,15 @@ ConvergeStats GenerationEngine::announce(AsId origin, Origin tag,
   BGPSIM_HISTOGRAM_OBSERVE("engine.generations_to_converge",
                            ::bgpsim::obs::HistogramSpec::linear(0, 64, 64),
                            stats.generations);
+  BGPSIM_EVENT(::bgpsim::obs::EventRecord ev("run_end");
+               ev.str("engine", "generation");
+               ev.boolean("converged", stats.converged);
+               ev.u64("generations", stats.generations);
+               ev.u64("messages_sent", stats.messages_sent);
+               ev.u64("messages_accepted", stats.messages_accepted);
+               ev.u64("withdrawals", stats.withdrawals);
+               ev.u64("polluted", count_origin(Origin::Attacker));
+               ev.emit());
   return stats;
 }
 

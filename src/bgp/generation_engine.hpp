@@ -22,6 +22,8 @@
 
 namespace bgpsim {
 
+struct DecisionHistory;  // bgp/introspect.hpp
+
 /// One observed message delivery, for visualization and detection replay.
 struct TraceEdge {
   AsId from = kInvalidAs;
@@ -98,6 +100,13 @@ class GenerationEngine {
 
   std::uint32_t count_origin(Origin origin) const;
 
+  /// Record `watched`'s per-generation decision snapshots (Adj-RIB-In
+  /// candidates, rank, why displaced) into `history` during subsequent
+  /// announce() calls; nullptr stops watching. Costs O(degree(watched)) per
+  /// generation while watching; collection compiles out (and this becomes a
+  /// no-op) under -DBGPSIM_OBS=OFF.
+  void set_decision_watch(AsId watched, DecisionHistory* history);
+
  private:
   struct RibEntry {
     Origin origin = Origin::None;
@@ -111,6 +120,7 @@ class GenerationEngine {
   /// receiver's selected route. Returns true when the selection changed.
   bool withdraw(AsId to, std::uint32_t rib_idx);
   void reselect(AsId v);
+  void snapshot_watch(std::uint32_t generation);
 
   const AsGraph& graph_;
   PolicyConfig config_;
@@ -143,6 +153,11 @@ class GenerationEngine {
   // Validator rejections during the current announce(); flushed to the
   // defense.validator_drops counter when it returns.
   std::uint64_t validator_drop_count_ = 0;
+
+  // Decision introspection (see set_decision_watch / bgp/introspect.hpp).
+  DecisionHistory* watch_history_ = nullptr;
+  AsId watch_as_ = kInvalidAs;
+  std::uint32_t watch_round_ = 0;  ///< announce() calls since watching began
 };
 
 }  // namespace bgpsim

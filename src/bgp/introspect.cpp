@@ -1,0 +1,123 @@
+#include "bgp/introspect.hpp"
+
+#include <cstdio>
+
+namespace bgpsim {
+
+namespace {
+
+const char* cls_name(RouteClass cls) {
+  switch (cls) {
+    case RouteClass::Self: return "self";
+    case RouteClass::Customer: return "customer";
+    case RouteClass::Peer: return "peer";
+    case RouteClass::Provider: return "provider";
+    case RouteClass::None: return "none";
+  }
+  return "?";
+}
+
+std::string path_string(const AsGraph& graph, const std::vector<AsId>& path) {
+  if (path.empty()) return "-";
+  std::string out;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i != 0) out += " ";
+    out += std::to_string(graph.asn(path[i]));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string losing_reason(const Route& winner, Origin loser_origin,
+                          RouteClass loser_cls, std::uint16_t loser_len,
+                          bool is_tier1, bool tier1_shortest_path) {
+  char buffer[128];
+  if (winner.cls == RouteClass::Self) return "self-originated route always wins";
+  if (is_tier1 && tier1_shortest_path) {
+    if (loser_len != winner.path_len) {
+      std::snprintf(buffer, sizeof(buffer),
+                    "tier-1 shortest-path: len %u > %u", loser_len,
+                    winner.path_len);
+      return buffer;
+    }
+    if (local_pref(loser_cls) != local_pref(winner.cls)) {
+      std::snprintf(buffer, sizeof(buffer),
+                    "equal length, LOCAL_PREF %d (%s) < %d (%s)",
+                    local_pref(loser_cls), cls_name(loser_cls),
+                    local_pref(winner.cls), cls_name(winner.cls));
+      return buffer;
+    }
+  } else {
+    if (local_pref(loser_cls) != local_pref(winner.cls)) {
+      std::snprintf(buffer, sizeof(buffer), "LOCAL_PREF %d (%s) < %d (%s)",
+                    local_pref(loser_cls), cls_name(loser_cls),
+                    local_pref(winner.cls), cls_name(winner.cls));
+      return buffer;
+    }
+    if (loser_len != winner.path_len) {
+      std::snprintf(buffer, sizeof(buffer),
+                    "equal LOCAL_PREF, path len %u > %u", loser_len,
+                    winner.path_len);
+      return buffer;
+    }
+  }
+  if (loser_origin == Origin::Attacker && winner.origin == Origin::Legit) {
+    return "equal rank, legitimate origin wins the tie (paper first-mover)";
+  }
+  return "equal rank, lower neighbor id wins the tie";
+}
+
+std::string render_decision_history(const AsGraph& graph,
+                                    const DecisionHistory& history) {
+  std::string out;
+  char line[256];
+  if (history.watched == kInvalidAs) return "decision history: no AS watched\n";
+  std::snprintf(line, sizeof(line),
+                "decision history for AS%llu (%zu snapshot(s) — generations "
+                "where its state changed)\n",
+                static_cast<unsigned long long>(graph.asn(history.watched)),
+                history.snapshots.size());
+  out += line;
+  if (history.snapshots.empty()) {
+    out += "  (no route activity reached this AS; was instrumentation "
+           "compiled in? see -DBGPSIM_OBS)\n";
+    return out;
+  }
+
+  for (const DecisionSnapshot& snap : history.snapshots) {
+    const char* round_label =
+        snap.announce_round <= 1 ? "victim announce" : "attack announce";
+    std::snprintf(line, sizeof(line), "[%s, generation %u] selected: %s\n",
+                  round_label, snap.generation,
+                  snap.selected.valid() ? "" : "no route");
+    out += line;
+    if (snap.selected.valid()) {
+      out.pop_back();  // replace the empty selected slot with the route line
+      std::snprintf(line, sizeof(line), "origin=%s class=%s len=%u path=[%s]\n",
+                    to_string(snap.selected.origin), cls_name(snap.selected.cls),
+                    snap.selected.path_len,
+                    path_string(graph, snap.selected_path).c_str());
+      out += line;
+    }
+    for (const DecisionCandidate& cand : snap.candidates) {
+      std::string via = cand.neighbor == kInvalidAs
+                            ? std::string("self")
+                            : "AS" + std::to_string(graph.asn(cand.neighbor));
+      std::snprintf(line, sizeof(line),
+                    "  #%u %-9s via %-12s origin=%-8s class=%-8s len=%-3u %s\n",
+                    cand.rank, cand.selected ? "SELECTED" : "candidate",
+                    via.c_str(), to_string(cand.origin), cls_name(cand.cls),
+                    cand.len, cand.reason.c_str());
+      out += line;
+      if (!cand.path.empty() && !cand.selected) {
+        std::snprintf(line, sizeof(line), "       path=[%s]\n",
+                      path_string(graph, cand.path).c_str());
+        out += line;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace bgpsim

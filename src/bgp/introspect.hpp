@@ -1,0 +1,63 @@
+// Convergence introspection: per-generation route-decision history of one
+// watched AS. Where the trace tells you *that* an AS ended up polluted, the
+// decision history tells you *why* — every candidate in its Adj-RIB-In each
+// generation, which one was selected, and the policy clause that decided the
+// contest (LOCAL_PREF, path length, tier-1 shortest-path, or the
+// legit-over-attacker tie-break), reusing the same comparators the engine
+// routes with (bgp/policy.hpp).
+//
+// Drive it through GenerationEngine::set_decision_watch(); render with
+// render_decision_history(). The CLI exposes it as `bgpsim attack --explain
+// <asn>`. Snapshot collection compiles out under -DBGPSIM_OBS=OFF.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bgp/policy.hpp"
+#include "bgp/types.hpp"
+#include "topology/as_graph.hpp"
+
+namespace bgpsim {
+
+/// One Adj-RIB-In candidate of the watched AS at a snapshot, with its rank
+/// position and the reason it lost (or won) against the selected route.
+struct DecisionCandidate {
+  AsId neighbor = kInvalidAs;  ///< who announced it (kInvalidAs = self route)
+  Origin origin = Origin::None;
+  RouteClass cls = RouteClass::None;
+  std::uint16_t len = 0;
+  std::uint32_t rank = 0;  ///< 1 = selected, 2 = runner-up, ...
+  bool selected = false;
+  std::string reason;  ///< policy clause that decided the contest
+  std::vector<AsId> path;  ///< announced AS path (empty for self routes)
+};
+
+/// Watched-AS state after one generation in which it changed.
+struct DecisionSnapshot {
+  std::uint32_t announce_round = 0;  ///< 1st announce (victim), 2nd (attack), ...
+  std::uint32_t generation = 0;      ///< generation within that announce
+  Route selected;                    ///< selected route after this generation
+  std::vector<AsId> selected_path;
+  std::vector<DecisionCandidate> candidates;  ///< rank order, selected first
+};
+
+struct DecisionHistory {
+  AsId watched = kInvalidAs;
+  std::vector<DecisionSnapshot> snapshots;
+};
+
+/// The policy clause that makes `winner` beat `loser` at an AS (both from the
+/// same Adj-RIB-In). Mirrors rank_better()/displaces() term by term so the
+/// explanation can never disagree with the selection.
+std::string losing_reason(const Route& winner, Origin loser_origin,
+                          RouteClass loser_cls, std::uint16_t loser_len,
+                          bool is_tier1, bool tier1_shortest_path);
+
+/// Multi-line human-readable rendering of a decision history (real ASNs via
+/// `graph`). Returns a string; the caller owns printing.
+std::string render_decision_history(const AsGraph& graph,
+                                    const DecisionHistory& history);
+
+}  // namespace bgpsim

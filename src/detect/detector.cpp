@@ -46,6 +46,10 @@ std::uint32_t first_detection_generation(const PropagationTrace& trace,
         BGPSIM_HISTOGRAM_OBSERVE("detect.first_detection_generation",
                                  ::bgpsim::obs::HistogramSpec::linear(0, 32, 32),
                                  frame.generation);
+        BGPSIM_EVENT(::bgpsim::obs::EventRecord ev("first_detection");
+                     ev.u64("generation", frame.generation);
+                     ev.u64("probe", edge.to);
+                     ev.emit());
         return frame.generation;
       }
     }

@@ -5,6 +5,32 @@
 
 namespace bgpsim {
 
+namespace {
+
+/// Event-log record for the moment the bogus announcement enters the system.
+/// Free function (not a macro arg) so every attack entry point shares it.
+void log_attack_injected(const AsGraph& graph, AsId target, AsId attacker,
+                         const char* kind, bool forged_origin, const char* engine,
+                         bool validators) {
+  BGPSIM_EVENT(::bgpsim::obs::EventRecord ev("attack_injected");
+               ev.u64("target_asn", graph.asn(target));
+               ev.u64("attacker_asn", graph.asn(attacker));
+               ev.str("kind", kind);
+               ev.boolean("forged_origin", forged_origin);
+               ev.str("engine", engine);
+               ev.boolean("validators", validators);
+               ev.emit());
+  (void)graph;
+  (void)target;
+  (void)attacker;
+  (void)kind;
+  (void)forged_origin;
+  (void)engine;
+  (void)validators;
+}
+
+}  // namespace
+
 HijackSimulator::HijackSimulator(const AsGraph& graph, SimConfig config)
     : graph_(graph), config_(std::move(config)),
       equilibrium_(graph_, config_.policy) {}
@@ -26,7 +52,11 @@ AttackResult HijackSimulator::attack(AsId target, AsId attacker) {
   BGPSIM_REQUIRE(target != attacker, "attacker must differ from target");
 
   const ValidatorSet* validators = validators_ ? &*validators_ : nullptr;
-  if (config_.engine == EngineKind::Equilibrium) {
+  const bool is_eq = config_.engine == EngineKind::Equilibrium;
+  log_attack_injected(graph_, target, attacker, "exact", false,
+                      is_eq ? "equilibrium" : "generation",
+                      validators != nullptr);
+  if (is_eq) {
     equilibrium_.compute_hijack(target, attacker, validators, table_);
     return summarize(target, attacker, 0);
   }
@@ -81,6 +111,14 @@ ExtendedAttackResult HijackSimulator::attack_ex(AsId target, AsId attacker,
   const auto attacker_seed_len =
       static_cast<std::uint16_t>(options.forged_origin ? 2 : 1);
 
+  log_attack_injected(graph_, target, attacker,
+                      options.kind == AttackKind::SubPrefix ? "subprefix"
+                                                            : "exact",
+                      options.forged_origin,
+                      config_.engine == EngineKind::Equilibrium ? "equilibrium"
+                                                                : "generation",
+                      result.validators_engaged);
+
   if (options.kind == AttackKind::SubPrefix) {
     // The bogus more-specific never competes with the covering legitimate
     // route: a single-origin propagation decides who installs it.
@@ -122,12 +160,38 @@ AttackResult HijackSimulator::attack_with_trace(AsId target, AsId attacker,
   BGPSIM_REQUIRE(target != attacker, "attacker must differ from target");
 
   const ValidatorSet* validators = validators_ ? &*validators_ : nullptr;
+  log_attack_injected(graph_, target, attacker, "exact", false, "generation",
+                      validators != nullptr);
   GenerationEngine& engine = generation_engine();
   engine.reset();
   engine.announce(target, Origin::Legit, validators);
   const auto bogus = engine.announce(attacker, Origin::Attacker, validators, &trace);
   engine.export_routes(table_);
   return summarize(target, attacker, bogus.generations);
+}
+
+AttackResult HijackSimulator::attack_explained(AsId target, AsId attacker,
+                                               AsId watched,
+                                               DecisionHistory& history) {
+  BGPSIM_REQUIRE(target < graph_.num_ases(), "target out of range");
+  BGPSIM_REQUIRE(attacker < graph_.num_ases(), "attacker out of range");
+  BGPSIM_REQUIRE(target != attacker, "attacker must differ from target");
+  BGPSIM_REQUIRE(watched < graph_.num_ases(), "watched AS out of range");
+
+  history.watched = watched;
+  history.snapshots.clear();
+
+  const ValidatorSet* validators = validators_ ? &*validators_ : nullptr;
+  log_attack_injected(graph_, target, attacker, "exact", false, "generation",
+                      validators != nullptr);
+  GenerationEngine& engine = generation_engine();
+  engine.reset();
+  engine.set_decision_watch(watched, &history);
+  const auto legit = engine.announce(target, Origin::Legit, validators);
+  const auto bogus = engine.announce(attacker, Origin::Attacker, validators);
+  engine.set_decision_watch(kInvalidAs, nullptr);
+  engine.export_routes(table_);
+  return summarize(target, attacker, legit.generations + bogus.generations);
 }
 
 AttackResult HijackSimulator::summarize(AsId target, AsId attacker,
@@ -160,6 +224,14 @@ AttackResult HijackSimulator::summarize(AsId target, AsId attacker,
   attack_span.arg("target", target);
   attack_span.arg("attacker", attacker);
   attack_span.arg("polluted_ases", result.polluted_ases);
+  BGPSIM_EVENT(::bgpsim::obs::EventRecord ev("attack_result");
+               ev.u64("target_asn", graph_.asn(target));
+               ev.u64("attacker_asn", graph_.asn(attacker));
+               ev.u64("polluted_ases", result.polluted_ases);
+               ev.f64("polluted_fraction", result.polluted_address_fraction);
+               ev.u64("routed_ases", result.routed_ases);
+               ev.u64("generations", result.generations);
+               ev.emit());
   return result;
 }
 

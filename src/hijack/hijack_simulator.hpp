@@ -7,6 +7,7 @@
 
 #include "bgp/equilibrium_engine.hpp"
 #include "bgp/generation_engine.hpp"
+#include "bgp/introspect.hpp"
 #include "bgp/policy.hpp"
 #include "bgp/types.hpp"
 #include "net/allocation.hpp"
@@ -107,6 +108,13 @@ class HijackSimulator {
   /// frames (drives the paper's polar-graph visualizations).
   AttackResult attack_with_trace(AsId target, AsId attacker,
                                  PropagationTrace& trace);
+
+  /// attack() on the generation engine, recording the per-generation
+  /// route-decision history of `watched` into `history` (drives the CLI's
+  /// `--explain <asn>`). Under -DBGPSIM_OBS=OFF the attack still runs but
+  /// the history stays empty (introspection compiles out).
+  AttackResult attack_explained(AsId target, AsId attacker, AsId watched,
+                                DecisionHistory& history);
 
   /// Route table of the most recent attack.
   const RouteTable& routes() const { return table_; }

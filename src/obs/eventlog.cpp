@@ -1,0 +1,87 @@
+#include "obs/eventlog.hpp"
+
+#include <chrono>
+#include <filesystem>
+
+#include "support/env.hpp"
+
+namespace bgpsim::obs {
+
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+EventLogSink& EventLogSink::instance() {
+  static EventLogSink sink;
+  return sink;
+}
+
+EventLogSink::EventLogSink() : epoch_ns_(steady_now_ns()) {
+  const std::string path = env_string("BGPSIM_EVENTLOG", "");
+  if (!path.empty()) set_output(path);
+}
+
+EventLogSink::~EventLogSink() { flush(); }
+
+void EventLogSink::set_output(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (out_.is_open()) {
+    out_.flush();
+    out_.close();
+  }
+  if (path.empty()) {
+    enabled_.store(false, std::memory_order_relaxed);
+    return;
+  }
+  // Best-effort parent creation, like the report writer: observability must
+  // never take down an experiment, so failure just leaves the log disabled.
+  std::error_code ec;
+  const std::filesystem::path target(path);
+  if (target.has_parent_path()) {
+    std::filesystem::create_directories(target.parent_path(), ec);
+  }
+  out_.open(target, std::ios::binary | std::ios::trunc);
+  enabled_.store(out_.is_open(), std::memory_order_relaxed);
+}
+
+double EventLogSink::now_seconds() const {
+  return static_cast<double>(steady_now_ns() - epoch_ns_) * 1e-9;
+}
+
+std::uint64_t EventLogSink::write_record(std::string_view open_object) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t seq = next_seq_++;
+  if (out_.is_open()) {
+    out_ << open_object << ",\"seq\":" << seq << "}\n";
+  }
+  return seq;
+}
+
+void EventLogSink::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (out_.is_open()) out_.flush();
+}
+
+EventRecord::EventRecord(const char* type) {
+  json_.begin_object();
+  json_.field("type", type);
+  json_.field("ts", EventLogSink::instance().now_seconds());
+}
+
+void EventRecord::emit() {
+  if (emitted_) return;
+  emitted_ = true;
+  EventLogSink& sink = EventLogSink::instance();
+  if (!sink.enabled()) return;
+  // The writer's object is still open (no end_object): the sink appends the
+  // seq field and the closing brace under its lock.
+  sink.write_record(json_.str());
+}
+
+}  // namespace bgpsim::obs

@@ -1,0 +1,105 @@
+// Structured NDJSON event log: one JSON object per line, one line per
+// simulation event, appended to the file named by BGPSIM_EVENTLOG (or the
+// CLI's --eventlog). Where the metrics registry aggregates and the trace
+// sink times, the event log *narrates*: run_start / generation_end /
+// attack_injected / first_detection / run_end records carry enough context
+// to reconstruct what a run did without re-running it.
+//
+// Schema (every record):
+//   type  string   record type (see below)
+//   ts    number   seconds since the sink's epoch (steady clock)
+//   seq   number   strictly increasing per process, assigned at write
+// plus per-type fields documented in DESIGN.md §7. Consumers must ignore
+// unknown fields; emitters must never remove or retype the required three.
+//
+// Emission sites go through the BGPSIM_EVENT(...) macro in obs/obs.hpp: one
+// relaxed atomic load when the log is disabled (the default), nothing at all
+// under -DBGPSIM_OBS=OFF.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+
+namespace bgpsim::obs {
+
+class EventLogSink {
+ public:
+  /// Process-wide sink; reads BGPSIM_EVENTLOG once at first use.
+  static EventLogSink& instance();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// (Re)direct output (CLI flags, tests). An empty path disables logging
+  /// and flushes what was written. The file is truncated on open — an event
+  /// log documents one run, not a history of runs.
+  void set_output(const std::string& path);
+
+  /// Seconds since the sink epoch (steady clock).
+  double now_seconds() const;
+
+  /// Append one NDJSON line. `open_object` is the record's JSON object up
+  /// to (excluding) the closing brace — the sink appends the "seq" field
+  /// and closes it, so sequence numbers match file order even under
+  /// concurrent emitters. Returns the assigned sequence number.
+  std::uint64_t write_record(std::string_view open_object);
+
+  /// Flush buffered lines to disk. Called automatically on set_output("")
+  /// and at process exit.
+  void flush();
+
+  ~EventLogSink();
+
+ private:
+  EventLogSink();
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::ofstream out_;
+  std::uint64_t next_seq_ = 0;
+  std::int64_t epoch_ns_ = 0;
+};
+
+inline bool eventlog_enabled() { return EventLogSink::instance().enabled(); }
+
+/// Builder for one event record. Construct with the type, add fields, then
+/// emit() exactly once; ts is sampled at construction, seq at emission.
+///
+///   EventRecord ev("generation_end");
+///   ev.u64("generation", g).u64("messages_sent", n);
+///   ev.emit();
+class EventRecord {
+ public:
+  explicit EventRecord(const char* type);
+
+  EventRecord& u64(std::string_view key, std::uint64_t value) {
+    json_.field(key, value);
+    return *this;
+  }
+  EventRecord& f64(std::string_view key, double value) {
+    json_.field(key, value);
+    return *this;
+  }
+  EventRecord& str(std::string_view key, std::string_view value) {
+    json_.field(key, value);
+    return *this;
+  }
+  EventRecord& boolean(std::string_view key, bool value) {
+    json_.field(key, value);
+    return *this;
+  }
+
+  /// Close the record and append it to the sink (no-op when disabled).
+  void emit();
+
+ private:
+  JsonWriter json_;
+  bool emitted_ = false;
+};
+
+}  // namespace bgpsim::obs

@@ -171,6 +171,49 @@ void Registry::reset() {
   for (auto& [name, hist] : histograms_) hist->reset();
 }
 
+double HistogramSnapshot::approx_quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  const double target = q * static_cast<double>(count);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double in_bucket = static_cast<double>(counts[i]);
+    if (cumulative + in_bucket < target) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // Interpolate inside bucket i, whose nominal range is
+    // [bounds[i-1], bounds[i]) with min/max standing in at the extremes.
+    const double lo = i == 0 ? min : bounds[i - 1];
+    const double hi = i >= bounds.size() ? max : bounds[i];
+    const double fraction = in_bucket == 0.0 ? 0.0 : (target - cumulative) / in_bucket;
+    const double value = lo + (hi - lo) * fraction;
+    return std::min(std::max(value, min), max);
+  }
+  return max;
+}
+
+void write_histogram_json(JsonWriter& json, const HistogramSnapshot& hist) {
+  json.begin_object();
+  json.field("count", hist.count);
+  json.field("sum", hist.sum);
+  json.field("min", hist.min);
+  json.field("max", hist.max);
+  json.field("p50", hist.approx_quantile(0.50));
+  json.field("p90", hist.approx_quantile(0.90));
+  json.field("p99", hist.approx_quantile(0.99));
+  json.key("bounds");
+  json.begin_array();
+  for (const double b : hist.bounds) json.value(b);
+  json.end_array();
+  json.key("counts");
+  json.begin_array();
+  for (const std::uint64_t c : hist.counts) json.value(c);
+  json.end_array();
+  json.end_object();
+}
+
 std::string RegistrySnapshot::to_json() const {
   JsonWriter json;
   json.begin_object();
@@ -186,20 +229,7 @@ std::string RegistrySnapshot::to_json() const {
   json.begin_object();
   for (const auto& [name, hist] : histograms) {
     json.key(name);
-    json.begin_object();
-    json.field("count", hist.count);
-    json.field("sum", hist.sum);
-    json.field("min", hist.min);
-    json.field("max", hist.max);
-    json.key("bounds");
-    json.begin_array();
-    for (const double b : hist.bounds) json.value(b);
-    json.end_array();
-    json.key("counts");
-    json.begin_array();
-    for (const std::uint64_t c : hist.counts) json.value(c);
-    json.end_array();
-    json.end_object();
+    write_histogram_json(json, hist);
   }
   json.end_object();
   json.end_object();

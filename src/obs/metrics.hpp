@@ -17,6 +17,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/json.hpp"
+
 namespace bgpsim::obs {
 
 /// Monotonically increasing event count (messages, attacks, drops, ...).
@@ -99,7 +101,18 @@ struct HistogramSnapshot {
   double sum = 0.0;
   double min = 0.0;
   double max = 0.0;
+
+  /// Approximate quantile (q in [0,1]) by linear interpolation inside the
+  /// bucket containing the target rank, clamped to the observed [min, max].
+  /// Exact at the bucket resolution — good enough for p50/p90/p99 latency
+  /// summaries on the doubling latency_spec() buckets.
+  double approx_quantile(double q) const;
 };
+
+/// Emit one histogram as a JSON object: moments, p50/p90/p99, bucket bounds
+/// and counts. Shared by registry snapshots and run reports so both emit the
+/// same schema (bgpsim-perfdiff parses either).
+void write_histogram_json(JsonWriter& json, const HistogramSnapshot& hist);
 
 /// Point-in-time copy of the whole registry.
 struct RegistrySnapshot {

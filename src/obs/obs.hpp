@@ -14,12 +14,14 @@
 //                            stats.generations);
 //   BGPSIM_TIMED_SCOPE("generation.announce");   // -> time.generation.announce
 //   BGPSIM_TRACE_SPAN(span, "generation");       // span.arg("n", g);
+//   BGPSIM_EVENT(EventRecord ev("run_end"); ev.u64("gens", g); ev.emit());
 //
 // The registry, trace sink, and report emitter remain available as ordinary
 // classes even when the macros are disabled (tools and benches may always
 // snapshot or emit reports; they will simply be empty).
 #pragma once
 
+#include "obs/eventlog.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/timer.hpp"
@@ -36,6 +38,7 @@
 #define BGPSIM_TIMED_SCOPE(name) ((void)0)
 #define BGPSIM_TRACE_SPAN(var, name) [[maybe_unused]] ::bgpsim::obs::NullSpan var
 #define BGPSIM_TRACE_COUNTER(name, value) ((void)0)
+#define BGPSIM_EVENT(...) ((void)0)
 
 #else
 
@@ -79,6 +82,19 @@
   do {                                                                   \
     if (::bgpsim::obs::trace_enabled()) {                                \
       ::bgpsim::obs::TraceSink::instance().counter((name), (value));     \
+    }                                                                    \
+  } while (0)
+
+/// Emit one structured event-log record; the statements run only when an
+/// event log is active (one relaxed bool load otherwise):
+///
+///   BGPSIM_EVENT(::bgpsim::obs::EventRecord ev("run_end");
+///                ev.u64("generations", stats.generations);
+///                ev.emit());
+#define BGPSIM_EVENT(...)                                                \
+  do {                                                                   \
+    if (::bgpsim::obs::eventlog_enabled()) {                             \
+      __VA_ARGS__;                                                       \
     }                                                                    \
   } while (0)
 

@@ -1,0 +1,354 @@
+#include "obs/perfdiff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+#include <tuple>
+
+#include "obs/json_parse.hpp"
+#include "support/stats.hpp"
+
+namespace bgpsim::obs {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool starts_with(const std::string& s, std::string_view prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+/// wall.* and time.* metrics carry seconds and regress by threshold; every
+/// other flattened metric is a determinism check (exact match).
+bool is_time_metric(const std::string& metric) {
+  return starts_with(metric, "wall.") || starts_with(metric, "time.");
+}
+
+std::string fmt_seconds(double seconds) {
+  char buffer[48];
+  if (seconds >= 1.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.3fs", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buffer, sizeof(buffer), "%.3fms", seconds * 1e3);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.1fus", seconds * 1e6);
+  }
+  return buffer;
+}
+
+std::string fmt_value(const std::string& metric, double value) {
+  if (is_time_metric(metric)) return fmt_seconds(value);
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+double mean_of(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return xs.empty() ? 0.0 : sum / static_cast<double>(xs.size());
+}
+
+}  // namespace
+
+BenchSample parse_bench_report(const std::string& path) {
+  const JsonValue doc = parse_json_file(path);
+  if (!doc.is_object()) throw ConfigError(path + ": report is not a JSON object");
+  const JsonValue* name = doc.find("name");
+  const JsonValue* wall = doc.find_path({"wall_time_seconds", "total"});
+  if (name == nullptr || !name->is_string() || wall == nullptr) {
+    throw ConfigError(path + ": missing required report keys (name, "
+                      "wall_time_seconds.total)");
+  }
+
+  BenchSample sample;
+  sample.path = path;
+  sample.name = name->as_string();
+  sample.seed = doc.find("seed") != nullptr ? doc.find("seed")->as_u64() : 0;
+  sample.scale = doc.find("scale") != nullptr ? doc.find("scale")->as_u64() : 0;
+  if (const JsonValue* checksum = doc.find("topology_checksum")) {
+    sample.topology_checksum = checksum->as_u64();
+  }
+  if (const JsonValue* repeat = doc.find("repeat")) {
+    sample.repeat = repeat->as_u64(1);
+  }
+  if (const JsonValue* rev = doc.find("git_rev"); rev != nullptr && rev->is_string()) {
+    sample.git_rev = rev->as_string();
+  }
+
+  sample.metrics["wall.total"] = wall->as_number();
+  if (const JsonValue* phases = doc.find_path({"wall_time_seconds", "phases"})) {
+    for (const auto& [phase, seconds] : phases->members()) {
+      sample.metrics["wall.phase." + phase] = seconds.as_number();
+    }
+  }
+  if (const JsonValue* extras = doc.find("extras")) {
+    for (const auto& [key, value] : extras->members()) {
+      sample.metrics["extra." + key] = value.as_number();
+    }
+  }
+  if (const JsonValue* counters = doc.find_path({"metrics", "counters"})) {
+    for (const auto& [key, value] : counters->members()) {
+      sample.metrics["counter." + key] = value.as_number();
+    }
+  }
+  if (const JsonValue* gauges = doc.find_path({"metrics", "gauges"})) {
+    for (const auto& [key, value] : gauges->members()) {
+      sample.metrics["gauge." + key] = value.as_number();
+    }
+  }
+  if (const JsonValue* histograms = doc.find_path({"metrics", "histograms"})) {
+    for (const auto& [key, hist] : histograms->members()) {
+      const double count = hist.number_at("count");
+      sample.metrics["hist." + key + ".count"] = count;
+      if (starts_with(key, "time.")) {
+        // Latency histograms: the observation count is deterministic, the
+        // seconds are the perf signal.
+        if (count > 0.0) {
+          sample.metrics[key + ".mean"] = hist.number_at("sum") / count;
+        }
+        for (const char* quantile : {"p50", "p90", "p99"}) {
+          if (const JsonValue* q = hist.find(quantile)) {
+            sample.metrics[key + "." + quantile] = q->as_number();
+          }
+        }
+      } else {
+        // Domain histograms (pollution sizes, convergence generations):
+        // both moments are functions of the seed, so both must reproduce.
+        sample.metrics["hist." + key + ".sum"] = hist.number_at("sum");
+      }
+    }
+  }
+  return sample;
+}
+
+std::vector<BenchSample> load_reports(const std::string& path) {
+  std::vector<BenchSample> samples;
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::recursive_directory_iterator(path)) {
+      const std::string file = entry.path().filename().string();
+      if (entry.is_regular_file() && starts_with(file, "BENCH_") &&
+          entry.path().extension() == ".json") {
+        files.push_back(entry.path());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    samples.reserve(files.size());
+    for (const fs::path& file : files) {
+      samples.push_back(parse_bench_report(file.string()));
+    }
+    return samples;
+  }
+  samples.push_back(parse_bench_report(path));
+  return samples;
+}
+
+PerfDiffResult diff_reports(const std::vector<BenchSample>& baseline,
+                            const std::vector<BenchSample>& candidate,
+                            const DiffOptions& options) {
+  using Key = std::tuple<std::string, std::uint64_t, std::uint64_t>;
+  const auto key_of = [](const BenchSample& sample) {
+    return Key{sample.name, sample.scale, sample.seed};
+  };
+  const auto key_label = [](const Key& key) {
+    return std::get<0>(key) + " scale=" + std::to_string(std::get<1>(key)) +
+           " seed=" + std::to_string(std::get<2>(key));
+  };
+
+  std::map<Key, std::vector<const BenchSample*>> base_groups;
+  std::map<Key, std::vector<const BenchSample*>> cand_groups;
+  for (const BenchSample& sample : baseline) {
+    base_groups[key_of(sample)].push_back(&sample);
+  }
+  for (const BenchSample& sample : candidate) {
+    cand_groups[key_of(sample)].push_back(&sample);
+  }
+
+  PerfDiffResult result;
+  for (const auto& [key, base_runs] : base_groups) {
+    const auto cand_it = cand_groups.find(key);
+    if (cand_it == cand_groups.end()) {
+      result.baseline_only.push_back(key_label(key));
+      continue;
+    }
+    const auto& cand_runs = cand_it->second;
+
+    // Topology guard: every run in the pairing must describe the same graph.
+    // A zero checksum (pre-checksum report) is tolerated next to anything.
+    std::uint64_t checksum = 0;
+    for (const auto* runs : {&base_runs, &cand_runs}) {
+      for (const BenchSample* sample : *runs) {
+        if (sample->topology_checksum == 0) continue;
+        if (checksum == 0) {
+          checksum = sample->topology_checksum;
+        } else if (checksum != sample->topology_checksum) {
+          throw IncomparableError(
+              key_label(key) + ": topology checksum mismatch (" +
+              std::to_string(checksum) + " vs " +
+              std::to_string(sample->topology_checksum) + " in " +
+              sample->path + "); refusing to diff different topologies");
+        }
+      }
+    }
+
+    BenchDiff bench;
+    bench.name = std::get<0>(key);
+    bench.scale = std::get<1>(key);
+    bench.seed = std::get<2>(key);
+    bench.baseline_runs = base_runs.size();
+    bench.candidate_runs = cand_runs.size();
+
+    // Union of metric names present on both sides.
+    std::vector<std::string> metric_names;
+    for (const auto& [metric, value] : base_runs.front()->metrics) {
+      (void)value;
+      metric_names.push_back(metric);
+    }
+    for (const std::string& metric : metric_names) {
+      std::vector<double> base_values;
+      std::vector<double> cand_values;
+      for (const BenchSample* sample : base_runs) {
+        const auto it = sample->metrics.find(metric);
+        if (it != sample->metrics.end()) base_values.push_back(it->second);
+      }
+      for (const BenchSample* sample : cand_runs) {
+        const auto it = sample->metrics.find(metric);
+        if (it != sample->metrics.end()) cand_values.push_back(it->second);
+      }
+      if (base_values.empty() || cand_values.empty()) continue;
+
+      MetricDiff diff;
+      diff.metric = metric;
+      diff.baseline = mean_of(base_values);
+      diff.candidate = mean_of(cand_values);
+      if (diff.baseline != 0.0) {
+        diff.delta = (diff.candidate - diff.baseline) / std::abs(diff.baseline);
+      } else if (diff.candidate != 0.0) {
+        diff.delta = std::numeric_limits<double>::infinity();
+      }
+      diff.fidelity = !is_time_metric(metric);
+
+      if (diff.fidelity) {
+        // Same seed + same topology => deterministic; any drift is a bug or
+        // an intended behavior change that must re-baseline.
+        const double tolerance = 1e-9 * std::max(1.0, std::abs(diff.baseline));
+        diff.regression = std::abs(diff.candidate - diff.baseline) > tolerance;
+      } else if (std::max(diff.baseline, diff.candidate) >= options.min_seconds) {
+        // 4+4 runs is the smallest layout where Mann-Whitney can reach
+        // p < 0.05 at all; below that the threshold alone decides.
+        diff.tested = base_values.size() >= 4 && cand_values.size() >= 4;
+        if (diff.tested) {
+          diff.p_value = mann_whitney_p(base_values, cand_values);
+        }
+        diff.regression = diff.delta > options.threshold &&
+                          (!diff.tested || diff.p_value < options.alpha);
+      }
+      bench.regression = bench.regression || diff.regression;
+      bench.metrics.push_back(std::move(diff));
+    }
+
+    result.regression = result.regression || bench.regression;
+    result.benches.push_back(std::move(bench));
+  }
+  for (const auto& [key, runs] : cand_groups) {
+    (void)runs;
+    if (!base_groups.contains(key)) {
+      result.candidate_only.push_back(key_label(key));
+    }
+  }
+  return result;
+}
+
+std::string PerfDiffResult::render(const DiffOptions& options) const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "perfdiff: %zu bench pairing(s), threshold %.0f%%, alpha %.2f\n",
+                benches.size(), options.threshold * 100.0, options.alpha);
+  out += line;
+
+  for (const BenchDiff& bench : benches) {
+    std::snprintf(line, sizeof(line),
+                  "== %s scale=%llu seed=%llu  (baseline %zu run(s), "
+                  "candidate %zu run(s))\n",
+                  bench.name.c_str(),
+                  static_cast<unsigned long long>(bench.scale),
+                  static_cast<unsigned long long>(bench.seed),
+                  bench.baseline_runs, bench.candidate_runs);
+    out += line;
+
+    std::size_t fidelity_ok = 0;
+    for (const MetricDiff& diff : bench.metrics) {
+      if (diff.fidelity && !diff.regression) {
+        ++fidelity_ok;
+        continue;
+      }
+      const char* status = "ok        ";
+      if (diff.regression) {
+        status = diff.fidelity ? "FIDELITY  " : "REGRESSION";
+      } else if (!diff.fidelity && diff.delta < -options.threshold) {
+        status = "improved  ";
+      }
+      std::string detail;
+      if (std::isinf(diff.delta)) {
+        detail = "(new nonzero)";
+      } else {
+        std::snprintf(line, sizeof(line), "(%+.1f%%%s)", diff.delta * 100.0,
+                      diff.tested
+                          ? (", p=" + std::to_string(diff.p_value)).c_str()
+                          : "");
+        detail = line;
+      }
+      std::snprintf(line, sizeof(line), "  %s %-44s %12s -> %-12s %s\n", status,
+                    diff.metric.c_str(),
+                    fmt_value(diff.metric, diff.baseline).c_str(),
+                    fmt_value(diff.metric, diff.candidate).c_str(),
+                    detail.c_str());
+      out += line;
+    }
+    std::snprintf(line, sizeof(line), "  %zu fidelity metric(s) match exactly\n",
+                  fidelity_ok);
+    out += line;
+  }
+  for (const std::string& label : baseline_only) {
+    out += "  note: baseline-only (no candidate run): " + label + "\n";
+  }
+  for (const std::string& label : candidate_only) {
+    out += "  note: candidate-only (no baseline run): " + label + "\n";
+  }
+  out += regression ? "verdict: REGRESSION\n" : "verdict: ok\n";
+  return out;
+}
+
+std::vector<std::string> update_baselines(
+    const std::vector<BenchSample>& candidate, const std::string& baseline_dir) {
+  std::error_code ec;
+  fs::create_directories(baseline_dir, ec);
+  if (!fs::is_directory(baseline_dir)) {
+    throw ConfigError("cannot create baseline directory " + baseline_dir);
+  }
+  std::map<std::string, std::size_t> seen;
+  std::vector<std::string> written;
+  for (const BenchSample& sample : candidate) {
+    const std::string stem = "BENCH_" + sample.name + "." +
+                             std::to_string(sample.scale) + "." +
+                             std::to_string(sample.seed);
+    const std::size_t k = seen[stem]++;
+    const std::string file =
+        k == 0 ? stem + ".json" : stem + "." + std::to_string(k) + ".json";
+    const fs::path target = fs::path(baseline_dir) / file;
+    fs::copy_file(sample.path, target, fs::copy_options::overwrite_existing, ec);
+    if (ec) {
+      throw ConfigError("cannot write baseline " + target.string() + ": " +
+                        ec.message());
+    }
+    written.push_back(file);
+  }
+  return written;
+}
+
+}  // namespace bgpsim::obs

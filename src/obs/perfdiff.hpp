@@ -1,0 +1,111 @@
+// Perf-trajectory engine: compare BENCH_*.json run reports across builds.
+//
+// Each report is flattened into comparable scalar metrics:
+//   wall.total            total wall seconds
+//   wall.phase.<name>     per-phase wall seconds
+//   time.<scope>.mean     mean seconds per BGPSIM_TIMED_SCOPE observation
+//   time.<scope>.p50/p90/p99  latency quantiles (when present)
+//   counter.<name>        metrics-registry counters
+//   gauge.<name>, extra.<name>, hist.<name>.count/sum
+//
+// Reports pair by (name, scale, seed); repeated runs of the same key on one
+// side become samples of the same population, so CI can run a bench twice
+// and let the Mann-Whitney U test separate drift from noise. Time-valued
+// metrics regress when the relative delta exceeds the threshold (and, with
+// enough samples, the shift is statistically significant); everything else
+// is *fidelity* — a same-seed deterministic simulation must reproduce its
+// counters exactly, so any difference is reported as a fidelity regression.
+//
+// Topology checksums guard comparability: pairing reports whose checksums
+// differ is an error (IncomparableError), not a garbage delta.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace bgpsim::obs {
+
+/// Report pairs whose topology fingerprints differ — the runs simulated
+/// different graphs, so their metrics must not be diffed.
+class IncomparableError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// One parsed BENCH_<name>.json run report, flattened for comparison.
+struct BenchSample {
+  std::string path;  ///< where it was loaded from (diagnostics)
+  std::string name;
+  std::uint64_t seed = 0;
+  std::uint64_t scale = 0;
+  std::uint64_t topology_checksum = 0;  ///< 0 = absent (pre-checksum report)
+  std::uint64_t repeat = 1;
+  std::string git_rev;
+  std::map<std::string, double> metrics;
+};
+
+/// Parse one run report. Throws bgpsim::ParseError (malformed JSON) or
+/// bgpsim::ConfigError (unreadable file / missing required keys).
+BenchSample parse_bench_report(const std::string& path);
+
+/// Load every BENCH_*.json under `path` (a report file, or a directory
+/// scanned recursively — e.g. a whole BGPSIM_OUTDIR or bench_baselines/).
+std::vector<BenchSample> load_reports(const std::string& path);
+
+struct DiffOptions {
+  double threshold = 0.10;    ///< relative delta that counts as a regression
+  double alpha = 0.05;        ///< significance level when samples allow a test
+  double min_seconds = 1e-3;  ///< time metrics below this on both sides are noise
+};
+
+/// Verdict for one metric of one paired bench.
+struct MetricDiff {
+  std::string metric;
+  double baseline = 0.0;   ///< mean over baseline samples
+  double candidate = 0.0;  ///< mean over candidate samples
+  double delta = 0.0;      ///< (candidate - baseline) / baseline; 0 when baseline == 0
+  double p_value = 1.0;    ///< Mann-Whitney; 1.0 when samples were too few
+  bool tested = false;     ///< enough samples for the significance test
+  bool fidelity = false;   ///< exact-match metric (counters, hist counts, ...)
+  bool regression = false;
+};
+
+/// All metric verdicts for one (name, scale, seed) pairing.
+struct BenchDiff {
+  std::string name;
+  std::uint64_t scale = 0;
+  std::uint64_t seed = 0;
+  std::size_t baseline_runs = 0;
+  std::size_t candidate_runs = 0;
+  std::vector<MetricDiff> metrics;
+  bool regression = false;
+};
+
+struct PerfDiffResult {
+  std::vector<BenchDiff> benches;
+  std::vector<std::string> baseline_only;   ///< keys with no candidate run
+  std::vector<std::string> candidate_only;  ///< keys with no baseline run
+  bool regression = false;
+
+  /// Human-readable table naming every regressed metric.
+  std::string render(const DiffOptions& options) const;
+};
+
+/// Pair and diff two report sets. Throws IncomparableError when a pairing
+/// mixes topology checksums (within either side or across sides).
+PerfDiffResult diff_reports(const std::vector<BenchSample>& baseline,
+                            const std::vector<BenchSample>& candidate,
+                            const DiffOptions& options);
+
+/// Copy the candidate reports into `baseline_dir` as the new baseline store:
+/// one BENCH_<name>.<scale>.<seed>[.<k>].json per report (k numbers repeated
+/// runs of the same key). Returns the file names written. Throws
+/// bgpsim::ConfigError when the directory cannot be created or written.
+std::vector<std::string> update_baselines(
+    const std::vector<BenchSample>& candidate, const std::string& baseline_dir);
+
+}  // namespace bgpsim::obs

@@ -24,6 +24,8 @@ std::string RunReport::to_json() const {
   json.field("name", name_);
   json.field("seed", seed_);
   json.field("scale", static_cast<std::uint64_t>(scale_));
+  json.field("topology_checksum", topology_checksum_);
+  json.field("repeat", static_cast<std::uint64_t>(repeat_));
   json.field("git_rev", git_rev());
   json.key("wall_time_seconds");
   json.begin_object();
@@ -63,20 +65,7 @@ std::string RunReport::to_json() const {
   json.begin_object();
   for (const auto& [name, hist] : snap.histograms) {
     json.key(name);
-    json.begin_object();
-    json.field("count", hist.count);
-    json.field("sum", hist.sum);
-    json.field("min", hist.min);
-    json.field("max", hist.max);
-    json.key("bounds");
-    json.begin_array();
-    for (const double b : hist.bounds) json.value(b);
-    json.end_array();
-    json.key("counts");
-    json.begin_array();
-    for (const std::uint64_t c : hist.counts) json.value(c);
-    json.end_array();
-    json.end_object();
+    write_histogram_json(json, hist);
   }
   json.end_object();
   json.end_object();

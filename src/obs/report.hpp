@@ -31,6 +31,18 @@ class RunReport {
   void set_scale(std::uint32_t scale) { scale_ = scale; }
   void set_total_wall_seconds(double seconds) { total_wall_seconds_ = seconds; }
 
+  /// Fingerprint of the simulated topology (topology_checksum()). perfdiff
+  /// refuses to diff reports whose checksums differ: same (slug, scale,
+  /// seed) on different graph code produces incomparable wall times.
+  void set_topology_checksum(std::uint64_t checksum) {
+    topology_checksum_ = checksum;
+  }
+
+  /// How many within-process repetitions this report's wall times aggregate
+  /// (BGPSIM_REPEAT; 1 = a single run). Recorded so perfdiff can report the
+  /// sample provenance next to its verdict.
+  void set_repeat(std::uint32_t repeat) { repeat_ = repeat; }
+
   /// Named wall-time component ("generate_topology", "sweep", ...).
   void add_phase(std::string phase, double seconds) {
     phases_.emplace_back(std::move(phase), seconds);
@@ -59,6 +71,8 @@ class RunReport {
   std::string name_;
   std::uint64_t seed_ = 0;
   std::uint32_t scale_ = 0;
+  std::uint64_t topology_checksum_ = 0;
+  std::uint32_t repeat_ = 1;
   double total_wall_seconds_ = 0.0;
   std::vector<std::pair<std::string, double>> phases_;
   std::vector<std::pair<std::string, double>> extras_;

@@ -161,4 +161,44 @@ double spearman(const std::vector<double>& xs, const std::vector<double>& ys) {
   return pearson(average_ranks(xs), average_ranks(ys));
 }
 
+double mann_whitney_p(const std::vector<double>& a, const std::vector<double>& b) {
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  if (a.size() < 2 || b.size() < 2) return 1.0;
+
+  std::vector<double> pooled;
+  pooled.reserve(a.size() + b.size());
+  pooled.insert(pooled.end(), a.begin(), a.end());
+  pooled.insert(pooled.end(), b.begin(), b.end());
+  const std::vector<double> ranks = average_ranks(pooled);
+
+  double rank_sum_a = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) rank_sum_a += ranks[i];
+  const double u = rank_sum_a - na * (na + 1.0) / 2.0;
+
+  // Normal approximation with tie correction. Count tie groups on the
+  // pooled sample (average_ranks already assigned midranks).
+  const double n = na + nb;
+  std::vector<double> sorted = pooled;
+  std::sort(sorted.begin(), sorted.end());
+  double tie_term = 0.0;
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    std::size_t j = i;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    const double t = static_cast<double>(j - i);
+    tie_term += t * t * t - t;
+    i = j;
+  }
+  const double mean_u = na * nb / 2.0;
+  const double variance =
+      na * nb / 12.0 * ((n + 1.0) - tie_term / (n * (n - 1.0)));
+  if (variance <= 0.0) return 1.0;  // all observations identical
+
+  // Continuity correction; two-sided p via the complementary error function.
+  const double z = (std::abs(u - mean_u) - 0.5) / std::sqrt(variance);
+  if (z <= 0.0) return 1.0;
+  return std::erfc(z / std::sqrt(2.0));
+}
+
 }  // namespace bgpsim

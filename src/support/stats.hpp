@@ -79,4 +79,11 @@ double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
 /// Spearman rank correlation (Pearson on ranks, average ranks for ties).
 double spearman(const std::vector<double>& xs, const std::vector<double>& ys);
 
+/// Two-sided Mann-Whitney U test p-value (normal approximation with tie and
+/// continuity corrections): probability of seeing rank separation at least
+/// this extreme between samples drawn from the same distribution. Returns
+/// 1.0 when either sample has fewer than 2 values or all values tie —
+/// perfdiff uses it to separate real perf shifts from run-to-run noise.
+double mann_whitney_p(const std::vector<double>& a, const std::vector<double>& b);
+
 }  // namespace bgpsim

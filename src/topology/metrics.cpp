@@ -224,4 +224,26 @@ bool is_multi_homed(const AsGraph& graph, AsId as_id, std::uint32_t n) {
   return false;
 }
 
+std::uint64_t topology_checksum(const AsGraph& graph) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  const auto fold = [&hash](std::uint64_t value) {
+    // Byte-wise FNV-1a keeps the fold sensitive to byte order and width.
+    for (int shift = 0; shift < 64; shift += 8) {
+      hash ^= (value >> shift) & 0xffull;
+      hash *= 0x100000001b3ull;  // FNV prime
+    }
+  };
+  fold(graph.num_ases());
+  for (AsId v = 0; v < graph.num_ases(); ++v) {
+    fold(graph.asn(v));
+    fold(graph.address_space(v));
+    fold(graph.region(v));
+    for (const auto& nbr : graph.neighbors(v)) {
+      fold((static_cast<std::uint64_t>(nbr.id) << 8) |
+           static_cast<std::uint64_t>(nbr.rel));
+    }
+  }
+  return hash;
+}
+
 }  // namespace bgpsim

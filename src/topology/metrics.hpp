@@ -67,4 +67,11 @@ bool is_stub(const AsGraph& graph, AsId as_id);
 /// True when the AS has at least `n` providers.
 bool is_multi_homed(const AsGraph& graph, AsId as_id, std::uint32_t n = 2);
 
+/// Deterministic 64-bit fingerprint of a topology: ASNs, adjacency,
+/// relationship classes, and address-space weights all feed an FNV-1a fold,
+/// so any change to the simulated graph — generator tweak, parser fix,
+/// different scale — produces a different value. Run reports carry it so
+/// bgpsim-perfdiff can refuse to compare runs of different topologies.
+std::uint64_t topology_checksum(const AsGraph& graph);
+
 }  // namespace bgpsim

@@ -151,5 +151,32 @@ TEST(Spearman, HandlesTies) {
   EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
 }
 
+TEST(MannWhitney, DegenerateSamplesReturnOne) {
+  EXPECT_DOUBLE_EQ(mann_whitney_p({}, {1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(mann_whitney_p({1}, {1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(mann_whitney_p({3, 3, 3}, {3, 3, 3}), 1.0);  // all tied
+}
+
+TEST(MannWhitney, IdenticalPopulationsAreInsignificant) {
+  const std::vector<double> a{10.0, 10.2, 9.9, 10.1, 10.0, 9.8};
+  EXPECT_GT(mann_whitney_p(a, a), 0.5);
+}
+
+TEST(MannWhitney, FullySeparatedSamplesAreSignificant) {
+  const std::vector<double> slow{12.0, 12.1, 12.3, 11.9, 12.2, 12.4, 12.0, 12.1};
+  const std::vector<double> fast{10.0, 10.1, 10.3, 9.9, 10.2, 10.4, 10.0, 10.1};
+  EXPECT_LT(mann_whitney_p(fast, slow), 0.01);
+  // Symmetric: direction of the shift does not change the two-sided p.
+  EXPECT_NEAR(mann_whitney_p(fast, slow), mann_whitney_p(slow, fast), 1e-9);
+}
+
+TEST(MannWhitney, SmallOverlapIsBorderline) {
+  const std::vector<double> a{10.0, 10.5, 11.0, 11.5};
+  const std::vector<double> b{10.2, 10.7, 11.2, 11.7};
+  const double p = mann_whitney_p(a, b);
+  EXPECT_GT(p, 0.05);
+  EXPECT_LE(p, 1.0);
+}
+
 }  // namespace
 }  // namespace bgpsim

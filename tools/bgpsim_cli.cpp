@@ -5,18 +5,24 @@
 //   bgpsim info (--topo file | --ases N [--seed S])
 //       topology statistics: tiers, transit share, depth histogram
 //   bgpsim attack (--topo file | --ases N) --victim ASN --attacker ASN
-//                 [--subprefix] [--forged] [--core K]
-//       simulate one hijack, optionally with ROV deployed at the top-K core
+//                 [--subprefix] [--forged] [--core K] [--explain ASN]
+//       simulate one hijack, optionally with ROV deployed at the top-K core;
+//       --explain replays it on the generation engine and prints the named
+//       AS's per-generation route-decision history (candidates, rank, why
+//       displaced)
 //   bgpsim sweep (--topo file | --ases N) --victim ASN [--core K]
 //       attack the victim from every transit AS; print the profile
 //   bgpsim detect (--topo file | --ases N) [--attacks N] [--probes K]
 //       random transit attacks vs a top-K probe set; print the miss rate
 //
 // Observability (any command):
-//   --obs [file]    dump the metrics-registry snapshot as JSON after the
-//                   command (to stdout, or to <file> when given)
-//   --trace <file>  write a chrome://tracing / Perfetto trace of the run
-//                   (equivalent to BGPSIM_TRACE=<file>)
+//   --obs [file]       dump the metrics-registry snapshot after the command:
+//                      a human summary to stdout (time.* histograms as
+//                      p50/p90/p99), or full JSON when <file> is given
+//   --trace <file>     write a chrome://tracing / Perfetto trace of the run
+//                      (equivalent to BGPSIM_TRACE=<file>)
+//   --eventlog <file>  write the structured NDJSON event log there
+//                      (equivalent to BGPSIM_EVENTLOG=<file>)
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -25,8 +31,10 @@
 
 #include "analysis/detector_experiment.hpp"
 #include "analysis/vulnerability.hpp"
+#include "bgp/introspect.hpp"
 #include "core/scenario.hpp"
 #include "defense/deployment.hpp"
+#include "obs/eventlog.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/error.hpp"
@@ -138,6 +146,27 @@ int cmd_attack(const Args& args) {
   if (args.flag("subprefix")) options.kind = AttackKind::SubPrefix;
   options.forged_origin = args.flag("forged");
 
+  if (const auto explain_asn = args.number("explain")) {
+    if (options.forged_origin || options.kind == AttackKind::SubPrefix) {
+      throw ConfigError("--explain supports the plain exact-prefix attack");
+    }
+    const AsId watched = g.require(static_cast<Asn>(*explain_asn));
+    DecisionHistory history;
+    const auto result =
+        sim.attack_explained(g.require(static_cast<Asn>(*victim_asn)),
+                             g.require(static_cast<Asn>(*attacker_asn)),
+                             watched, history);
+    std::printf("exact-prefix hijack of AS%llu by AS%llu "
+                "(generation engine, %u generations):\n",
+                static_cast<unsigned long long>(*victim_asn),
+                static_cast<unsigned long long>(*attacker_asn),
+                result.generations);
+    std::printf("  polluted: %u of %u ASes (%.1f%%)\n\n", result.polluted_ases,
+                g.num_ases(), 100.0 * result.polluted_ases / g.num_ases());
+    std::fputs(render_decision_history(g, history).c_str(), stdout);
+    return 0;
+  }
+
   const auto result =
       sim.attack_ex(g.require(static_cast<Asn>(*victim_asn)),
                     g.require(static_cast<Asn>(*attacker_asn)), options);
@@ -210,20 +239,45 @@ int usage() {
   return 2;
 }
 
-/// Dump the metrics-registry snapshot after a command ran under --obs.
+/// Dump the metrics-registry snapshot after a command ran under --obs:
+/// full JSON to a file, or a human-readable summary to stdout where time.*
+/// histograms show latency quantiles instead of raw bucket counts.
 void emit_obs_snapshot(const std::string& destination) {
-  const std::string json = obs::registry().snapshot().to_json();
-  if (destination.empty()) {
-    std::printf("%s\n", json.c_str());
+  const obs::RegistrySnapshot snap = obs::registry().snapshot();
+  if (!destination.empty()) {
+    std::ofstream out(destination);
+    out << snap.to_json() << '\n';
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write metrics snapshot to %s\n",
+                   destination.c_str());
+    } else {
+      std::printf("metrics snapshot: %s\n", destination.c_str());
+    }
     return;
   }
-  std::ofstream out(destination);
-  out << json << '\n';
-  if (!out) {
-    std::fprintf(stderr, "error: cannot write metrics snapshot to %s\n",
-                 destination.c_str());
-  } else {
-    std::printf("metrics snapshot: %s\n", destination.c_str());
+
+  std::printf("-- metrics snapshot --\n");
+  for (const auto& [name, value] : snap.counters) {
+    std::printf("  counter  %-40s %llu\n", name.c_str(),
+                static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    std::printf("  gauge    %-40s %g\n", name.c_str(), value);
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    if (name.rfind("time.", 0) == 0) {
+      std::printf("  time     %-40s n=%llu  p50=%.3gms p90=%.3gms p99=%.3gms\n",
+                  name.c_str(), static_cast<unsigned long long>(hist.count),
+                  hist.approx_quantile(0.50) * 1e3,
+                  hist.approx_quantile(0.90) * 1e3,
+                  hist.approx_quantile(0.99) * 1e3);
+    } else {
+      std::printf("  hist     %-40s n=%llu  mean=%.6g min=%g max=%g\n",
+                  name.c_str(), static_cast<unsigned long long>(hist.count),
+                  hist.count > 0 ? hist.sum / static_cast<double>(hist.count)
+                                 : 0.0,
+                  hist.min, hist.max);
+    }
   }
 }
 
@@ -243,6 +297,9 @@ int main(int argc, char** argv) {
     const Args args = parse_args(argc, argv);
     if (const auto trace = args.text("trace"); trace && !trace->empty()) {
       obs::TraceSink::instance().set_output(*trace);
+    }
+    if (const auto eventlog = args.text("eventlog"); eventlog && !eventlog->empty()) {
+      obs::EventLogSink::instance().set_output(*eventlog);
     }
     const int status = run_command(args);
     if (args.flag("obs")) emit_obs_snapshot(args.text("obs").value_or(""));

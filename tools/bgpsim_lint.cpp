@@ -15,6 +15,11 @@
 //                  all timing flows through bgpsim::obs (BGPSIM_TIMED_SCOPE,
 //                  obs::StopWatch) so instrumentation compiles out under
 //                  -DBGPSIM_OBS=OFF
+//   obs-io         no direct std::ofstream JSON emission in src/ outside
+//                  src/obs/ — a file that uses JsonWriter (or includes
+//                  obs/json.hpp) must route file output through the obs
+//                  layer (RunReport, EventLogSink, TraceSink), which owns
+//                  directory creation, truncation, and flush policy
 //   self-contained every public header under src/ compiles standalone
 //                  (--check-headers; invokes the compiler per header)
 //
@@ -205,6 +210,10 @@ void lint_file(const fs::path& path, const fs::path& root,
   const bool is_assert_home = rel == "src/support/assert.hpp";
   const bool is_rng_home = starts_with(rel, "src/support/rng");
   const bool is_obs_home = starts_with(rel, "src/obs/");
+  // A library file that writes JSON (uses JsonWriter / includes obs/json.hpp)
+  // must not open files itself — the obs sinks own that.
+  const bool emits_json = code.find("JsonWriter") != std::string::npos ||
+                          code.find("obs/json.hpp") != std::string::npos;
 
   if (is_header && code.find("#pragma once") == std::string::npos) {
     findings.push_back({rel, 1, "pragma-once", "header is missing #pragma once"});
@@ -259,6 +268,14 @@ void lint_file(const fs::path& path, const fs::path& root,
                             "bgpsim::obs (BGPSIM_TIMED_SCOPE / obs::StopWatch) "
                             "so it compiles out under -DBGPSIM_OBS=OFF"});
       }
+    }
+
+    if (is_library && !is_obs_home && emits_json &&
+        line.find("std::ofstream") != std::string::npos) {
+      findings.push_back({rel, lineno, "obs-io",
+                          "direct std::ofstream in JSON-emitting library "
+                          "code; emit through bgpsim::obs (RunReport / "
+                          "EventLogSink), which owns file lifecycle"});
     }
 
     if (is_library) {

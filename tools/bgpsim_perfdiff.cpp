@@ -1,0 +1,134 @@
+// bgpsim-perfdiff — compare BENCH_*.json run reports across builds.
+//
+//   bgpsim-perfdiff --baseline bench_baselines/ --candidate out/
+//   bgpsim-perfdiff --baseline old/BENCH_fig1.json --candidate new/BENCH_fig1.json
+//   bgpsim-perfdiff --candidate out/ --update-baselines bench_baselines/
+//
+// Exit codes:
+//   0  no regression (or baselines updated)
+//   1  perf or fidelity regression detected (named in the output)
+//   2  usage error, unreadable/malformed report, or incomparable topologies
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/perfdiff.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using bgpsim::obs::BenchSample;
+using bgpsim::obs::DiffOptions;
+using bgpsim::obs::PerfDiffResult;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --baseline <report|dir> --candidate <report|dir>\n"
+               "          [--threshold <frac>] [--alpha <p>] [--min-seconds <s>]\n"
+               "       %s --candidate <report|dir> --update-baselines <dir>\n"
+               "\n"
+               "Pairs BENCH_*.json reports by (name, scale, seed) and reports\n"
+               "per-metric deltas. Time metrics regress past --threshold\n"
+               "(default 0.10); counters must match exactly (same seed =>\n"
+               "deterministic). Exits 1 on regression, 2 on schema/usage/\n"
+               "topology-mismatch errors.\n",
+               argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string candidate_path;
+  std::string update_dir;
+  DiffOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--baseline") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      baseline_path = v;
+    } else if (arg == "--candidate") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      candidate_path = v;
+    } else if (arg == "--update-baselines") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      update_dir = v;
+    } else if (arg == "--threshold") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      options.threshold = std::stod(v);
+    } else if (arg == "--alpha") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      options.alpha = std::stod(v);
+    } else if (arg == "--min-seconds") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      options.min_seconds = std::stod(v);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (candidate_path.empty()) return usage(argv[0]);
+  if (baseline_path.empty() && update_dir.empty()) return usage(argv[0]);
+
+  try {
+    const std::vector<BenchSample> candidate =
+        bgpsim::obs::load_reports(candidate_path);
+    if (candidate.empty()) {
+      std::fprintf(stderr, "no BENCH_*.json reports under %s\n",
+                   candidate_path.c_str());
+      return 2;
+    }
+
+    if (!update_dir.empty()) {
+      const std::vector<std::string> written =
+          bgpsim::obs::update_baselines(candidate, update_dir);
+      for (const std::string& file : written) {
+        std::printf("baseline updated: %s/%s\n", update_dir.c_str(),
+                    file.c_str());
+      }
+      return 0;
+    }
+
+    const std::vector<BenchSample> baseline =
+        bgpsim::obs::load_reports(baseline_path);
+    if (baseline.empty()) {
+      std::fprintf(stderr, "no BENCH_*.json reports under %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    for (const BenchSample& sample : baseline) {
+      if (sample.topology_checksum == 0) {
+        std::fprintf(stderr,
+                     "warning: %s has no topology_checksum (old report); "
+                     "topology comparability not verified\n",
+                     sample.path.c_str());
+      }
+    }
+
+    const PerfDiffResult result =
+        bgpsim::obs::diff_reports(baseline, candidate, options);
+    std::fputs(result.render(options).c_str(), stdout);
+    if (result.benches.empty()) {
+      std::fprintf(stderr, "no (name, scale, seed) pairings matched\n");
+      return 2;
+    }
+    return result.regression ? 1 : 0;
+  } catch (const bgpsim::obs::IncomparableError& e) {
+    std::fprintf(stderr, "perfdiff: %s\n", e.what());
+    return 2;
+  } catch (const bgpsim::Error& e) {
+    std::fprintf(stderr, "perfdiff: %s\n", e.what());
+    return 2;
+  }
+}
