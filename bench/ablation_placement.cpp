@@ -62,6 +62,10 @@ int main() {
   HijackSimulator sim = scenario.make_simulator();
   SelfInterestAdvisor advisor(scenario);
 
+  // 4 filter budgets x eval sweep; the greedy training attacks on top are
+  // untracked (the tracker tolerates done > declared total).
+  BGPSIM_PROGRESS(4ull * eval.size());
+  BGPSIM_PROGRESS_PHASE("ablation.filter_placement");
   std::printf("\n--- filter placement (mean pollution against the victim) ---\n");
   std::printf("  %8s %16s %16s\n", "budget", "top-degree", "greedy");
   for (const std::size_t budget : {1u, 2u, 4u, 8u}) {
@@ -87,6 +91,8 @@ int main() {
                 greedy_score <= heuristic_score ? "  <- greedy wins" : "");
   }
 
+  BGPSIM_PROGRESS(3ull * eval.size());
+  BGPSIM_PROGRESS_PHASE("ablation.probe_placement");
   std::printf("\n--- probe placement (attacks on the victim missed) ---\n");
   std::printf("  %8s %16s %16s\n", "budget", "top-degree", "greedy");
   for (const std::size_t budget : {1u, 2u, 4u}) {

@@ -5,6 +5,9 @@
 #include <filesystem>
 #include <system_error>
 
+#include "obs/heartbeat.hpp"
+#include "obs/mem.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "topology/metrics.hpp"
 
@@ -50,10 +53,21 @@ BenchEnv::BenchEnv(const char* slug_in, const char* title)
               g.num_regions());
   std::printf("  (scale with BGPSIM_SCALE=<n>, e.g. 42697 for full paper scale)\n");
   std::printf("================================================================\n");
+
+  // Registry calls (not macros) so run reports carry the topology footprint
+  // even under -DBGPSIM_OBS=OFF; the heartbeat sampler no-ops there.
+  obs::registry().gauge("mem.topology_bytes_est")
+      .set(static_cast<double>(g.memory_bytes()));
+  obs::heartbeat_start();
 }
 
 BenchEnv::~BenchEnv() {
   if (g_active_env == this) g_active_env = nullptr;
+  // Final heartbeat + sampler join before the registry snapshot below, so
+  // the report sees the campaign-end progress and memory gauges; the
+  // explicit publish covers runs where no heartbeat sink was configured.
+  obs::heartbeat_stop();
+  obs::publish_mem_gauges();
   report.set_total_wall_seconds(wall.elapsed_seconds());
   if (env_bool("BGPSIM_OBS_REPORT", true)) {
     const std::string path = out_path(*this, "BENCH_" + slug + ".json");

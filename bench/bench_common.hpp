@@ -12,6 +12,13 @@
 //   BGPSIM_REPEAT     — repetition index recorded in the run report, so
 //                       bgpsim-perfdiff can tell deliberate repeated runs
 //                       (perf samples) from accidental duplicates
+//   BGPSIM_PROGRESS_STDERR / BGPSIM_HEARTBEAT_SECS / BGPSIM_PROM_FILE /
+//   BGPSIM_PROM_PORT  — live telemetry: BenchEnv starts the heartbeat
+//                       sampler at construction and stops it (final
+//                       heartbeat, thread join) before the run report is
+//                       written. Benches declare their expected workload
+//                       with BGPSIM_PROGRESS(total_attacks) so heartbeats
+//                       carry a finite ETA.
 #pragma once
 
 #include <cstdint>
@@ -19,8 +26,7 @@
 
 #include "analysis/vulnerability.hpp"
 #include "core/scenario.hpp"
-#include "obs/report.hpp"
-#include "obs/timer.hpp"
+#include "obs/obs.hpp"
 #include "support/env.hpp"
 #include "support/rng.hpp"
 

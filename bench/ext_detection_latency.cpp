@@ -43,7 +43,12 @@ int main() {
   std::vector<std::uint32_t> missed(probe_sets.size(), 0);
   std::uint32_t harmless = 0;
 
+  // The asynchronous engine bypasses HijackSimulator::summarize (the usual
+  // tick choke point), so this loop ticks the tracker itself.
+  BGPSIM_PROGRESS(n_attacks);
+  BGPSIM_PROGRESS_PHASE("detection.latency");
   for (std::uint32_t i = 0; i < n_attacks; ++i) {
+    BGPSIM_PROGRESS_TICK();
     const AsId target = transits[rng.bounded(transits.size())];
     AsId attacker = transits[rng.bounded(transits.size())];
     if (attacker == target) attacker = transits[(i + 1) % transits.size()];

@@ -39,6 +39,10 @@ int main() {
     if (target != attacker) pairs.emplace_back(target, attacker);
   }
 
+  // 2 undefended + 5 publication levels + 2 slack levels, n_attacks each.
+  BGPSIM_PROGRESS(9ull * n_attacks);
+  BGPSIM_PROGRESS_PHASE("subprefix.undefended");
+
   // --- 1. exact vs sub-prefix, no defense -----------------------------------
   RunningStats exact_stats, sub_stats;
   for (const auto& [target, attacker] : pairs) {

@@ -36,6 +36,8 @@ int main() {
               g.asn(attacker), g.degree(attacker), scenario.depth()[attacker],
               g.asn(victim), deepest);
 
+  BGPSIM_PROGRESS(1);
+  BGPSIM_PROGRESS_PHASE("fig1.propagation");
   HijackSimulator sim = scenario.make_simulator();
   PropagationTrace trace;
   const AttackResult result = sim.attack_with_trace(victim, attacker, trace);

@@ -32,6 +32,7 @@ int main() {
   const AsId target_deep = representative_target(scenario, deep, rng);
 
   VulnerabilityAnalyzer analyzer(g, scenario.sim_config(), default_sweep_threads());
+  BGPSIM_PROGRESS(2ull * (everyone.size() + transit_only.size()));
   std::vector<VulnerabilityCurve> curves;
   struct Case {
     AsId target;

@@ -29,6 +29,7 @@ int main() {
   const auto attacks = static_cast<std::uint32_t>(env_u64("BGPSIM_ATTACKS", 8000));
   DetectorExperiment experiment(g, scenario.sim_config(), default_sweep_threads());
   Rng rng(derive_seed(env.seed, 7));
+  BGPSIM_PROGRESS(attacks);
   const auto samples = experiment.sample_transit_attacks(attacks, rng);
 
   Rng probe_rng(derive_seed(env.seed, 77));

@@ -32,6 +32,8 @@ std::vector<DeploymentOutcome> run_ladder(const BenchEnv& env, AsId target,
   const AsGraph& g = scenario.graph();
 
   DeploymentExperiment experiment(g, scenario.sim_config(), default_sweep_threads());
+  BGPSIM_PROGRESS(static_cast<std::uint64_t>(plans.size()) *
+                  scenario.transit().size());
   const auto outcomes = experiment.run(target, scenario.transit(), plans);
 
   const std::uint32_t big_attack = g.num_ases() / 5;  // "large" = 20% of the net

@@ -58,6 +58,9 @@ int main() {
   std::printf("target: AS %u, depth %u stub (AS 55857 profile)\n", g.asn(target),
               scenario.depth()[target]);
 
+  // 3 regional passes (region members each) + 3 external passes (200 each);
+  // the greedy-filter search in experiment 2 adds untracked extra attacks.
+  BGPSIM_PROGRESS(3ull * members.size() + 3ull * 200);
   RegionalAnalyzer analyzer(g, scenario.sim_config());
   const auto base_regional = analyzer.attacks_from_region(target);
   Rng ext_rng(derive_seed(env.seed, 71));

@@ -46,6 +46,7 @@ int main() {
               core.label.c_str());
 
   DeploymentExperiment experiment(g, scenario.sim_config(), default_sweep_threads());
+  BGPSIM_PROGRESS(2ull * scenario.transit().size());
   const auto top_resistant = experiment.top_potent_attackers(
       target_resistant, scenario.transit(), core, scenario.depth(), 5);
   const auto top_vulnerable = experiment.top_potent_attackers(

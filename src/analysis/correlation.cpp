@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 #include "support/stats.hpp"
 
@@ -14,6 +15,7 @@ CorrelationReport correlate_vulnerability(const AsGraph& graph, SimConfig config
                                           std::uint32_t attacks_per_target,
                                           Rng& rng) {
   BGPSIM_REQUIRE(graph.num_ases() >= 4, "graph too small to correlate");
+  BGPSIM_PROGRESS_PHASE("correlation.sample");
   HijackSimulator simulator(graph, std::move(config));
 
   std::vector<double> target_depths, target_vuln;

@@ -2,6 +2,7 @@
 
 #include "analysis/vulnerability.hpp"
 #include "defense/deployment.hpp"
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 
 namespace bgpsim {
@@ -29,6 +30,9 @@ CriticalMassResult find_critical_mass(const AsGraph& graph, const SimConfig& con
   BGPSIM_REQUIRE(!attackers.empty(), "need at least one attacker");
   BGPSIM_REQUIRE(reduction_target > 0.0 && reduction_target < 1.0,
                  "reduction_target must be in (0,1)");
+  // Binary search: the attack count is unknown upfront, so no
+  // BGPSIM_PROGRESS total here — heartbeats still show done/rate/phase.
+  BGPSIM_PROGRESS_PHASE("critical_mass.search");
 
   VulnerabilityAnalyzer analyzer(graph, config, threads);
   CriticalMassResult result;

@@ -13,6 +13,7 @@ DeploymentExperiment::DeploymentExperiment(const AsGraph& graph, SimConfig confi
 std::vector<DeploymentOutcome> DeploymentExperiment::run(
     AsId target, std::span<const AsId> attackers,
     std::span<const DeploymentPlan> plans) {
+  BGPSIM_PROGRESS_PHASE("deployment.plans");
   std::vector<DeploymentOutcome> outcomes;
   outcomes.reserve(plans.size());
   for (const DeploymentPlan& plan : plans) {

@@ -1,10 +1,10 @@
 #include "analysis/detector_experiment.hpp"
 
 #include <algorithm>
-#include <thread>
 
 #include "obs/obs.hpp"
 #include "support/assert.hpp"
+#include "support/parallel.hpp"
 #include "topology/metrics.hpp"
 
 namespace bgpsim {
@@ -65,8 +65,7 @@ struct Accumulator {
 DetectorExperiment::DetectorExperiment(const AsGraph& graph, SimConfig config,
                                        unsigned threads)
     : graph_(graph), config_(config),
-      threads_(threads == 0 ? std::max(1u, std::thread::hardware_concurrency())
-                            : threads),
+      threads_(threads == 0 ? hardware_threads() : threads),
       simulator_(graph, std::move(config)) {}
 
 std::vector<AttackSample> DetectorExperiment::sample_transit_attacks(
@@ -89,6 +88,7 @@ std::vector<DetectorCaseResult> DetectorExperiment::run(
     std::size_t top_k) {
   BGPSIM_TIMED_SCOPE("detector.experiment");
   BGPSIM_COUNTER_ADD("detect.attack_samples", attacks.size());
+  BGPSIM_PROGRESS_PHASE("detector.experiment");
   std::vector<Accumulator> totals;
   totals.reserve(probe_sets.size());
   for (const ProbeSet& probes : probe_sets) totals.emplace_back(probes.size());
@@ -113,21 +113,16 @@ std::vector<DetectorCaseResult> DetectorExperiment::run(
     run_range(simulator_, totals, 0, attacks.size());
   } else {
     std::vector<std::vector<Accumulator>> partials(workers);
-    std::vector<std::thread> pool;
-    const std::size_t chunk = (attacks.size() + workers - 1) / workers;
-    for (unsigned w = 0; w < workers; ++w) {
-      const std::size_t begin = static_cast<std::size_t>(w) * chunk;
-      const std::size_t end = std::min(attacks.size(), begin + chunk);
-      if (begin >= end) break;
+    for (auto& partial : partials) {
       for (const ProbeSet& probes : probe_sets) {
-        partials[w].emplace_back(probes.size());
+        partial.emplace_back(probes.size());
       }
-      pool.emplace_back([&, w, begin, end] {
-        HijackSimulator sim(graph_, config_);
-        run_range(sim, partials[w], begin, end);
-      });
     }
-    for (auto& worker : pool) worker.join();
+    parallel_chunks(attacks.size(), workers,
+                    [&](unsigned w, std::size_t begin, std::size_t end) {
+                      HijackSimulator sim(graph_, config_);
+                      run_range(sim, partials[w], begin, end);
+                    });
     for (const auto& partial : partials) {
       for (std::size_t c = 0; c < partial.size(); ++c) {
         totals[c].merge(partial[c], top_k);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 #include "topology/graph_builder.hpp"
 #include "topology/metrics.hpp"
@@ -14,6 +15,7 @@ RegionalAnalyzer::RegionalAnalyzer(const AsGraph& graph, SimConfig config)
 
 RegionalImpact RegionalAnalyzer::run(AsId target, std::span<const AsId> attackers,
                                      const FilterSet* filters) {
+  BGPSIM_PROGRESS_PHASE("regional.impact");
   const std::uint16_t region = graph_.region(target);
   RegionalImpact impact;
   impact.region = region;

@@ -71,6 +71,12 @@ struct RouteTable {
     for (const Route& r : routes) count += (r.origin == origin);
     return count;
   }
+
+  /// Exact heap footprint of the table (allocated, not just used): the
+  /// `mem.rib_bytes_est` gauge that perfdiff holds against baselines.
+  std::uint64_t memory_bytes() const {
+    return static_cast<std::uint64_t>(routes.capacity()) * sizeof(Route);
+  }
 };
 
 /// Per-AS flag set: 1 = this AS performs route-origin validation and drops

@@ -217,6 +217,12 @@ AttackResult HijackSimulator::summarize(AsId target, AsId attacker,
                        static_cast<double>(total);
 
   BGPSIM_COUNTER_ADD("hijack.attacks", 1);
+  // Campaign progress: every attack entry point (attack, attack_ex,
+  // attack_with_trace, attack_explained) funnels through here, so this is
+  // the one place a finished attack is counted.
+  BGPSIM_PROGRESS_TICK();
+  BGPSIM_GAUGE_SET("mem.rib_routes", table_.routes.size());
+  BGPSIM_GAUGE_SET("mem.rib_bytes_est", table_.memory_bytes());
   BGPSIM_HISTOGRAM_OBSERVE(
       "hijack.polluted_ases",
       ::bgpsim::obs::HistogramSpec::exponential(1.0, 2.0, 24),

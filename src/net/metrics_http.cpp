@@ -1,0 +1,127 @@
+#include "net/metrics_http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace bgpsim::net {
+namespace {
+
+// How long poll() sleeps between stop-flag checks. Keeps stop() latency
+// bounded without busy-waiting (and without <chrono>, which library code
+// outside src/obs/ must not use).
+constexpr int kPollMillis = 200;
+
+// Read the request head (until blank line or buffer full) with a short
+// timeout, then answer. Anything that is not "GET /metrics" gets a 404.
+void handle_connection(int fd, const MetricsHttpServer::Provider& provider) {
+  char request[2048];
+  std::size_t used = 0;
+  while (used < sizeof(request) - 1) {
+    struct pollfd pfd{fd, POLLIN, 0};
+    if (poll(&pfd, 1, kPollMillis * 5) <= 0) break;
+    const ssize_t n = recv(fd, request + used, sizeof(request) - 1 - used, 0);
+    if (n <= 0) break;
+    used += static_cast<std::size_t>(n);
+    request[used] = '\0';
+    if (std::strstr(request, "\r\n\r\n") != nullptr ||
+        std::strstr(request, "\n\n") != nullptr) {
+      break;
+    }
+  }
+  request[used] = '\0';
+
+  std::string body;
+  const char* status = "404 Not Found";
+  const char* content_type = "text/plain; charset=utf-8";
+  if (std::strncmp(request, "GET /metrics", 12) == 0 &&
+      (request[12] == ' ' || request[12] == '?')) {
+    status = "200 OK";
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+    body = provider ? provider() : std::string();
+  } else {
+    body = "not found\n";
+  }
+
+  char header[256];
+  std::snprintf(header, sizeof(header),
+                "HTTP/1.1 %s\r\n"
+                "Content-Type: %s\r\n"
+                "Content-Length: %zu\r\n"
+                "Connection: close\r\n"
+                "\r\n",
+                status, content_type, body.size());
+  (void)send(fd, header, std::strlen(header), 0);
+  std::size_t sent = 0;
+  while (sent < body.size()) {
+    const ssize_t n = send(fd, body.data() + sent, body.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+bool MetricsHttpServer::start(std::uint16_t port, Provider provider) {
+  if (running()) return false;
+
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      listen(fd, 8) != 0) {
+    close(fd);
+    return false;
+  }
+  struct sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = port;
+  }
+
+  provider_ = std::move(provider);
+  listen_fd_ = fd;
+  stop_requested_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve(); });
+  return true;
+}
+
+void MetricsHttpServer::stop() {
+  if (!running()) return;
+  stop_requested_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  port_ = 0;
+  running_.store(false, std::memory_order_release);
+}
+
+void MetricsHttpServer::serve() {
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    struct pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = poll(&pfd, 1, kPollMillis);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flag
+    const int conn = accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    handle_connection(conn, provider_);
+    close(conn);
+  }
+}
+
+}  // namespace bgpsim::net

@@ -1,0 +1,53 @@
+// Minimal single-threaded HTTP server for Prometheus scrapes. Binds
+// loopback, serves GET /metrics with whatever the provider callback returns
+// (text/plain; version=0.0.4), answers 404 to anything else. One background
+// accept loop handles one connection at a time — it is telemetry plumbing,
+// not a web server; a scrape every few seconds is its entire workload.
+//
+// The simulation engines stay single-threaded: this thread only ever calls
+// the provider, which snapshots the lock-free metrics registry.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace bgpsim::net {
+
+class MetricsHttpServer {
+ public:
+  /// Returns the exposition body for one scrape.
+  using Provider = std::function<std::string()>;
+
+  MetricsHttpServer() = default;
+  ~MetricsHttpServer() { stop(); }
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Bind 127.0.0.1:`port` (0 = ephemeral) and spawn the accept loop.
+  /// Returns false (without throwing) when the socket cannot be bound.
+  bool start(std::uint16_t port, Provider provider);
+
+  /// Shut the listener down and join the thread. Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Actual bound port (useful after start(0, ...)); 0 when not running.
+  std::uint16_t port() const { return port_; }
+
+ private:
+  void serve();
+
+  Provider provider_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace bgpsim::net

@@ -1,6 +1,9 @@
 #include "obs/eventlog.hpp"
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
+#include <cstdlib>
 #include <filesystem>
 
 #include "support/env.hpp"
@@ -13,6 +16,30 @@ std::int64_t steady_now_ns() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+std::atomic<bool> g_handlers_installed{false};
+
+// Every record is flushed as it is written, so there is nothing buffered to
+// rescue here (and fstream calls are not async-signal-safe anyway): just
+// re-deliver the signal with its default disposition so a Ctrl-C still kills
+// the sweep — leaving a log whose only possible damage is a torn final line.
+void eventlog_signal_handler(int signum) {
+  std::signal(signum, SIG_DFL);
+  std::raise(signum);
+}
+
+// Called once, on the first successful open. The atexit flush covers exits
+// that bypass static destruction order; the SIGINT hook is only installed
+// when the process still has the default disposition (never clobber a host
+// application's handler).
+void install_crash_safety_handlers() {
+  if (g_handlers_installed.exchange(true)) return;
+  std::atexit([] { EventLogSink::instance().flush(); });
+  const auto previous = std::signal(SIGINT, &eventlog_signal_handler);
+  if (previous != SIG_DFL && previous != SIG_ERR) {
+    std::signal(SIGINT, previous);
+  }
 }
 
 }  // namespace
@@ -48,6 +75,7 @@ void EventLogSink::set_output(const std::string& path) {
   }
   out_.open(target, std::ios::binary | std::ios::trunc);
   enabled_.store(out_.is_open(), std::memory_order_relaxed);
+  if (out_.is_open()) install_crash_safety_handlers();
 }
 
 double EventLogSink::now_seconds() const {
@@ -58,7 +86,12 @@ std::uint64_t EventLogSink::write_record(std::string_view open_object) {
   std::lock_guard<std::mutex> lock(mutex_);
   const std::uint64_t seq = next_seq_++;
   if (out_.is_open()) {
+    // Crash safety: flush every line. A killed sweep (OOM, Ctrl-C, CI
+    // timeout) leaves at worst one torn trailing line; every complete line
+    // stays parseable. Heartbeats make the log a liveness signal, which only
+    // works if records reach the file as they happen.
     out_ << open_object << ",\"seq\":" << seq << "}\n";
+    out_.flush();
   }
   return seq;
 }

@@ -49,8 +49,9 @@ class EventLogSink {
   /// concurrent emitters. Returns the assigned sequence number.
   std::uint64_t write_record(std::string_view open_object);
 
-  /// Flush buffered lines to disk. Called automatically on set_output("")
-  /// and at process exit.
+  /// Flush buffered lines to disk. write_record already flushes each line
+  /// (crash safety: a killed sweep leaves at worst one torn trailing line);
+  /// this remains for set_output("") and the atexit/destructor paths.
   void flush();
 
   ~EventLogSink();

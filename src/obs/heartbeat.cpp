@@ -1,0 +1,219 @@
+#include "obs/heartbeat.hpp"
+
+#ifndef BGPSIM_OBS_DISABLED
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "net/metrics_http.hpp"
+#include "obs/eventlog.hpp"
+#include "obs/mem.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/promtext.hpp"
+#include "support/env.hpp"
+
+namespace bgpsim::obs {
+namespace {
+
+void format_eta(double eta_seconds, char* buf, std::size_t size) {
+  if (eta_seconds < 0.0) {
+    std::snprintf(buf, size, "?");
+  } else if (eta_seconds < 120.0) {
+    std::snprintf(buf, size, "%.0fs", eta_seconds);
+  } else if (eta_seconds < 7200.0) {
+    std::snprintf(buf, size, "%.0fm%02.0fs", eta_seconds / 60.0,
+                  std::fmod(eta_seconds, 60.0));
+  } else {
+    std::snprintf(buf, size, "%.0fh%02.0fm", eta_seconds / 3600.0,
+                  std::fmod(eta_seconds, 3600.0) / 60.0);
+  }
+}
+
+void format_bytes(double bytes, char* buf, std::size_t size) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  std::size_t u = 0;
+  while (bytes >= 1024.0 && u + 1 < sizeof(units) / sizeof(units[0])) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  std::snprintf(buf, size, "%.1f%s", bytes, units[u]);
+}
+
+/// Refresh the sampled gauges and snapshot the registry; shared by the
+/// heartbeat interval and ad-hoc HTTP scrapes so both see fresh numbers.
+std::string scrape_prom_text() {
+  publish_mem_gauges();
+  return to_prom_text(registry().snapshot());
+}
+
+class HeartbeatSampler {
+ public:
+  static HeartbeatSampler& instance() {
+    static HeartbeatSampler sampler;
+    return sampler;
+  }
+
+  void force_stderr(bool on) { stderr_forced_.store(on, std::memory_order_relaxed); }
+
+  void start() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (running_) return;
+
+    interval_seconds_ = env_f64("BGPSIM_HEARTBEAT_SECS", 1.0);
+    if (interval_seconds_ < 0.05) interval_seconds_ = 0.05;
+    stderr_status_ = stderr_forced_.load(std::memory_order_relaxed) ||
+                     env_bool("BGPSIM_PROGRESS_STDERR", false);
+    prom_file_ = env_string("BGPSIM_PROM_FILE", "");
+    const auto prom_port =
+        static_cast<std::uint16_t>(env_u64("BGPSIM_PROM_PORT", 0));
+
+    const bool any_sink = eventlog_enabled() || stderr_status_ ||
+                          !prom_file_.empty() || prom_port != 0;
+    if (!any_sink) return;
+
+    // Touch the sink singletons before registering our atexit hook: atexit
+    // handlers run before the destructors of statics constructed earlier, so
+    // the final heartbeat in heartbeat_stop() always finds them alive.
+    (void)registry();
+    (void)EventLogSink::instance();
+    (void)ProgressTracker::instance();
+
+    if (prom_port != 0) {
+      server_.start(prom_port, [] { return scrape_prom_text(); });
+    }
+    stop_requested_ = false;
+    running_ = true;
+    lock.unlock();
+
+    emit();  // heartbeat at start — with the final one, always >= 2
+    thread_ = std::thread([this] { loop(); });
+
+    static const bool atexit_registered = [] {
+      std::atexit([] { heartbeat_stop(); });
+      return true;
+    }();
+    (void)atexit_registered;
+  }
+
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!running_) return;
+      stop_requested_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+    server_.stop();
+    emit();  // final heartbeat: campaign-end state reaches every sink
+    if (stderr_status_ && isatty(2) != 0) {
+      std::fprintf(stderr, "\n");  // leave the live status line in place
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    running_ = false;
+  }
+
+  void emit() {
+    // Serialize emitters (sampler thread, tests, stop path): the prom-file
+    // atomic rename uses one well-known temp name per target.
+    std::lock_guard<std::mutex> lock(emit_mutex_);
+    const double now = EventLogSink::instance().now_seconds();
+    const ProgressStats stats = ProgressTracker::instance().sample(now);
+    const MemUsage mem = publish_mem_gauges();
+
+    Registry& reg = registry();
+    reg.gauge("progress.done").set(static_cast<double>(stats.done));
+    reg.gauge("progress.total").set(static_cast<double>(stats.total));
+    reg.gauge("progress.rate_per_second").set(stats.rate_per_second);
+    reg.gauge("progress.eta_seconds").set(stats.eta_seconds);
+
+    if (eventlog_enabled()) {
+      EventRecord ev("heartbeat");
+      ev.u64("done", stats.done).u64("total", stats.total);
+      ev.f64("rate", stats.rate_per_second);
+      ev.f64("eta_seconds", stats.eta_seconds);
+      ev.str("phase", stats.phase);
+      ev.u64("rss_bytes", mem.rss_bytes);
+      ev.u64("rss_peak_bytes", mem.rss_peak_bytes);
+      ev.emit();
+    }
+
+    if (!prom_file_.empty()) {
+      write_prom_file(prom_file_, to_prom_text(reg.snapshot()));
+    }
+    if (stderr_status_) print_status(stats, mem);
+  }
+
+ private:
+  HeartbeatSampler() = default;
+
+  void loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_requested_) {
+      cv_.wait_for(lock, std::chrono::duration<double>(interval_seconds_),
+                   [this] { return stop_requested_; });
+      if (stop_requested_) break;
+      lock.unlock();
+      emit();
+      lock.lock();
+    }
+  }
+
+  void print_status(const ProgressStats& stats, const MemUsage& mem) {
+    char eta[32];
+    char rss[32];
+    format_eta(stats.eta_seconds, eta, sizeof(eta));
+    format_bytes(static_cast<double>(mem.rss_bytes), rss, sizeof(rss));
+    const double pct = stats.total > 0
+                           ? 100.0 * static_cast<double>(stats.done) /
+                                 static_cast<double>(stats.total)
+                           : 0.0;
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "[bgpsim] %s%s%llu/%llu (%.1f%%) %.1f/s eta %s rss %s",
+                  stats.phase, stats.phase[0] != '\0' ? " " : "",
+                  static_cast<unsigned long long>(stats.done),
+                  static_cast<unsigned long long>(stats.total), pct,
+                  stats.rate_per_second, eta, rss);
+    if (isatty(2) != 0) {
+      std::fprintf(stderr, "\r\x1b[K%s", line);  // live-updating status line
+    } else {
+      std::fprintf(stderr, "%s\n", line);  // one parseable line per beat
+    }
+  }
+
+  std::mutex mutex_;  // guards running_/stop_requested_, pairs with cv_
+  std::condition_variable cv_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+  std::thread thread_;
+
+  std::mutex emit_mutex_;
+  double interval_seconds_ = 1.0;
+  bool stderr_status_ = false;
+  std::atomic<bool> stderr_forced_{false};
+  std::string prom_file_;
+  net::MetricsHttpServer server_;
+};
+
+}  // namespace
+
+void heartbeat_start() { HeartbeatSampler::instance().start(); }
+void heartbeat_stop() { HeartbeatSampler::instance().stop(); }
+void emit_heartbeat_now() { HeartbeatSampler::instance().emit(); }
+void heartbeat_force_stderr(bool on) {
+  HeartbeatSampler::instance().force_stderr(on);
+}
+
+}  // namespace bgpsim::obs
+
+#endif  // BGPSIM_OBS_DISABLED

@@ -1,0 +1,54 @@
+// Background heartbeat sampler: one thread per process (spawned lazily,
+// joined at exit) that periodically turns the live state of a campaign into
+// telemetry a human or a scraper can watch:
+//
+//   - a `heartbeat` NDJSON event in the event log
+//     (done/total/rate/eta_seconds/phase/rss_bytes/rss_peak_bytes),
+//   - `mem.*` and `progress.*` gauges in the metrics registry,
+//   - a Prometheus exposition file (BGPSIM_PROM_FILE, atomic rename per
+//     interval — node_exporter textfile-collector compatible),
+//   - an HTTP GET /metrics endpoint (BGPSIM_PROM_PORT, loopback),
+//   - an optional one-line stderr status (BGPSIM_PROGRESS_STDERR=1 or the
+//     CLI/bench `--progress` flag).
+//
+// heartbeat_start() is idempotent and does nothing unless at least one of
+// those sinks is configured; the interval comes from BGPSIM_HEARTBEAT_SECS
+// (default 1.0). Under -DBGPSIM_OBS=OFF everything here is an inline no-op
+// and no thread code is emitted at all (kHeartbeatCompiled lets tests prove
+// it at compile time).
+#pragma once
+
+namespace bgpsim::obs {
+
+#if defined(BGPSIM_OBS_DISABLED)
+
+inline constexpr bool kHeartbeatCompiled = false;
+
+inline void heartbeat_start() {}
+inline void heartbeat_stop() {}
+inline void emit_heartbeat_now() {}
+inline void heartbeat_force_stderr(bool /*on*/) {}
+
+#else
+
+inline constexpr bool kHeartbeatCompiled = true;
+
+/// Spawn the sampler thread if any sink is configured and it is not already
+/// running. Safe to call many times (benches, CLI, tests).
+void heartbeat_start();
+
+/// Emit one final heartbeat, stop the sampler, and join the thread.
+/// Idempotent; also registered via atexit by heartbeat_start().
+void heartbeat_stop();
+
+/// Synchronously emit one heartbeat (events + gauges + prom file), whether
+/// or not the sampler thread runs. Deterministic hook for tests.
+void emit_heartbeat_now();
+
+/// Turn the stderr status line on programmatically (CLI --progress) before
+/// calling heartbeat_start(). Equivalent to BGPSIM_PROGRESS_STDERR=1.
+void heartbeat_force_stderr(bool on);
+
+#endif  // BGPSIM_OBS_DISABLED
+
+}  // namespace bgpsim::obs

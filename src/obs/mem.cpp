@@ -1,0 +1,57 @@
+#include "obs/mem.hpp"
+
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+
+namespace bgpsim::obs {
+namespace {
+
+// Parse a "VmRSS:   123456 kB" style line; returns bytes or 0.
+std::uint64_t parse_kb_line(const char* line) {
+  const char* p = std::strchr(line, ':');
+  if (p == nullptr) return 0;
+  unsigned long long kb = 0;
+  if (std::sscanf(p + 1, "%llu", &kb) != 1) return 0;
+  return static_cast<std::uint64_t>(kb) * 1024;
+}
+
+}  // namespace
+
+MemUsage read_mem_usage() {
+  MemUsage usage;
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      if (std::strncmp(line, "VmRSS:", 6) == 0) {
+        usage.rss_bytes = parse_kb_line(line);
+      } else if (std::strncmp(line, "VmHWM:", 6) == 0) {
+        usage.rss_peak_bytes = parse_kb_line(line);
+      }
+      if (usage.rss_bytes != 0 && usage.rss_peak_bytes != 0) break;
+    }
+    std::fclose(f);
+  }
+  if (usage.rss_peak_bytes == 0) {
+    struct rusage ru{};
+    if (getrusage(RUSAGE_SELF, &ru) == 0 && ru.ru_maxrss > 0) {
+      // ru_maxrss is in kilobytes on Linux.
+      usage.rss_peak_bytes = static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+    }
+  }
+  if (usage.rss_bytes == 0) usage.rss_bytes = usage.rss_peak_bytes;
+  return usage;
+}
+
+MemUsage publish_mem_gauges() {
+  const MemUsage usage = read_mem_usage();
+  registry().gauge("mem.rss_bytes").set(static_cast<double>(usage.rss_bytes));
+  registry().gauge("mem.rss_peak_bytes")
+      .set(static_cast<double>(usage.rss_peak_bytes));
+  return usage;
+}
+
+}  // namespace bgpsim::obs

@@ -1,0 +1,30 @@
+// Process memory accounting. Reads current and peak resident set size from
+// /proc/self/status (VmRSS / VmHWM); when that file is unavailable (non-Linux
+// or restricted /proc) falls back to getrusage(RU_MAXRSS), which only knows
+// the peak. Values are published as gauges so the heartbeat sampler, the
+// Prometheus exposition, and BENCH_*.json run reports all see the same
+// numbers — and bgpsim-perfdiff can gate memory regressions.
+//
+// These are plain functions, available in both OBS configurations: memory
+// numbers in run reports are useful even when instrumentation macros are
+// compiled out.
+#pragma once
+
+#include <cstdint>
+
+namespace bgpsim::obs {
+
+struct MemUsage {
+  std::uint64_t rss_bytes = 0;       ///< current resident set; 0 if unknown
+  std::uint64_t rss_peak_bytes = 0;  ///< peak resident set; 0 if unknown
+};
+
+/// Read current/peak RSS for this process. Never throws; fields are 0 when
+/// the platform exposes no way to read them.
+MemUsage read_mem_usage();
+
+/// Read RSS and set the `mem.rss_bytes` / `mem.rss_peak_bytes` gauges in the
+/// process registry. Returns what it read.
+MemUsage publish_mem_gauges();
+
+}  // namespace bgpsim::obs

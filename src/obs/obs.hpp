@@ -22,7 +22,9 @@
 #pragma once
 
 #include "obs/eventlog.hpp"
+#include "obs/heartbeat.hpp"
 #include "obs/metrics.hpp"
+#include "obs/progress.hpp"
 #include "obs/report.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
@@ -39,6 +41,9 @@
 #define BGPSIM_TRACE_SPAN(var, name) [[maybe_unused]] ::bgpsim::obs::NullSpan var
 #define BGPSIM_TRACE_COUNTER(name, value) ((void)0)
 #define BGPSIM_EVENT(...) ((void)0)
+#define BGPSIM_PROGRESS(total) ((void)0)
+#define BGPSIM_PROGRESS_TICK() ((void)0)
+#define BGPSIM_PROGRESS_PHASE(name) ((void)0)
 
 #else
 
@@ -97,5 +102,20 @@
       __VA_ARGS__;                                                       \
     }                                                                    \
   } while (0)
+
+/// Declare `total` more units of expected work (attacks). Additive: nested
+/// sweep stages each announce their own share and the campaign total
+/// accretes; the heartbeat sampler turns it into done/total/rate/ETA.
+#define BGPSIM_PROGRESS(total) \
+  ::bgpsim::obs::progress().add_total(static_cast<std::uint64_t>(total))
+
+/// Record one finished unit of work. Call at the completion choke point
+/// (HijackSimulator::summarize and the drivers that bypass it), not in every
+/// loop that merely forwards to it — ticks must count each attack once.
+#define BGPSIM_PROGRESS_TICK() ::bgpsim::obs::progress().tick()
+
+/// Name the current campaign phase for heartbeats. `name` must be a string
+/// literal (the pointer is published to the sampler thread).
+#define BGPSIM_PROGRESS_PHASE(name) ::bgpsim::obs::progress().set_phase(name)
 
 #endif  // BGPSIM_OBS_DISABLED

@@ -26,6 +26,22 @@ bool is_time_metric(const std::string& metric) {
   return starts_with(metric, "wall.") || starts_with(metric, "time.");
 }
 
+/// Memory-footprint gauges (RSS, RIB/topology byte estimates): real but
+/// allocator- and environment-dependent, so they get their own threshold
+/// instead of the exact-match rule. mem.rib_routes (a count, not bytes)
+/// stays a fidelity metric.
+bool is_mem_metric(const std::string& metric) {
+  return starts_with(metric, "gauge.mem.") &&
+         metric.find("bytes") != std::string::npos;
+}
+
+/// Instantaneous sampler readings (progress rate/ETA at the final heartbeat)
+/// are wall-clock artifacts; diffing them is meaningless on any axis.
+bool is_volatile_metric(const std::string& metric) {
+  return starts_with(metric, "gauge.progress.rate") ||
+         starts_with(metric, "gauge.progress.eta");
+}
+
 std::string fmt_seconds(double seconds) {
   char buffer[48];
   if (seconds >= 1.0) {
@@ -209,6 +225,7 @@ PerfDiffResult diff_reports(const std::vector<BenchSample>& baseline,
       metric_names.push_back(metric);
     }
     for (const std::string& metric : metric_names) {
+      if (is_volatile_metric(metric)) continue;
       std::vector<double> base_values;
       std::vector<double> cand_values;
       for (const BenchSample* sample : base_runs) {
@@ -230,13 +247,17 @@ PerfDiffResult diff_reports(const std::vector<BenchSample>& baseline,
       } else if (diff.candidate != 0.0) {
         diff.delta = std::numeric_limits<double>::infinity();
       }
-      diff.fidelity = !is_time_metric(metric);
+      const bool mem = is_mem_metric(metric);
+      diff.fidelity = !is_time_metric(metric) && !mem;
 
       if (diff.fidelity) {
         // Same seed + same topology => deterministic; any drift is a bug or
         // an intended behavior change that must re-baseline.
         const double tolerance = 1e-9 * std::max(1.0, std::abs(diff.baseline));
         diff.regression = std::abs(diff.candidate - diff.baseline) > tolerance;
+      } else if (mem) {
+        // Memory only regresses upward; shrinking footprints are a win.
+        diff.regression = diff.delta > options.mem_threshold;
       } else if (std::max(diff.baseline, diff.candidate) >= options.min_seconds) {
         // 4+4 runs is the smallest layout where Mann-Whitney can reach
         // p < 0.05 at all; below that the threshold alone decides.
@@ -267,8 +288,10 @@ std::string PerfDiffResult::render(const DiffOptions& options) const {
   std::string out;
   char line[256];
   std::snprintf(line, sizeof(line),
-                "perfdiff: %zu bench pairing(s), threshold %.0f%%, alpha %.2f\n",
-                benches.size(), options.threshold * 100.0, options.alpha);
+                "perfdiff: %zu bench pairing(s), threshold %.0f%%, "
+                "mem-threshold %.0f%%, alpha %.2f\n",
+                benches.size(), options.threshold * 100.0,
+                options.mem_threshold * 100.0, options.alpha);
   out += line;
 
   for (const BenchDiff& bench : benches) {

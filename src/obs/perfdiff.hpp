@@ -12,9 +12,12 @@
 // side become samples of the same population, so CI can run a bench twice
 // and let the Mann-Whitney U test separate drift from noise. Time-valued
 // metrics regress when the relative delta exceeds the threshold (and, with
-// enough samples, the shift is statistically significant); everything else
-// is *fidelity* — a same-seed deterministic simulation must reproduce its
-// counters exactly, so any difference is reported as a fidelity regression.
+// enough samples, the shift is statistically significant); memory gauges
+// (gauge.mem.*bytes*) carry live process/model footprints and regress past
+// their own looser threshold; everything else is *fidelity* — a same-seed
+// deterministic simulation must reproduce its counters exactly, so any
+// difference is reported as a fidelity regression. Sampler-instantaneous
+// readings (progress rate/ETA) are wall-clock artifacts and are not diffed.
 //
 // Topology checksums guard comparability: pairing reports whose checksums
 // differ is an error (IncomparableError), not a garbage delta.
@@ -57,9 +60,10 @@ BenchSample parse_bench_report(const std::string& path);
 std::vector<BenchSample> load_reports(const std::string& path);
 
 struct DiffOptions {
-  double threshold = 0.10;    ///< relative delta that counts as a regression
-  double alpha = 0.05;        ///< significance level when samples allow a test
-  double min_seconds = 1e-3;  ///< time metrics below this on both sides are noise
+  double threshold = 0.10;     ///< relative delta that counts as a regression
+  double alpha = 0.05;         ///< significance level when samples allow a test
+  double min_seconds = 1e-3;   ///< time metrics below this on both sides are noise
+  double mem_threshold = 0.15; ///< relative delta allowed on gauge.mem.*bytes*
 };
 
 /// Verdict for one metric of one paired bench.

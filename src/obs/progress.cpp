@@ -1,0 +1,59 @@
+#include "obs/progress.hpp"
+
+#include <algorithm>
+
+namespace bgpsim::obs {
+
+ProgressTracker& ProgressTracker::instance() {
+  static ProgressTracker tracker;
+  return tracker;
+}
+
+ProgressStats compute_progress(std::uint64_t done, std::uint64_t declared_total,
+                               const char* phase,
+                               std::span<const ProgressSample> window) {
+  ProgressStats stats;
+  stats.done = done;
+  // A driver may under-declare (extra retries) or not declare at all; never
+  // report a total smaller than the work already finished.
+  stats.total = std::max(declared_total, done);
+  stats.phase = phase != nullptr ? phase : "";
+
+  if (window.size() >= 2) {
+    const ProgressSample& first = window.front();
+    const ProgressSample& last = window.back();
+    const double dt = last.t_seconds - first.t_seconds;
+    if (dt > 0.0 && last.done >= first.done) {
+      stats.rate_per_second = static_cast<double>(last.done - first.done) / dt;
+    }
+  }
+  if (declared_total > 0 && stats.rate_per_second > 0.0 &&
+      stats.total >= stats.done) {
+    stats.eta_seconds =
+        static_cast<double>(stats.total - stats.done) / stats.rate_per_second;
+  }
+  return stats;
+}
+
+ProgressStats ProgressTracker::sample(double now_seconds) {
+  const std::uint64_t done_now = done();
+  const std::uint64_t total_now = total();
+  const char* phase_now = phase();
+
+  std::lock_guard<std::mutex> lock(window_mutex_);
+  window_.push_back(ProgressSample{now_seconds, done_now});
+  if (window_.size() > kWindow) {
+    window_.erase(window_.begin(), window_.end() - static_cast<std::ptrdiff_t>(kWindow));
+  }
+  return compute_progress(done_now, total_now, phase_now, window_);
+}
+
+void ProgressTracker::reset() {
+  done_.store(0, std::memory_order_relaxed);
+  total_.store(0, std::memory_order_relaxed);
+  phase_.store("", std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(window_mutex_);
+  window_.clear();
+}
+
+}  // namespace bgpsim::obs

@@ -1,0 +1,101 @@
+// Live campaign progress: how far along a long sweep is, how fast it is
+// moving, and when it will finish. Sweep drivers declare expected work with
+// BGPSIM_PROGRESS(n) (additive, so nested stages accrete), every simulated
+// attack ticks the tracker (one relaxed atomic increment at the
+// HijackSimulator choke point), and coarse phase labels name what the
+// process is currently doing. The heartbeat sampler (obs/heartbeat.hpp)
+// periodically snapshots the tracker into NDJSON heartbeat events, the
+// Prometheus exposition, and the optional stderr status line.
+//
+// Instrumentation goes through the macros in obs/obs.hpp
+// (BGPSIM_PROGRESS / BGPSIM_PROGRESS_TICK / BGPSIM_PROGRESS_PHASE), which
+// compile to nothing under -DBGPSIM_OBS=OFF. The tracker itself remains an
+// ordinary class in both configurations so tools can always query it.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace bgpsim::obs {
+
+/// One (time, done) observation taken by the sampler; the rate window is a
+/// short history of these.
+struct ProgressSample {
+  double t_seconds = 0.0;
+  std::uint64_t done = 0;
+};
+
+/// Derived progress numbers for one heartbeat.
+struct ProgressStats {
+  std::uint64_t done = 0;
+  std::uint64_t total = 0;          ///< max(declared total, done): never < done
+  double rate_per_second = 0.0;     ///< over the sampling window
+  double eta_seconds = -1.0;        ///< -1 = unknown (no total or no rate yet)
+  const char* phase = "";
+};
+
+/// Pure ETA math, separated from the tracker so tests can drive it with a
+/// synthetic clock. `window` is ordered oldest-first and includes the latest
+/// sample; the rate is computed across the window's endpoints.
+ProgressStats compute_progress(std::uint64_t done, std::uint64_t declared_total,
+                               const char* phase,
+                               std::span<const ProgressSample> window);
+
+/// Process-wide work meter. tick() and add_total() are relaxed atomics —
+/// safe and cheap from sweep worker threads; the sample window is only
+/// touched by the (single) heartbeat sampler under a mutex.
+class ProgressTracker {
+ public:
+  static ProgressTracker& instance();
+
+  /// Declare `n` more units of expected work (attacks). Additive: each sweep
+  /// stage announces its own workload and the total accretes.
+  void add_total(std::uint64_t n) {
+    total_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Record `n` finished units.
+  void tick(std::uint64_t n = 1) { done_.fetch_add(n, std::memory_order_relaxed); }
+
+  /// Name the current phase. Must point at static storage (string literals):
+  /// the pointer itself is published to the sampler thread.
+  void set_phase(const char* phase) {
+    phase_.store(phase, std::memory_order_relaxed);
+  }
+
+  std::uint64_t done() const { return done_.load(std::memory_order_relaxed); }
+  std::uint64_t total() const { return total_.load(std::memory_order_relaxed); }
+  const char* phase() const { return phase_.load(std::memory_order_relaxed); }
+
+  /// Append a (now, done) sample to the rate window and return the derived
+  /// stats. Called by the heartbeat sampler once per interval; tests may call
+  /// it directly with a synthetic clock.
+  ProgressStats sample(double now_seconds);
+
+  /// Zero everything, including the rate window (test helper).
+  void reset();
+
+  /// Samples kept in the rate window: rates average over roughly the last
+  /// kWindow heartbeat intervals, so a stalled sweep's rate decays to zero
+  /// instead of being flattered by its fast start.
+  static constexpr std::size_t kWindow = 32;
+
+ private:
+  ProgressTracker() = default;
+
+  std::atomic<std::uint64_t> done_{0};
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<const char*> phase_{""};
+
+  std::mutex window_mutex_;
+  std::vector<ProgressSample> window_;  // oldest first, <= kWindow entries
+};
+
+/// Shorthand for ProgressTracker::instance().
+inline ProgressTracker& progress() { return ProgressTracker::instance(); }
+
+}  // namespace bgpsim::obs

@@ -1,0 +1,44 @@
+// Prometheus text exposition format (version 0.0.4) for the metrics
+// registry: a hand-rolled writer plus a matching parser so tests can
+// round-trip a snapshot and tools can validate exposition files without any
+// external dependency.
+//
+// Mapping:
+//   counter  "engine.msgs_propagated" -> # TYPE engine_msgs_propagated counter
+//   gauge    "mem.rss_bytes"          -> # TYPE mem_rss_bytes gauge
+//   histogram "time.sweep"            -> time_sweep_bucket{le="..."} (cumulative)
+//                                        + time_sweep_sum / time_sweep_count
+//
+// Metric names are sanitized to [a-zA-Z_:][a-zA-Z0-9_:]* (dots and other
+// separators become underscores). Histogram min/max are not representable in
+// the exposition format and are dropped; everything else round-trips exactly
+// (the writer emits deterministic, sorted output).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace bgpsim::obs {
+
+/// "engine.msgs_propagated" -> "engine_msgs_propagated".
+std::string prom_sanitize_name(std::string_view name);
+
+/// Serialize a registry snapshot in Prometheus text exposition format.
+/// Deterministic: metrics sorted by name, doubles printed with %.17g.
+std::string to_prom_text(const RegistrySnapshot& snapshot);
+
+/// Parse exposition text produced by to_prom_text (or any conforming
+/// producer limited to counter/gauge/histogram without labels other than
+/// `le`). Cumulative buckets are differenced back into per-bucket counts.
+/// Throws std::runtime_error on malformed input.
+RegistrySnapshot parse_prom_text(std::string_view text);
+
+/// Atomically replace `path` with `text`: write to "<path>.tmp" then rename.
+/// A scraper (node_exporter textfile collector, test harness) never observes
+/// a half-written file. Returns false on I/O failure (best-effort telemetry
+/// must not throw out of the sampler thread).
+bool write_prom_file(const std::string& path, const std::string& text);
+
+}  // namespace bgpsim::obs

@@ -19,6 +19,16 @@ std::string env_string(const char* name, const std::string& fallback) {
   return raw ? std::string{raw} : fallback;
 }
 
+double env_f64(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(raw, &end);
+  if (end == raw) return fallback;
+  while (*end == ' ' || *end == '\t') ++end;
+  return *end == '\0' ? parsed : fallback;
+}
+
 bool env_bool(const char* name, bool fallback) {
   const char* raw = std::getenv(name);
   if (raw == nullptr) return fallback;

@@ -13,6 +13,9 @@ std::uint64_t env_u64(const char* name, std::uint64_t fallback);
 /// Read a string env var; returns fallback when unset.
 std::string env_string(const char* name, const std::string& fallback);
 
+/// Read a floating-point env var; returns fallback when unset/invalid.
+double env_f64(const char* name, double fallback);
+
 /// Read a boolean env var. Accepts 1/true/yes/on and 0/false/no/off
 /// (case-insensitive, surrounding whitespace ignored); returns fallback when
 /// unset or unrecognized.

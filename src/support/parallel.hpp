@@ -1,0 +1,28 @@
+// The one sanctioned way for library code to fan work out across threads.
+//
+// Policy (enforced by bgpsim-lint's thread-policy rule): the simulation
+// engines are deterministic and single-threaded; only this helper, the obs
+// heartbeat sampler, and the net /metrics server may construct threads.
+// Analysis sweeps parallelize by giving each worker its own simulator over a
+// disjoint index range — identical results to a serial run, no shared
+// mutable state — and this header is where that pattern lives.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace bgpsim {
+
+/// Threads the host machine offers; always >= 1.
+unsigned hardware_threads();
+
+/// Split [0, n) into up to `workers` contiguous chunks and run
+/// fn(worker, begin, end) for each on its own thread; joins them all before
+/// returning. With workers <= 1 (or n == 0 trivially) runs inline on the
+/// calling thread as fn(0, 0, n). Exceptions must not escape fn.
+void parallel_chunks(
+    std::size_t n, unsigned workers,
+    const std::function<void(unsigned worker, std::size_t begin,
+                             std::size_t end)>& fn);
+
+}  // namespace bgpsim

@@ -27,6 +27,24 @@ std::optional<Rel> AsGraph::relationship(AsId a, AsId b) const {
   return it->rel;
 }
 
+std::uint64_t AsGraph::memory_bytes() const {
+  auto vec_bytes = [](const auto& v) {
+    return static_cast<std::uint64_t>(v.capacity()) * sizeof(v[0]);
+  };
+  std::uint64_t total = vec_bytes(offsets_) + vec_bytes(adj_) +
+                        vec_bytes(asn_) + vec_bytes(addr_space_) +
+                        vec_bytes(region_) + vec_bytes(region_names_);
+  for (const std::string& name : region_names_) {
+    total += name.capacity();
+  }
+  // unordered_map estimate: one bucket pointer per bucket plus a node
+  // (key, value, next pointer) per element — close enough for a gauge whose
+  // job is catching footprint regressions, not malloc bookkeeping.
+  total += index_.bucket_count() * sizeof(void*);
+  total += index_.size() * (sizeof(Asn) + sizeof(AsId) + 2 * sizeof(void*));
+  return total;
+}
+
 std::vector<AsId> AsGraph::ases_in_region(std::uint16_t region_id) const {
   std::vector<AsId> out;
   for (AsId v = 0; v < num_ases(); ++v) {

@@ -69,6 +69,11 @@ class AsGraph {
   /// All nodes whose region equals `region_id`.
   std::vector<AsId> ases_in_region(std::uint16_t region_id) const;
 
+  /// Estimated heap footprint of the topology (vector capacities plus a
+  /// bucket+node estimate for the ASN index). Feeds the
+  /// `mem.topology_bytes_est` gauge in run reports.
+  std::uint64_t memory_bytes() const;
+
  private:
   friend class GraphBuilder;
 

@@ -215,7 +215,10 @@ void GenState::build_regions() {
   }
 
   for (std::uint32_t r = 0; r < n_regions; ++r) {
-    const std::string region_name = "R" + std::to_string(r + 1);
+    // Built by append rather than operator+(const char*, string&&): GCC 12's
+    // -Wrestrict sees a bogus overlapping memcpy in the latter under -O2.
+    std::string region_name = "R";
+    region_name += std::to_string(r + 1);
     const std::uint32_t size = region_size[r];
     auto n_rt = std::max<std::uint32_t>(
         1, static_cast<std::uint32_t>(std::lround(size * transit_share)));

@@ -11,7 +11,9 @@
 #include <gtest/gtest.h>
 
 #include "hijack/hijack_simulator.hpp"
+#include "obs/heartbeat.hpp"
 #include "obs/json_parse.hpp"
+#include "obs/progress.hpp"
 #include "topology/graph_builder.hpp"
 
 namespace bgpsim {
@@ -110,6 +112,69 @@ TEST(EventLogSink, SchemaRoundTrip) {
       EXPECT_EQ(record.number_at("polluted_ases"), 1.0);
       EXPECT_EQ(record.number_at("routed_ases"), 4.0);
     }
+  }
+#endif
+}
+
+TEST(EventLogSink, RecordsAreDurableWithoutClose) {
+  // Crash safety: every record is flushed as it is written, so a process
+  // that dies mid-campaign (the scenario the SIGINT/atexit hooks cover)
+  // leaves only complete, parseable lines behind. Read the file back while
+  // the sink is still open — nothing may be sitting in a buffer.
+  const std::string path = ::testing::TempDir() + "eventlog_durable.ndjson";
+  obs::EventLogSink::instance().set_output(path);
+  for (int i = 0; i < 3; ++i) {
+    obs::EventRecord ev("durable");
+    ev.u64("i", static_cast<std::uint64_t>(i)).emit();
+  }
+
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 3u);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const obs::JsonValue record = obs::JsonValue::parse(lines[i]);
+    EXPECT_EQ(record.find("type")->as_string(), "durable");
+    EXPECT_EQ(record.number_at("i"), static_cast<double>(i));
+  }
+  obs::EventLogSink::instance().set_output("");
+}
+
+TEST(EventLogSink, HeartbeatEventSchema) {
+  const std::string path = ::testing::TempDir() + "eventlog_heartbeat.ndjson";
+  obs::EventLogSink::instance().set_output(path);
+
+  obs::progress().reset();
+  obs::progress().add_total(50);
+  obs::progress().tick(20);
+  obs::progress().set_phase("heartbeat-test");
+  obs::emit_heartbeat_now();
+  obs::emit_heartbeat_now();
+
+  obs::EventLogSink::instance().set_output("");
+  obs::progress().reset();
+  const std::vector<std::string> lines = read_lines(path);
+
+#if defined(BGPSIM_OBS_DISABLED)
+  // The sampler is compiled out entirely: emit_heartbeat_now is a no-op.
+  EXPECT_TRUE(lines.empty());
+#else
+  ASSERT_EQ(lines.size(), 2u);
+  std::uint64_t last_done = 0;
+  for (const std::string& line : lines) {
+    const obs::JsonValue record = obs::JsonValue::parse(line);
+    EXPECT_EQ(record.find("type")->as_string(), "heartbeat");
+    EXPECT_EQ(record.number_at("done"), 20.0);
+    EXPECT_EQ(record.number_at("total"), 50.0);
+    EXPECT_EQ(record.find("phase")->as_string(), "heartbeat-test");
+    // rate/eta may be unknown this early, but the keys must exist and the
+    // done counter must be monotone across beats.
+    ASSERT_NE(record.find("rate"), nullptr);
+    ASSERT_NE(record.find("eta_seconds"), nullptr);
+    EXPECT_GE(record.number_at("done"), static_cast<double>(last_done));
+    last_done = static_cast<std::uint64_t>(record.number_at("done"));
+    // Memory accounting rides on every heartbeat; RSS is live and nonzero
+    // on any platform with /proc or getrusage.
+    EXPECT_GT(record.number_at("rss_bytes"), 0.0);
+    EXPECT_GE(record.number_at("rss_peak_bytes"), record.number_at("rss_bytes"));
   }
 #endif
 }

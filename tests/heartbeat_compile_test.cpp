@@ -1,0 +1,46 @@
+// Compile-time contract of the heartbeat sampler: under -DBGPSIM_OBS=OFF
+// the whole API degrades to constexpr inline no-ops (kHeartbeatCompiled is
+// the witness — CI additionally runs `nm` over the OBS=OFF archive to prove
+// no sampler/thread symbol survives). Building the test suite in both
+// configurations exercises both branches; a single #ifdef'd TU avoids ODR
+// games with the real definitions.
+#include "obs/heartbeat.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgpsim {
+namespace {
+
+#if defined(BGPSIM_OBS_DISABLED)
+
+static_assert(!obs::kHeartbeatCompiled,
+              "BGPSIM_OBS=OFF must compile the heartbeat sampler out");
+
+TEST(HeartbeatCompile, ObsOffApiIsCallableNoOps) {
+  // The stubs keep call sites (CLI --progress, bench_common) compiling
+  // unchanged; none of them may start a thread or touch any sink.
+  obs::heartbeat_force_stderr(true);
+  obs::heartbeat_start();
+  obs::emit_heartbeat_now();
+  obs::heartbeat_stop();
+  obs::heartbeat_stop();  // idempotent
+}
+
+#else
+
+static_assert(obs::kHeartbeatCompiled,
+              "default build must carry the heartbeat sampler");
+
+TEST(HeartbeatCompile, StartWithoutSinksIsInert) {
+  // No BGPSIM_EVENTLOG / BGPSIM_PROM_* / stderr flag in the test
+  // environment: start() must decline to spawn the sampler thread, and
+  // stop() without start must be harmless.
+  obs::heartbeat_start();
+  obs::heartbeat_stop();
+  obs::heartbeat_stop();
+}
+
+#endif
+
+}  // namespace
+}  // namespace bgpsim

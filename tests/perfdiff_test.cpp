@@ -158,6 +158,70 @@ TEST(DiffReports, CounterDriftIsAFidelityRegression) {
   }
 }
 
+BenchSample make_mem_sample(double rss_peak, double rate = 100.0) {
+  BenchSample s = make_sample(10.0);
+  s.metrics["gauge.mem.rss_peak_bytes"] = rss_peak;
+  s.metrics["gauge.mem.rib_bytes_est"] = 1 << 20;
+  s.metrics["gauge.mem.rib_routes"] = 5000.0;  // a count: stays fidelity
+  s.metrics["gauge.progress.rate_per_second"] = rate;  // wall-clock artifact
+  return s;
+}
+
+TEST(DiffReports, MemoryGaugesUseTheirOwnThreshold) {
+  // +10% RSS: under the default 15% memory threshold, and NOT a fidelity
+  // violation even though RSS never reproduces exactly across runs.
+  const PerfDiffResult ok = diff_reports({make_mem_sample(100e6)},
+                                         {make_mem_sample(110e6)}, DiffOptions{});
+  EXPECT_FALSE(ok.regression);
+
+  // +30% RSS regresses; the metric is reported as perf, not fidelity.
+  const PerfDiffResult bad = diff_reports(
+      {make_mem_sample(100e6)}, {make_mem_sample(130e6)}, DiffOptions{});
+  EXPECT_TRUE(bad.regression);
+  bool named = false;
+  for (const MetricDiff& m : bad.benches[0].metrics) {
+    if (m.metric == "gauge.mem.rss_peak_bytes") {
+      named = true;
+      EXPECT_TRUE(m.regression);
+      EXPECT_FALSE(m.fidelity);
+    }
+  }
+  EXPECT_TRUE(named);
+
+  // A stricter --mem-threshold catches the +10% case too.
+  DiffOptions strict;
+  strict.mem_threshold = 0.05;
+  EXPECT_TRUE(
+      diff_reports({make_mem_sample(100e6)}, {make_mem_sample(110e6)}, strict)
+          .regression);
+
+  // Shrinking memory is an improvement, never a regression.
+  EXPECT_FALSE(diff_reports({make_mem_sample(130e6)}, {make_mem_sample(100e6)},
+                            DiffOptions{})
+                   .regression);
+}
+
+TEST(DiffReports, MemoryCountsStayFidelityAndVolatilesAreSkipped) {
+  // mem.rib_routes drifting is a determinism bug (same seed, same routes)...
+  std::vector<BenchSample> baseline{make_mem_sample(100e6)};
+  std::vector<BenchSample> candidate{make_mem_sample(100e6)};
+  candidate[0].metrics["gauge.mem.rib_routes"] = 5001.0;
+  const PerfDiffResult result =
+      diff_reports(baseline, candidate, DiffOptions{});
+  EXPECT_TRUE(result.regression);
+
+  // ...but the sampler's instantaneous rate/ETA readings are never diffed,
+  // however wildly they differ between same-seed runs.
+  candidate[0].metrics["gauge.mem.rib_routes"] = 5000.0;
+  candidate[0].metrics["gauge.progress.rate_per_second"] = 999999.0;
+  const PerfDiffResult volatile_ok =
+      diff_reports(baseline, candidate, DiffOptions{});
+  EXPECT_FALSE(volatile_ok.regression);
+  for (const MetricDiff& m : volatile_ok.benches[0].metrics) {
+    EXPECT_NE(m.metric, "gauge.progress.rate_per_second");
+  }
+}
+
 TEST(DiffReports, SubMillisecondTimesAreNoise) {
   // 50% swing on a 10us scope stays below the min_seconds floor.
   const PerfDiffResult result =

@@ -1,0 +1,120 @@
+// Progress/ETA math (obs/progress.hpp): the pure compute_progress function
+// driven with a synthetic clock, and the ProgressTracker's sampling window.
+#include "obs/progress.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace bgpsim {
+namespace {
+
+using obs::ProgressSample;
+using obs::ProgressStats;
+
+TEST(ComputeProgress, UnknownWithoutWindowOrTotal) {
+  // No samples yet: no rate, no ETA.
+  ProgressStats stats = obs::compute_progress(10, 100, "warm", {});
+  EXPECT_EQ(stats.done, 10u);
+  EXPECT_EQ(stats.total, 100u);
+  EXPECT_DOUBLE_EQ(stats.rate_per_second, 0.0);
+  EXPECT_DOUBLE_EQ(stats.eta_seconds, -1.0);
+  EXPECT_STREQ(stats.phase, "warm");
+
+  // A single sample is not enough to derive a rate either.
+  const std::vector<ProgressSample> one{{5.0, 10}};
+  stats = obs::compute_progress(10, 100, "", one);
+  EXPECT_DOUBLE_EQ(stats.rate_per_second, 0.0);
+  EXPECT_DOUBLE_EQ(stats.eta_seconds, -1.0);
+}
+
+TEST(ComputeProgress, RateAndEtaFromWindowEndpoints) {
+  // 50 units in 10 seconds across the window -> 5/s; 100 remaining -> 20s.
+  const std::vector<ProgressSample> window{{0.0, 50}, {4.0, 70}, {10.0, 100}};
+  const ProgressStats stats = obs::compute_progress(100, 200, "sweep", window);
+  EXPECT_DOUBLE_EQ(stats.rate_per_second, 5.0);
+  EXPECT_DOUBLE_EQ(stats.eta_seconds, 20.0);
+}
+
+TEST(ComputeProgress, NoTotalMeansNoEta) {
+  // Rate is known but the driver never declared a total: ETA stays unknown.
+  const std::vector<ProgressSample> window{{0.0, 0}, {10.0, 100}};
+  const ProgressStats stats = obs::compute_progress(100, 0, "", window);
+  EXPECT_DOUBLE_EQ(stats.rate_per_second, 10.0);
+  EXPECT_EQ(stats.total, 100u);  // clamped up to done
+  EXPECT_DOUBLE_EQ(stats.eta_seconds, -1.0);
+}
+
+TEST(ComputeProgress, ToleratesUnderDeclaredTotal) {
+  // Drivers may under-declare (retries, untracked extra attacks): total is
+  // clamped to done and the ETA collapses to zero rather than going negative.
+  const std::vector<ProgressSample> window{{0.0, 100}, {10.0, 150}};
+  const ProgressStats stats = obs::compute_progress(150, 120, "", window);
+  EXPECT_EQ(stats.total, 150u);
+  EXPECT_DOUBLE_EQ(stats.eta_seconds, 0.0);
+}
+
+TEST(ComputeProgress, StalledWindowHasZeroRate) {
+  const std::vector<ProgressSample> window{{0.0, 80}, {5.0, 80}, {10.0, 80}};
+  const ProgressStats stats = obs::compute_progress(80, 100, "", window);
+  EXPECT_DOUBLE_EQ(stats.rate_per_second, 0.0);
+  EXPECT_DOUBLE_EQ(stats.eta_seconds, -1.0);  // can't finish at rate 0
+}
+
+TEST(ProgressTracker, TicksAccumulateAndSampleDerivesStats) {
+  obs::ProgressTracker& tracker = obs::progress();
+  tracker.reset();
+
+  tracker.add_total(60);
+  tracker.add_total(40);  // additive across sweep stages
+  tracker.set_phase("unit-test");
+  for (int i = 0; i < 30; ++i) tracker.tick();
+  tracker.tick(10);
+
+  EXPECT_EQ(tracker.done(), 40u);
+  EXPECT_EQ(tracker.total(), 100u);
+
+  // Synthetic clock: two samples 4s apart while done stays at 40.
+  tracker.sample(0.0);
+  ProgressStats stats = tracker.sample(4.0);
+  EXPECT_EQ(stats.done, 40u);
+  EXPECT_EQ(stats.total, 100u);
+  EXPECT_STREQ(stats.phase, "unit-test");
+  EXPECT_DOUBLE_EQ(stats.rate_per_second, 0.0);
+
+  // 20 more units by t=8 -> 2.5/s over the window endpoints, ETA 16s.
+  tracker.tick(20);
+  stats = tracker.sample(8.0);
+  EXPECT_DOUBLE_EQ(stats.rate_per_second, 2.5);
+  EXPECT_DOUBLE_EQ(stats.eta_seconds, 16.0);
+
+  tracker.reset();
+  EXPECT_EQ(tracker.done(), 0u);
+  EXPECT_EQ(tracker.total(), 0u);
+}
+
+TEST(ProgressTracker, WindowIsBounded) {
+  obs::ProgressTracker& tracker = obs::progress();
+  tracker.reset();
+  tracker.add_total(1000);
+
+  // After many samples the rate reflects only the last kWindow observations:
+  // 1 tick/s early on, then a stall. With an unbounded window the stale fast
+  // start would keep flattering the rate.
+  double now = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    tracker.tick();
+    tracker.sample(now);
+    now += 1.0;
+  }
+  for (int i = 0; i < 199; ++i) {  // stall: time passes, no progress
+    tracker.sample(now);
+    now += 1.0;
+  }
+  const ProgressStats stats = tracker.sample(now);
+  EXPECT_DOUBLE_EQ(stats.rate_per_second, 0.0);
+  tracker.reset();
+}
+
+}  // namespace
+}  // namespace bgpsim

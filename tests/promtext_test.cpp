@@ -1,0 +1,157 @@
+// Prometheus text exposition (obs/promtext.hpp): name sanitization, the
+// writer/parser round-trip CI relies on (`bgpsim promcheck`), cumulative
+// bucket differencing, and rejection of malformed input.
+#include "obs/promtext.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace bgpsim {
+namespace {
+
+obs::RegistrySnapshot sample_snapshot() {
+  obs::RegistrySnapshot snap;
+  snap.counters["engine.msgs_propagated"] = 123456789012ull;
+  snap.counters["hijack.attacks"] = 42;
+  snap.gauges["mem.rss_bytes"] = 104857600.0;
+  snap.gauges["progress.rate_per_second"] = 1234.5678901234567;
+  snap.gauges["progress.eta_seconds"] = -1.0;
+  obs::HistogramSnapshot hist;
+  hist.bounds = {0.001, 0.01, 0.1};
+  hist.counts = {3, 4, 0, 2};  // overflow last
+  hist.count = 9;
+  hist.sum = 1.25;
+  snap.histograms["time.sweep"] = hist;
+  return snap;
+}
+
+TEST(PromText, SanitizeName) {
+  EXPECT_EQ(obs::prom_sanitize_name("engine.msgs_propagated"),
+            "engine_msgs_propagated");
+  EXPECT_EQ(obs::prom_sanitize_name("mem.rss_bytes"), "mem_rss_bytes");
+  EXPECT_EQ(obs::prom_sanitize_name("already_fine:ok"), "already_fine:ok");
+  // A leading digit is not a valid first character.
+  EXPECT_EQ(obs::prom_sanitize_name("9lives"), "_lives");
+  EXPECT_EQ(obs::prom_sanitize_name("a-b c"), "a_b_c");
+  EXPECT_EQ(obs::prom_sanitize_name(""), "_");
+}
+
+TEST(PromText, WriterEmitsTypedFamilies) {
+  const std::string text = obs::to_prom_text(sample_snapshot());
+  EXPECT_NE(text.find("# TYPE engine_msgs_propagated counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE mem_rss_bytes gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE time_sweep histogram"), std::string::npos);
+  // Cumulative buckets with the mandatory +Inf bucket and sum/count.
+  EXPECT_NE(text.find("time_sweep_bucket{le=\"+Inf\"} 9"), std::string::npos);
+  EXPECT_NE(text.find("time_sweep_sum"), std::string::npos);
+  EXPECT_NE(text.find("time_sweep_count 9"), std::string::npos);
+}
+
+TEST(PromText, RoundTripIsExact) {
+  const obs::RegistrySnapshot original = sample_snapshot();
+  const std::string text = obs::to_prom_text(original);
+  const obs::RegistrySnapshot parsed = obs::parse_prom_text(text);
+
+  // Fixed point: re-serializing the parsed snapshot reproduces the text
+  // byte-for-byte (deterministic ordering + %.17g doubles).
+  EXPECT_EQ(obs::to_prom_text(parsed), text);
+
+  // Values survive with sanitized names.
+  EXPECT_EQ(parsed.counters.at("engine_msgs_propagated"), 123456789012ull);
+  EXPECT_EQ(parsed.counters.at("hijack_attacks"), 42u);
+  EXPECT_DOUBLE_EQ(parsed.gauges.at("mem_rss_bytes"), 104857600.0);
+  EXPECT_DOUBLE_EQ(parsed.gauges.at("progress_rate_per_second"),
+                   1234.5678901234567);
+  EXPECT_DOUBLE_EQ(parsed.gauges.at("progress_eta_seconds"), -1.0);
+
+  const obs::HistogramSnapshot& hist = parsed.histograms.at("time_sweep");
+  ASSERT_EQ(hist.bounds.size(), 3u);
+  EXPECT_DOUBLE_EQ(hist.bounds[0], 0.001);
+  EXPECT_DOUBLE_EQ(hist.bounds[2], 0.1);
+  // Cumulative exposition differenced back into per-bucket counts.
+  ASSERT_EQ(hist.counts.size(), 4u);
+  EXPECT_EQ(hist.counts[0], 3u);
+  EXPECT_EQ(hist.counts[1], 4u);
+  EXPECT_EQ(hist.counts[2], 0u);
+  EXPECT_EQ(hist.counts[3], 2u);  // overflow = count - last finite cumulative
+  EXPECT_EQ(hist.count, 9u);
+  EXPECT_DOUBLE_EQ(hist.sum, 1.25);
+}
+
+TEST(PromText, ParsesHandWrittenExposition) {
+  const obs::RegistrySnapshot snap = obs::parse_prom_text(
+      "# HELP t latency\n"
+      "# TYPE t histogram\n"
+      "t_bucket{le=\"0.5\"} 3\n"
+      "t_bucket{le=\"1\"} 5\n"
+      "t_bucket{le=\"+Inf\"} 9\n"
+      "t_sum 4.5\n"
+      "t_count 9\n"
+      "\n"
+      "# TYPE up gauge\n"
+      "up 1\n");
+  const obs::HistogramSnapshot& hist = snap.histograms.at("t");
+  ASSERT_EQ(hist.bounds.size(), 2u);
+  ASSERT_EQ(hist.counts.size(), 3u);
+  EXPECT_EQ(hist.counts[0], 3u);
+  EXPECT_EQ(hist.counts[1], 2u);
+  EXPECT_EQ(hist.counts[2], 4u);
+  EXPECT_DOUBLE_EQ(hist.sum, 4.5);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("up"), 1.0);
+}
+
+TEST(PromText, RoundTripsNonFiniteGauges) {
+  obs::RegistrySnapshot snap;
+  snap.gauges["g.inf"] = std::numeric_limits<double>::infinity();
+  snap.gauges["g.neg_inf"] = -std::numeric_limits<double>::infinity();
+  const obs::RegistrySnapshot parsed =
+      obs::parse_prom_text(obs::to_prom_text(snap));
+  EXPECT_TRUE(std::isinf(parsed.gauges.at("g_inf")));
+  EXPECT_GT(parsed.gauges.at("g_inf"), 0.0);
+  EXPECT_TRUE(std::isinf(parsed.gauges.at("g_neg_inf")));
+  EXPECT_LT(parsed.gauges.at("g_neg_inf"), 0.0);
+}
+
+TEST(PromText, RejectsMalformedInput) {
+  // Sample line with no value.
+  EXPECT_THROW(obs::parse_prom_text("# TYPE x counter\nx\n"),
+               std::runtime_error);
+  // Unknown metric type.
+  EXPECT_THROW(obs::parse_prom_text("# TYPE x summary\nx 1\n"),
+               std::runtime_error);
+  // Non-monotonic cumulative buckets.
+  EXPECT_THROW(obs::parse_prom_text("# TYPE t histogram\n"
+                                    "t_bucket{le=\"0.5\"} 5\n"
+                                    "t_bucket{le=\"1\"} 3\n"
+                                    "t_bucket{le=\"+Inf\"} 5\n"
+                                    "t_sum 1\n"
+                                    "t_count 5\n"),
+               std::runtime_error);
+  // Counter value that is not a number.
+  EXPECT_THROW(obs::parse_prom_text("# TYPE x counter\nx banana\n"),
+               std::runtime_error);
+}
+
+TEST(PromText, WriteFileIsAtomicReplace) {
+  const std::string path = ::testing::TempDir() + "promtext_atomic.prom";
+  ASSERT_TRUE(obs::write_prom_file(path, "# TYPE up gauge\nup 0\n"));
+  const std::string text = obs::to_prom_text(sample_snapshot());
+  ASSERT_TRUE(obs::write_prom_file(path, text));
+
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), text);
+  // The temp file used for the rename dance must not linger.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+}
+
+}  // namespace
+}  // namespace bgpsim

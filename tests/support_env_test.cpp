@@ -1,4 +1,4 @@
-// Env-var knob parsing (support/env): u64, string, and bool readers.
+// Env-var knob parsing (support/env): u64, f64, string, and bool readers.
 #include "support/env.hpp"
 
 #include <cstdlib>
@@ -53,6 +53,21 @@ TEST(EnvU64, ParsesValue) {
 TEST(EnvU64, FallsBackOnGarbage) {
   ScopedEnv guard("BGPSIM_TEST_U64", "not-a-number");
   EXPECT_EQ(env_u64("BGPSIM_TEST_U64", 13), 13u);
+}
+
+TEST(EnvF64, ReturnsFallbackWhenUnset) {
+  ScopedEnv guard("BGPSIM_TEST_F64", nullptr);
+  EXPECT_DOUBLE_EQ(env_f64("BGPSIM_TEST_F64", 1.5), 1.5);
+}
+
+TEST(EnvF64, ParsesValue) {
+  ScopedEnv guard("BGPSIM_TEST_F64", "0.25");
+  EXPECT_DOUBLE_EQ(env_f64("BGPSIM_TEST_F64", 1.0), 0.25);
+}
+
+TEST(EnvF64, FallsBackOnGarbage) {
+  ScopedEnv guard("BGPSIM_TEST_F64", "fast");
+  EXPECT_DOUBLE_EQ(env_f64("BGPSIM_TEST_F64", 2.0), 2.0);
 }
 
 TEST(EnvString, ReturnsFallbackWhenUnset) {

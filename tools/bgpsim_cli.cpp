@@ -14,6 +14,9 @@
 //       attack the victim from every transit AS; print the profile
 //   bgpsim detect (--topo file | --ases N) [--attacks N] [--probes K]
 //       random transit attacks vs a top-K probe set; print the miss rate
+//   bgpsim promcheck --file metrics.prom
+//       validate a Prometheus text exposition file with the in-repo parser
+//       (the `promtool check metrics` stand-in CI uses); prints a summary
 //
 // Observability (any command):
 //   --obs [file]       dump the metrics-registry snapshot after the command:
@@ -23,10 +26,14 @@
 //                      (equivalent to BGPSIM_TRACE=<file>)
 //   --eventlog <file>  write the structured NDJSON event log there
 //                      (equivalent to BGPSIM_EVENTLOG=<file>)
+//   --progress         heartbeat status line on stderr while the command
+//                      runs (equivalent to BGPSIM_PROGRESS_STDERR=1); the
+//                      sampler also honors BGPSIM_PROM_FILE/BGPSIM_PROM_PORT
 #include <cstdio>
 #include <fstream>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include "analysis/detector_experiment.hpp"
@@ -34,9 +41,8 @@
 #include "bgp/introspect.hpp"
 #include "core/scenario.hpp"
 #include "defense/deployment.hpp"
-#include "obs/eventlog.hpp"
-#include "obs/metrics.hpp"
-#include "obs/trace.hpp"
+#include "obs/obs.hpp"
+#include "obs/promtext.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 #include "topology/caida_writer.hpp"
@@ -137,6 +143,8 @@ int cmd_attack(const Args& args) {
   if (!victim_asn || !attacker_asn) {
     throw ConfigError("attack requires --victim and --attacker ASNs");
   }
+  BGPSIM_PROGRESS(1);
+  BGPSIM_PROGRESS_PHASE("cli.attack");
   HijackSimulator sim = scenario.make_simulator();
   if (const auto core = args.number("core")) {
     sim.set_validators(
@@ -194,6 +202,7 @@ int cmd_sweep(const Args& args) {
   if (const auto core = args.number("core")) {
     filters = to_filter_set(g, top_k_deployment(g, *core));
   }
+  BGPSIM_PROGRESS(scenario.transit().size());
   const auto curve = analyzer.sweep(victim, scenario.transit(),
                                     filters ? &*filters : nullptr);
   std::printf("AS%llu (depth %u): %zu transit attackers\n",
@@ -218,6 +227,7 @@ int cmd_detect(const Args& args) {
 
   DetectorExperiment experiment(g, scenario.sim_config());
   Rng rng(args.number("seed").value_or(42));
+  BGPSIM_PROGRESS(attacks);
   const auto samples = experiment.sample_transit_attacks(attacks, rng);
   const std::vector<ProbeSet> probe_sets{ProbeSet::top_k(g, k)};
   const auto results = experiment.run(samples, probe_sets);
@@ -232,9 +242,30 @@ int cmd_detect(const Args& args) {
   return 0;
 }
 
+int cmd_promcheck(const Args& args) {
+  const auto file = args.text("file");
+  if (!file) throw ConfigError("promcheck requires --file <metrics.prom>");
+  std::ifstream in(*file, std::ios::binary);
+  if (!in) throw ConfigError("cannot read " + *file);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const obs::RegistrySnapshot snap = obs::parse_prom_text(buffer.str());
+  std::uint64_t samples = 0;
+  for (const auto& [name, hist] : snap.histograms) {
+    (void)name;
+    samples += hist.count;
+  }
+  std::printf("%s: ok — %zu counters, %zu gauges, %zu histograms "
+              "(%llu observations)\n",
+              file->c_str(), snap.counters.size(), snap.gauges.size(),
+              snap.histograms.size(), static_cast<unsigned long long>(samples));
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
-               "usage: bgpsim <generate|info|attack|sweep|detect> [options]\n"
+               "usage: bgpsim <generate|info|attack|sweep|detect|promcheck> "
+               "[options]\n"
                "see the header of tools/bgpsim_cli.cpp for details\n");
   return 2;
 }
@@ -287,6 +318,7 @@ int run_command(const Args& args) {
   if (args.command == "attack") return cmd_attack(args);
   if (args.command == "sweep") return cmd_sweep(args);
   if (args.command == "detect") return cmd_detect(args);
+  if (args.command == "promcheck") return cmd_promcheck(args);
   return usage();
 }
 
@@ -301,7 +333,10 @@ int main(int argc, char** argv) {
     if (const auto eventlog = args.text("eventlog"); eventlog && !eventlog->empty()) {
       obs::EventLogSink::instance().set_output(*eventlog);
     }
+    if (args.flag("progress")) obs::heartbeat_force_stderr(true);
+    obs::heartbeat_start();  // no-op unless a telemetry sink is configured
     const int status = run_command(args);
+    obs::heartbeat_stop();
     if (args.flag("obs")) emit_obs_snapshot(args.text("obs").value_or(""));
     obs::flush_trace();
     return status;

@@ -15,6 +15,11 @@
 //                  all timing flows through bgpsim::obs (BGPSIM_TIMED_SCOPE,
 //                  obs::StopWatch) so instrumentation compiles out under
 //                  -DBGPSIM_OBS=OFF
+//   thread-policy  no std::thread / std::jthread / <thread> in src/ outside
+//                  src/obs/, src/net/, and src/support/parallel* — sweep
+//                  fan-out goes through bgpsim::parallel_chunks, background
+//                  sampling through obs::heartbeat; ad-hoc threads dodge
+//                  both the join discipline and the OBS=OFF story
 //   obs-io         no direct std::ofstream JSON emission in src/ outside
 //                  src/obs/ — a file that uses JsonWriter (or includes
 //                  obs/json.hpp) must route file output through the obs
@@ -210,6 +215,8 @@ void lint_file(const fs::path& path, const fs::path& root,
   const bool is_assert_home = rel == "src/support/assert.hpp";
   const bool is_rng_home = starts_with(rel, "src/support/rng");
   const bool is_obs_home = starts_with(rel, "src/obs/");
+  const bool is_thread_home = is_obs_home || starts_with(rel, "src/net/") ||
+                              starts_with(rel, "src/support/parallel");
   // A library file that writes JSON (uses JsonWriter / includes obs/json.hpp)
   // must not open files itself — the obs sinks own that.
   const bool emits_json = code.find("JsonWriter") != std::string::npos ||
@@ -267,6 +274,17 @@ void lint_file(const fs::path& path, const fs::path& root,
                             "raw timing in library code; go through "
                             "bgpsim::obs (BGPSIM_TIMED_SCOPE / obs::StopWatch) "
                             "so it compiles out under -DBGPSIM_OBS=OFF"});
+      }
+    }
+
+    if (is_library && !is_thread_home) {
+      if (line.find("std::thread") != std::string::npos ||
+          line.find("std::jthread") != std::string::npos ||
+          line.find("<thread>") != std::string::npos) {
+        findings.push_back({rel, lineno, "thread-policy",
+                            "raw threads in library code; fan out through "
+                            "bgpsim::parallel_chunks (support/parallel.hpp) "
+                            "so worker counts and joins stay in one place"});
       }
     }
 

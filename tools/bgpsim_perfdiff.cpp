@@ -24,14 +24,16 @@ using bgpsim::obs::PerfDiffResult;
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --baseline <report|dir> --candidate <report|dir>\n"
-               "          [--threshold <frac>] [--alpha <p>] [--min-seconds <s>]\n"
+               "          [--threshold <frac>] [--mem-threshold <frac>]\n"
+               "          [--alpha <p>] [--min-seconds <s>]\n"
                "       %s --candidate <report|dir> --update-baselines <dir>\n"
                "\n"
                "Pairs BENCH_*.json reports by (name, scale, seed) and reports\n"
                "per-metric deltas. Time metrics regress past --threshold\n"
-               "(default 0.10); counters must match exactly (same seed =>\n"
-               "deterministic). Exits 1 on regression, 2 on schema/usage/\n"
-               "topology-mismatch errors.\n",
+               "(default 0.10); memory gauges (gauge.mem.*bytes*) regress past\n"
+               "--mem-threshold (default 0.15); counters must match exactly\n"
+               "(same seed => deterministic). Exits 1 on regression, 2 on\n"
+               "schema/usage/topology-mismatch errors.\n",
                argv0, argv0);
   return 2;
 }
@@ -65,6 +67,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
       options.threshold = std::stod(v);
+    } else if (arg == "--mem-threshold") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      options.mem_threshold = std::stod(v);
     } else if (arg == "--alpha") {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
