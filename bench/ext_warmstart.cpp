@@ -1,0 +1,155 @@
+// Extension bench: warm-start speedup from stored baselines.
+//
+// The snapshot/store subsystem trades one up-front baseline convergence per
+// target for worklist-repaired attacks afterwards. This bench runs the SAME
+// seeded attack batch cold (full reconvergence per attack) and warm
+// (baseline clone + warm_hijack_repair), asserts the two produce identical
+// pollution on every single attack (the uniqueness theorem made executable),
+// and reports the per-attack speedup — the ratio the PR's acceptance gate
+// requires to be >= 3x.
+//
+// Knobs: BGPSIM_ATTACKS (default 400), BGPSIM_TARGETS (default 24 distinct
+// victims, each attacked by several transits).
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "defense/deployment.hpp"
+#include "defense/filter_set.hpp"
+#include "store/baseline.hpp"
+#include "support/env.hpp"
+
+using namespace bgpsim;
+using namespace bgpsim::bench;
+
+int main() {
+  BenchEnv env = make_env("warmstart",
+                          "Extension — warm-start attacks from stored baselines");
+  const Scenario& scenario = env.scenario;
+  const AsGraph& g = scenario.graph();
+
+  const auto n_attacks =
+      static_cast<std::uint32_t>(env_u64("BGPSIM_ATTACKS", 400));
+  const auto n_targets =
+      static_cast<std::uint32_t>(env_u64("BGPSIM_TARGETS", 24));
+  const auto& transits = scenario.transit();
+
+  // Workload: n_targets victims, attacked round-robin by random transits.
+  Rng rng(derive_seed(env.seed, 91));
+  std::vector<AsId> victims;
+  for (std::uint32_t i = 0; i < n_targets; ++i) {
+    victims.push_back(transits[rng.bounded(transits.size())]);
+  }
+  // Request mix of the what-if service: bare attacks plus paper-style top-K
+  // validator deployments, rotated per attack. Cold and warm see identical
+  // validators, so per-attack results stay directly comparable.
+  std::vector<std::optional<ValidatorSet>> deployments;
+  deployments.emplace_back(std::nullopt);
+  for (const std::size_t k : {std::size_t{20}, std::size_t{100}, std::size_t{200}}) {
+    FilterSet filters(g.num_ases(), top_k_deployment(g, k).deployers);
+    deployments.emplace_back(filters.bitset());
+  }
+
+  struct AttackCase {
+    AsId victim;
+    AsId attacker;
+    std::size_t deployment;
+  };
+  std::vector<AttackCase> attacks;
+  while (attacks.size() < n_attacks) {
+    const AsId victim = victims[attacks.size() % victims.size()];
+    const AsId attacker = transits[rng.bounded(transits.size())];
+    if (attacker == victim) continue;
+    attacks.push_back({victim, attacker, attacks.size() % deployments.size()});
+  }
+
+  BGPSIM_PROGRESS(2 * n_attacks);
+
+  // Baseline build: one legit-only convergence per distinct victim.
+  BGPSIM_PROGRESS_PHASE("baselines");
+  obs::StopWatch baseline_watch;
+  const auto baselines = std::make_shared<const store::BaselineStore>(
+      store::BaselineStore::compute(g, scenario.policy(), victims));
+  const double baseline_seconds = baseline_watch.elapsed_seconds();
+  env.report.add_phase("baseline_build", baseline_seconds);
+
+  // Measured passes. Cold and warm run the same batch in interleaved chunks
+  // (cold chunk, then the same chunk warm) so machine-wide slowdowns land on
+  // both sides and cancel out of the speedup ratio instead of biasing it.
+  HijackSimulator cold_sim = scenario.make_simulator();
+  HijackSimulator warm_sim = scenario.make_simulator();
+  warm_sim.attach_baseline(baselines);
+
+  std::vector<std::uint32_t> cold_pollution(attacks.size(), 0);
+  std::uint32_t warm_hits = 0;
+  std::uint32_t mismatches = 0;
+  double cold_seconds = 0.0;
+  double warm_seconds = 0.0;
+  const std::size_t chunk = attacks.size() < 64 ? attacks.size() : 64;
+  BGPSIM_PROGRESS_PHASE("interleaved");
+  for (std::size_t begin = 0; begin < attacks.size(); begin += chunk) {
+    const std::size_t end =
+        begin + chunk < attacks.size() ? begin + chunk : attacks.size();
+    obs::StopWatch cold_watch;
+    for (std::size_t i = begin; i < end; ++i) {
+      BGPSIM_PROGRESS_TICK();
+      cold_sim.set_validators(deployments[attacks[i].deployment]);
+      cold_pollution[i] =
+          cold_sim.attack(attacks[i].victim, attacks[i].attacker).polluted_ases;
+    }
+    cold_seconds += cold_watch.elapsed_seconds();
+    obs::StopWatch warm_watch;
+    for (std::size_t i = begin; i < end; ++i) {
+      BGPSIM_PROGRESS_TICK();
+      warm_sim.set_validators(deployments[attacks[i].deployment]);
+      const auto result =
+          warm_sim.attack(attacks[i].victim, attacks[i].attacker);
+      warm_hits += warm_sim.last_attack_warm() ? 1 : 0;
+      if (result.polluted_ases != cold_pollution[i]) ++mismatches;
+    }
+    warm_seconds += warm_watch.elapsed_seconds();
+  }
+  env.report.add_phase("cold_batch", cold_seconds);
+  env.report.add_phase("warm_batch", warm_seconds);
+
+  if (mismatches != 0) {
+    std::printf("FAIL: %u of %zu warm attacks diverged from cold\n",
+                mismatches, attacks.size());
+    return 1;
+  }
+
+  const double cold_per_attack = cold_seconds / attacks.size() * 1e6;
+  const double warm_per_attack = warm_seconds / attacks.size() * 1e6;
+  const double speedup = warm_seconds > 0 ? cold_seconds / warm_seconds : 0.0;
+  // Amortized: how many attacks until baseline build + warm beats all-cold.
+  const double break_even =
+      cold_per_attack > warm_per_attack
+          ? baseline_seconds * 1e6 / (cold_per_attack - warm_per_attack)
+          : -1.0;
+
+  std::printf("\n%zu attacks on %u victims (%zu transit ASes, %u ASes)\n",
+              attacks.size(), n_targets, transits.size(), g.num_ases());
+  std::printf("  cold:  %.3f s total, %.1f us/attack\n", cold_seconds,
+              cold_per_attack);
+  std::printf("  warm:  %.3f s total, %.1f us/attack "
+              "(+ %.3f s one-time baseline build)\n",
+              warm_seconds, warm_per_attack, baseline_seconds);
+  std::printf("  warm hits: %u/%zu   identical pollution: yes\n", warm_hits,
+              attacks.size());
+  std::printf("  speedup: %.2fx   break-even after ~%.0f attacks\n", speedup,
+              break_even);
+
+  print_paper_row("warm/cold identical results", "required",
+                  mismatches == 0 ? "yes" : "NO");
+  print_paper_row("per-attack speedup", ">= 3x (acceptance)",
+                  fmt(speedup, 2) + "x");
+  env.report.add_extra("warm_speedup", speedup);
+  env.report.add_extra("cold_us_per_attack", cold_per_attack);
+  env.report.add_extra("warm_us_per_attack", warm_per_attack);
+  env.report.add_extra("baseline_build_seconds", baseline_seconds);
+  env.report.add_extra("warm_hit_fraction",
+                       static_cast<double>(warm_hits) / attacks.size());
+  return speedup >= 3.0 ? 0 : 1;
+}

@@ -18,8 +18,33 @@ Scenario Scenario::load_caida(const std::string& path, const ScenarioParams& par
   return from_graph(load_caida_file(path), params);
 }
 
+Scenario Scenario::from_snapshot(const store::Snapshot& snapshot,
+                                 EngineKind engine) {
+  ScenarioParams params;
+  params.tier2_min_degree_full_scale =
+      snapshot.params.tier2_min_degree_full_scale;
+  params.tier1_shortest_path = snapshot.params.tier1_shortest_path;
+  params.stub_first_hop_filter = snapshot.params.stub_first_hop_filter;
+  params.engine = engine;
+  params.topology.seed = snapshot.params.seed;
+  params.topology.total_ases = snapshot.params.scale;
+  // The saved graph is already sibling-contracted — construct directly
+  // instead of via from_graph, so the reloaded graph stays field-identical
+  // (re-saving reproduces the snapshot's topology bytes).
+  return Scenario(AsGraph(snapshot.graph), params);
+}
+
+store::SnapshotParams Scenario::snapshot_params() const {
+  return snapshot_params_;
+}
+
 Scenario::Scenario(AsGraph graph, const ScenarioParams& params)
     : graph_(std::move(graph)) {
+  snapshot_params_.tier2_min_degree_full_scale = params.tier2_min_degree_full_scale;
+  snapshot_params_.tier1_shortest_path = params.tier1_shortest_path;
+  snapshot_params_.stub_first_hop_filter = params.stub_first_hop_filter;
+  snapshot_params_.seed = params.topology.seed;
+  snapshot_params_.scale = params.topology.total_ases;
   const std::uint32_t tier2_min_degree = scale_degree_threshold(
       graph_.num_ases(), params.tier2_min_degree_full_scale);
   tiers_ = classify_tiers(graph_, tier2_min_degree);

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "hijack/hijack_simulator.hpp"
+#include "store/snapshot.hpp"
 #include "topology/internet_gen.hpp"
 #include "topology/metrics.hpp"
 
@@ -45,6 +46,19 @@ class Scenario {
   /// Load a CAIDA serial-1 relationship file.
   static Scenario load_caida(const std::string& path, const ScenarioParams& params);
 
+  /// Rebuild a scenario from a decoded snapshot. The stored graph was
+  /// contracted before it was saved, so no sibling contraction runs; tiers,
+  /// depths and the policy configuration are recomputed from the graph and
+  /// the snapshot's params (deterministic, so they match the saving run).
+  /// The snapshot's baselines are NOT attached here — pass them to
+  /// HijackSimulator::attach_baseline (they are shareable across threads).
+  static Scenario from_snapshot(const store::Snapshot& snapshot,
+                                EngineKind engine = EngineKind::Equilibrium);
+
+  /// The scenario's policy/topology knobs in snapshot form (what
+  /// `bgpsim snapshot save` writes next to the graph).
+  store::SnapshotParams snapshot_params() const;
+
   const AsGraph& graph() const { return graph_; }
   const TierClassification& tiers() const { return tiers_; }
 
@@ -72,6 +86,7 @@ class Scenario {
  private:
   Scenario(AsGraph graph, const ScenarioParams& params);
 
+  store::SnapshotParams snapshot_params_;
   AsGraph graph_;
   TierClassification tiers_;
   std::vector<std::uint16_t> depth_;

@@ -1,5 +1,6 @@
 #include "hijack/hijack_simulator.hpp"
 
+#include "bgp/warm_repair.hpp"
 #include "obs/obs.hpp"
 #include "support/assert.hpp"
 
@@ -41,6 +42,28 @@ void HijackSimulator::set_validators(std::optional<ValidatorSet> validators) {
   validators_ = std::move(validators);
 }
 
+void HijackSimulator::attach_baseline(
+    std::shared_ptr<const store::BaselineStore> baselines) {
+  baselines_ = std::move(baselines);
+}
+
+bool HijackSimulator::try_warm_attack(AsId target, AsId attacker,
+                                      std::uint16_t attacker_seed_len,
+                                      const ValidatorSet* validators) {
+  if (!baselines_) return false;
+  const RouteTable* baseline = baselines_->find(target);
+  if (baseline == nullptr) return false;
+  BGPSIM_REQUIRE(baseline->routes.size() == graph_.num_ases(),
+                 "attached baseline does not match the topology");
+  table_ = *baseline;
+  if (!warm_hijack_repair(graph_, config_.policy, target, attacker,
+                          attacker_seed_len, validators, table_)) {
+    return false;  // budget tripped; caller reconverges cold
+  }
+  BGPSIM_COUNTER_ADD("warm.attacks", 1);
+  return true;
+}
+
 GenerationEngine& HijackSimulator::generation_engine() {
   if (!generation_) generation_.emplace(graph_, config_.policy);
   return *generation_;
@@ -51,13 +74,18 @@ AttackResult HijackSimulator::attack(AsId target, AsId attacker) {
   BGPSIM_REQUIRE(attacker < graph_.num_ases(), "attacker out of range");
   BGPSIM_REQUIRE(target != attacker, "attacker must differ from target");
 
+  last_attack_warm_ = false;
   const ValidatorSet* validators = validators_ ? &*validators_ : nullptr;
   const bool is_eq = config_.engine == EngineKind::Equilibrium;
   log_attack_injected(graph_, target, attacker, "exact", false,
                       is_eq ? "equilibrium" : "generation",
                       validators != nullptr);
   if (is_eq) {
-    equilibrium_.compute_hijack(target, attacker, validators, table_);
+    if (try_warm_attack(target, attacker, /*attacker_seed_len=*/1, validators)) {
+      last_attack_warm_ = true;
+    } else {
+      equilibrium_.compute_hijack(target, attacker, validators, table_);
+    }
     return summarize(target, attacker, 0);
   }
   GenerationEngine& engine = generation_engine();
@@ -75,6 +103,7 @@ ExtendedAttackResult HijackSimulator::attack_ex(AsId target, AsId attacker,
   BGPSIM_REQUIRE(attacker < graph_.num_ases(), "attacker out of range");
   BGPSIM_REQUIRE(target != attacker, "attacker must differ from target");
 
+  last_attack_warm_ = false;
   ExtendedAttackResult result;
   result.target = target;
   result.attacker = attacker;
@@ -135,8 +164,12 @@ ExtendedAttackResult HijackSimulator::attack_ex(AsId target, AsId attacker,
     }
   } else {
     if (config_.engine == EngineKind::Equilibrium) {
-      equilibrium_.compute_hijack(target, attacker, validators, table_,
-                                  attacker_seed_len);
+      if (try_warm_attack(target, attacker, attacker_seed_len, validators)) {
+        last_attack_warm_ = true;
+      } else {
+        equilibrium_.compute_hijack(target, attacker, validators, table_,
+                                    attacker_seed_len);
+      }
     } else {
       GenerationEngine& engine = generation_engine();
       engine.reset();
@@ -159,6 +192,7 @@ AttackResult HijackSimulator::attack_with_trace(AsId target, AsId attacker,
   BGPSIM_REQUIRE(attacker < graph_.num_ases(), "attacker out of range");
   BGPSIM_REQUIRE(target != attacker, "attacker must differ from target");
 
+  last_attack_warm_ = false;
   const ValidatorSet* validators = validators_ ? &*validators_ : nullptr;
   log_attack_injected(graph_, target, attacker, "exact", false, "generation",
                       validators != nullptr);
@@ -181,6 +215,7 @@ AttackResult HijackSimulator::attack_explained(AsId target, AsId attacker,
   history.watched = watched;
   history.snapshots.clear();
 
+  last_attack_warm_ = false;
   const ValidatorSet* validators = validators_ ? &*validators_ : nullptr;
   log_attack_injected(graph_, target, attacker, "exact", false, "generation",
                       validators != nullptr);

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "bgp/equilibrium_engine.hpp"
@@ -12,6 +13,7 @@
 #include "bgp/types.hpp"
 #include "net/allocation.hpp"
 #include "rpki/roa.hpp"
+#include "store/baseline.hpp"
 #include "topology/as_graph.hpp"
 
 namespace bgpsim {
@@ -92,6 +94,20 @@ class HijackSimulator {
 
   bool has_validators() const { return validators_.has_value(); }
 
+  /// Attach precomputed legitimate-only baselines (typically loaded from a
+  /// snapshot). Exact-prefix equilibrium attacks against a target with a
+  /// stored baseline then warm-start: the baseline table is cloned, the
+  /// attacker injected, and the unique stable state restored by worklist
+  /// repair (bgp/warm_repair.hpp) instead of full reconvergence. Results are
+  /// bit-identical to the cold path; warm_hijack_repair falls back to a cold
+  /// compute when its work budget trips. Pass nullptr to detach.
+  void attach_baseline(std::shared_ptr<const store::BaselineStore> baselines);
+
+  bool has_baseline() const { return baselines_ != nullptr; }
+
+  /// Whether the most recent attack was answered from a warm baseline.
+  bool last_attack_warm() const { return last_attack_warm_; }
+
   /// Simulate `attacker` hijacking `target`'s prefix.
   AttackResult attack(AsId target, AsId attacker);
 
@@ -126,11 +142,20 @@ class HijackSimulator {
   AttackResult summarize(AsId target, AsId attacker, std::uint32_t generations) const;
   GenerationEngine& generation_engine();
 
+  /// Try to answer an exact-prefix equilibrium attack from the attached
+  /// baseline. On success table_ holds the stable hijacked state; on false
+  /// (no baseline for the target, or repair budget exceeded) table_ is
+  /// unspecified and the caller must run the cold engine.
+  bool try_warm_attack(AsId target, AsId attacker, std::uint16_t attacker_seed_len,
+                       const ValidatorSet* validators);
+
   const AsGraph& graph_;
   SimConfig config_;
   EquilibriumEngine equilibrium_;
   std::optional<GenerationEngine> generation_;  // lazily built (large state)
   std::optional<ValidatorSet> validators_;
+  std::shared_ptr<const store::BaselineStore> baselines_;
+  bool last_attack_warm_ = false;
   RouteTable table_;
 };
 

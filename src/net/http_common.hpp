@@ -1,0 +1,63 @@
+// Shared HTTP/1.1 plumbing for the loopback servers in this repo: the
+// /metrics exposition endpoint (obs heartbeat) and the bgpsim::serve query
+// router both speak through these helpers.
+//
+// Scope is deliberately narrow — blocking sockets driven by poll(), one
+// request per connection, Connection: close — because both servers are
+// operational plumbing, not general web servers. What the helpers do add
+// over the original metrics-only loop:
+//   * a per-connection read timeout (a stalled peer cannot pin a worker),
+//   * oversized-request rejection (bounded head and body buffers), and
+//   * request-line + Content-Length parsing so POST bodies work.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace bgpsim::net {
+
+/// One parsed request: "POST /v1/attack HTTP/1.1" + optional body.
+struct HttpRequest {
+  std::string method;  ///< "GET", "POST", ... (uppercase as received)
+  std::string target;  ///< request-target, e.g. "/metrics" or "/v1/attack"
+  std::string body;    ///< Content-Length bytes (empty when none declared)
+};
+
+/// Why read_http_request returned without a usable request.
+enum class HttpReadStatus : std::uint8_t {
+  Ok,        ///< request parsed; respond and close
+  Closed,    ///< peer closed (or sent nothing) before a full head arrived
+  Timeout,   ///< peer stalled past the read timeout; close without answering
+  TooLarge,  ///< head or declared body exceeds the limits; answer 413
+  Malformed, ///< not parseable as HTTP/1.x; answer 400
+};
+
+/// Bounds applied to every connection.
+struct HttpLimits {
+  std::size_t max_head_bytes = 8192;
+  std::size_t max_body_bytes = 64 * 1024;
+  /// Budget for each poll() wait while reading; a peer that sends nothing
+  /// for this long is treated as stalled.
+  int read_timeout_millis = 2000;
+};
+
+/// Read and parse one request from `fd` (blocking socket, poll()-driven).
+/// On anything but Ok the contents of `out` are unspecified.
+HttpReadStatus read_http_request(int fd, const HttpLimits& limits,
+                                 HttpRequest& out);
+
+/// Standard reason phrase for the handful of codes the servers emit.
+const char* http_status_text(int status);
+
+/// Serialize and send one response, Connection: close. Short writes and
+/// send errors are swallowed — the connection is closed right after anyway.
+void write_http_response(int fd, int status, std::string_view content_type,
+                         std::string_view body);
+
+/// Bind a loopback TCP listener (port 0 = ephemeral) and start listening.
+/// Returns the listening fd (non-blocking) and fills `bound_port`, or -1.
+int open_loopback_listener(std::uint16_t port, std::uint16_t& bound_port);
+
+}  // namespace bgpsim::net

@@ -1,13 +1,10 @@
 #include "net/metrics_http.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include <cstdio>
-#include <cstring>
+#include "net/http_common.hpp"
 
 namespace bgpsim::net {
 namespace {
@@ -17,51 +14,40 @@ namespace {
 // outside src/obs/ must not use).
 constexpr int kPollMillis = 200;
 
-// Read the request head (until blank line or buffer full) with a short
-// timeout, then answer. Anything that is not "GET /metrics" gets a 404.
+// A scrape request is tiny; anything bigger is not a Prometheus scraper.
+constexpr HttpLimits kScrapeLimits{
+    .max_head_bytes = 2048,
+    .max_body_bytes = 0,
+    .read_timeout_millis = 1000,
+};
+
 void handle_connection(int fd, const MetricsHttpServer::Provider& provider) {
-  char request[2048];
-  std::size_t used = 0;
-  while (used < sizeof(request) - 1) {
-    struct pollfd pfd{fd, POLLIN, 0};
-    if (poll(&pfd, 1, kPollMillis * 5) <= 0) break;
-    const ssize_t n = recv(fd, request + used, sizeof(request) - 1 - used, 0);
-    if (n <= 0) break;
-    used += static_cast<std::size_t>(n);
-    request[used] = '\0';
-    if (std::strstr(request, "\r\n\r\n") != nullptr ||
-        std::strstr(request, "\n\n") != nullptr) {
+  HttpRequest request;
+  switch (read_http_request(fd, kScrapeLimits, request)) {
+    case HttpReadStatus::Ok:
       break;
-    }
+    case HttpReadStatus::TooLarge:
+      write_http_response(fd, 413, "text/plain; charset=utf-8",
+                          "request too large\n");
+      return;
+    case HttpReadStatus::Malformed:
+      write_http_response(fd, 400, "text/plain; charset=utf-8",
+                          "malformed request\n");
+      return;
+    case HttpReadStatus::Timeout:
+    case HttpReadStatus::Closed:
+      return;  // nothing useful to answer
   }
-  request[used] = '\0';
 
-  std::string body;
-  const char* status = "404 Not Found";
-  const char* content_type = "text/plain; charset=utf-8";
-  if (std::strncmp(request, "GET /metrics", 12) == 0 &&
-      (request[12] == ' ' || request[12] == '?')) {
-    status = "200 OK";
-    content_type = "text/plain; version=0.0.4; charset=utf-8";
-    body = provider ? provider() : std::string();
+  const bool is_metrics = request.method == "GET" &&
+                          request.target.rfind("/metrics", 0) == 0 &&
+                          (request.target.size() == 8 ||
+                           request.target[8] == '?');
+  if (is_metrics) {
+    write_http_response(fd, 200, "text/plain; version=0.0.4; charset=utf-8",
+                        provider ? provider() : std::string());
   } else {
-    body = "not found\n";
-  }
-
-  char header[256];
-  std::snprintf(header, sizeof(header),
-                "HTTP/1.1 %s\r\n"
-                "Content-Type: %s\r\n"
-                "Content-Length: %zu\r\n"
-                "Connection: close\r\n"
-                "\r\n",
-                status, content_type, body.size());
-  (void)send(fd, header, std::strlen(header), 0);
-  std::size_t sent = 0;
-  while (sent < body.size()) {
-    const ssize_t n = send(fd, body.data() + sent, body.size() - sent, 0);
-    if (n <= 0) break;
-    sent += static_cast<std::size_t>(n);
+    write_http_response(fd, 404, "text/plain; charset=utf-8", "not found\n");
   }
 }
 
@@ -70,27 +56,10 @@ void handle_connection(int fd, const MetricsHttpServer::Provider& provider) {
 bool MetricsHttpServer::start(std::uint16_t port, Provider provider) {
   if (running()) return false;
 
-  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  std::uint16_t bound = 0;
+  const int fd = open_loopback_listener(port, bound);
   if (fd < 0) return false;
-  const int one = 1;
-  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  struct sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      listen(fd, 8) != 0) {
-    close(fd);
-    return false;
-  }
-  struct sockaddr_in bound{};
-  socklen_t len = sizeof(bound);
-  if (getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound), &len) == 0) {
-    port_ = ntohs(bound.sin_port);
-  } else {
-    port_ = port;
-  }
+  port_ = bound;
 
   provider_ = std::move(provider);
   listen_fd_ = fd;

@@ -1,0 +1,109 @@
+#include "serve/query_server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/obs.hpp"
+
+namespace bgpsim::serve {
+namespace {
+
+// poll() sleep between stop-flag checks (same cadence as the /metrics
+// loop; library code outside src/obs/ must not use <chrono>).
+constexpr int kPollMillis = 200;
+
+}  // namespace
+
+QueryServer::QueryServer(Router router, QueryServerOptions options)
+    : router_(std::move(router)), options_(options) {
+  options_.workers = std::clamp(options_.workers, 1u, 64u);
+}
+
+QueryServer::~QueryServer() { stop(); }
+
+bool QueryServer::start() {
+  if (running()) return false;
+
+  std::uint16_t bound = 0;
+  const int fd = net::open_loopback_listener(options_.port, bound);
+  if (fd < 0) return false;
+  listen_fd_ = fd;
+  port_ = bound;
+
+  stop_requested_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  workers_.reserve(options_.workers);
+  for (unsigned i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+  BGPSIM_GAUGE_SET("serve.workers", options_.workers);
+  return true;
+}
+
+void QueryServer::stop() {
+  if (!running()) return;
+  stop_requested_.store(true, std::memory_order_release);
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  port_ = 0;
+  running_.store(false, std::memory_order_release);
+}
+
+void QueryServer::worker_loop(unsigned index) {
+  // The listener is non-blocking, so every worker can poll it and the
+  // kernel hands each pending connection to exactly one accept() winner;
+  // the losers see EAGAIN and go back to polling.
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    struct pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = poll(&pfd, 1, kPollMillis);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flag
+    const int conn = accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;  // raced another worker (EAGAIN) or transient
+
+    BGPSIM_TIMED_SCOPE("serve.request");
+    BGPSIM_COUNTER_ADD("serve.requests", 1);
+    net::HttpRequest request;
+    switch (net::read_http_request(conn, options_.limits, request)) {
+      case net::HttpReadStatus::Ok: {
+        const HttpResponse response = router_.dispatch(request, index);
+        net::write_http_response(conn, response.status, response.content_type,
+                                 response.body);
+        if (response.status >= 400) {
+          BGPSIM_COUNTER_ADD("serve.errors", 1);
+        }
+        break;
+      }
+      case net::HttpReadStatus::TooLarge: {
+        const HttpResponse response = error_response(413, "request too large");
+        net::write_http_response(conn, response.status, response.content_type,
+                                 response.body);
+        BGPSIM_COUNTER_ADD("serve.rejected", 1);
+        break;
+      }
+      case net::HttpReadStatus::Malformed: {
+        const HttpResponse response = error_response(400, "malformed request");
+        net::write_http_response(conn, response.status, response.content_type,
+                                 response.body);
+        BGPSIM_COUNTER_ADD("serve.rejected", 1);
+        break;
+      }
+      case net::HttpReadStatus::Timeout:
+      case net::HttpReadStatus::Closed:
+        BGPSIM_COUNTER_ADD("serve.dropped", 1);
+        break;  // nothing useful to answer
+    }
+    close(conn);
+  }
+}
+
+}  // namespace bgpsim::serve

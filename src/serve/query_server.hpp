@@ -1,0 +1,62 @@
+// Long-lived loopback HTTP server for hijack what-if queries.
+//
+// Generalizes the single-connection /metrics exposition loop
+// (net/metrics_http) into a fixed pool of worker threads that all
+// poll()+accept() one shared non-blocking listener. Each worker handles one
+// connection at a time end-to-end (read -> route -> write -> close), so the
+// connection limit is the worker count and per-worker handler state needs
+// no locks. stop() drains: workers finish their in-flight request, then the
+// listener closes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "net/http_common.hpp"
+#include "serve/router.hpp"
+
+namespace bgpsim::serve {
+
+struct QueryServerOptions {
+  std::uint16_t port = 0;  ///< 0 = ephemeral (read back via port())
+  unsigned workers = 4;    ///< clamped to [1, 64]
+  net::HttpLimits limits;  ///< per-connection read bounds
+};
+
+class QueryServer {
+ public:
+  /// The router is copied per worker-visible shared state; handlers must be
+  /// safe to call from `options.workers` threads at once (the worker index
+  /// argument exists so they can shard state instead of locking).
+  QueryServer(Router router, QueryServerOptions options);
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Bind and spawn the workers. Returns false when the port cannot be
+  /// bound (no throw: the CLI turns this into an exit code).
+  bool start();
+
+  /// Drain and join. Safe to call from a signal-triggered main loop and
+  /// idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  std::uint16_t port() const { return port_; }
+
+ private:
+  void worker_loop(unsigned index);
+
+  Router router_;
+  QueryServerOptions options_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace bgpsim::serve

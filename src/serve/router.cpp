@@ -1,0 +1,54 @@
+#include "serve/router.hpp"
+
+#include <exception>
+
+#include "obs/json.hpp"
+
+namespace bgpsim::serve {
+
+namespace {
+
+std::string_view path_of(std::string_view target) {
+  const std::size_t query = target.find('?');
+  return query == std::string_view::npos ? target : target.substr(0, query);
+}
+
+}  // namespace
+
+HttpResponse error_response(int status, std::string_view message) {
+  obs::JsonWriter json;
+  json.begin_object();
+  json.field("error", message);
+  json.end_object();
+  return HttpResponse{status, "application/json", std::move(json).str()};
+}
+
+void Router::add(std::string method, std::string path, Handler handler) {
+  for (Entry& entry : routes_) {
+    if (entry.method == method && entry.path == path) {
+      entry.handler = std::move(handler);
+      return;
+    }
+  }
+  routes_.push_back(Entry{std::move(method), std::move(path), std::move(handler)});
+}
+
+HttpResponse Router::dispatch(const net::HttpRequest& request,
+                              unsigned worker) const {
+  const std::string_view path = path_of(request.target);
+  bool path_known = false;
+  for (const Entry& entry : routes_) {
+    if (entry.path != path) continue;
+    path_known = true;
+    if (entry.method != request.method) continue;
+    try {
+      return entry.handler(request, worker);
+    } catch (const std::exception& e) {
+      return error_response(500, e.what());
+    }
+  }
+  if (path_known) return error_response(405, "method not allowed");
+  return error_response(404, "no such endpoint");
+}
+
+}  // namespace bgpsim::serve

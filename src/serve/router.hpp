@@ -1,0 +1,51 @@
+// Request router for the bgpsim query service: exact method + path match
+// over a small fixed route table. Query strings are stripped before
+// matching, a path hit with the wrong method answers 405, anything else
+// 404. Handlers receive the worker index so per-worker state (one
+// HijackSimulator per worker) needs no locking.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/http_common.hpp"
+
+namespace bgpsim::serve {
+
+/// What a handler produces; the server serializes and closes.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// A JSON error document ({"error": "..."}), the service's one error shape.
+HttpResponse error_response(int status, std::string_view message);
+
+class Router {
+ public:
+  using Handler =
+      std::function<HttpResponse(const net::HttpRequest&, unsigned worker)>;
+
+  /// Register `method` + exact `path` (no query string). Later additions of
+  /// the same (method, path) pair win — there is no route shadowing to debug.
+  void add(std::string method, std::string path, Handler handler);
+
+  /// Match and invoke. 405 on a known path with the wrong method, 404
+  /// otherwise. Never throws: a handler exception becomes a 500.
+  HttpResponse dispatch(const net::HttpRequest& request, unsigned worker) const;
+
+  std::size_t size() const { return routes_.size(); }
+
+ private:
+  struct Entry {
+    std::string method;
+    std::string path;
+    Handler handler;
+  };
+  std::vector<Entry> routes_;
+};
+
+}  // namespace bgpsim::serve

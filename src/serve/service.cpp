@@ -1,0 +1,235 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "defense/deployment.hpp"
+#include "defense/filter_set.hpp"
+#include "detect/detector.hpp"
+#include "detect/probe_set.hpp"
+#include "obs/json.hpp"
+#include "obs/json_parse.hpp"
+#include "obs/obs.hpp"
+#include "obs/promtext.hpp"
+#include "support/error.hpp"
+
+namespace bgpsim::serve {
+namespace {
+
+/// Resolve a JSON member holding an ASN to a dense id, or explain why not.
+/// Returns kInvalidAs and fills `error` on failure.
+AsId resolve_asn(const AsGraph& graph, const obs::JsonValue& value,
+                 const char* what, std::string& error) {
+  if (!value.is_number()) {
+    error = std::string(what) + " must be a number (an ASN)";
+    return kInvalidAs;
+  }
+  const auto asn = static_cast<Asn>(value.as_u64());
+  const std::optional<AsId> id = graph.find(asn);
+  if (!id) {
+    error = std::string("unknown ") + what + " asn " + std::to_string(asn);
+    return kInvalidAs;
+  }
+  return *id;
+}
+
+}  // namespace
+
+WhatIfService::WhatIfService(store::Snapshot snapshot, unsigned workers)
+    : scenario_(Scenario::from_snapshot(snapshot)),
+      info_(store::describe_snapshot(snapshot)),
+      baselines_(std::make_shared<const store::BaselineStore>(
+          std::move(snapshot.baselines))) {
+  workers = std::clamp(workers, 1u, 64u);
+  sims_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    sims_.push_back(std::make_unique<HijackSimulator>(scenario_.graph(),
+                                                      scenario_.sim_config()));
+    sims_.back()->attach_baseline(baselines_);
+  }
+  BGPSIM_GAUGE_SET("serve.baseline_targets", baselines_->size());
+  BGPSIM_GAUGE_SET("mem.baseline_bytes", baselines_->memory_bytes());
+}
+
+Router WhatIfService::make_router() {
+  Router router;
+  router.add("POST", "/v1/attack",
+             [this](const net::HttpRequest& request, unsigned worker) {
+               return handle_attack(request, worker);
+             });
+  router.add("GET", "/v1/topology",
+             [this](const net::HttpRequest&, unsigned) {
+               return handle_topology();
+             });
+  router.add("GET", "/metrics", [](const net::HttpRequest&, unsigned) {
+    return HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                        obs::to_prom_text(obs::registry().snapshot())};
+  });
+  return router;
+}
+
+HttpResponse WhatIfService::handle_attack(const net::HttpRequest& request,
+                                          unsigned worker) {
+  BGPSIM_TIMED_SCOPE("serve.attack");
+  BGPSIM_REQUIRE(worker < sims_.size(), "worker index out of range");
+  HijackSimulator& sim = *sims_[worker];
+  const AsGraph& graph = scenario_.graph();
+
+  obs::JsonValue doc;
+  try {
+    doc = obs::JsonValue::parse(request.body);
+  } catch (const ParseError& e) {
+    return error_response(400, std::string("bad JSON: ") + e.what());
+  }
+  if (!doc.is_object()) {
+    return error_response(400, "request body must be a JSON object");
+  }
+
+  std::string error;
+  const obs::JsonValue* victim_field = doc.find("victim");
+  const obs::JsonValue* attacker_field = doc.find("attacker");
+  if (victim_field == nullptr || attacker_field == nullptr) {
+    return error_response(400, "victim and attacker are required");
+  }
+  const AsId victim = resolve_asn(graph, *victim_field, "victim", error);
+  if (victim == kInvalidAs) return error_response(400, error);
+  const AsId attacker = resolve_asn(graph, *attacker_field, "attacker", error);
+  if (attacker == kInvalidAs) return error_response(400, error);
+  if (victim == attacker) {
+    return error_response(400, "victim and attacker must differ");
+  }
+
+  // Deployment: explicit ASNs, a top-K-by-degree core, or both (union).
+  FilterSet filters(graph.num_ases());
+  if (const obs::JsonValue* deployment = doc.find("deployment")) {
+    if (!deployment->is_array()) {
+      return error_response(400, "deployment must be an array of ASNs");
+    }
+    for (const obs::JsonValue& member : deployment->items()) {
+      const AsId id = resolve_asn(graph, member, "deployment", error);
+      if (id == kInvalidAs) return error_response(400, error);
+      filters.add(id);
+    }
+  }
+  if (const obs::JsonValue* top = doc.find("deployment_top")) {
+    if (!top->is_number()) {
+      return error_response(400, "deployment_top must be a number");
+    }
+    const auto k = static_cast<std::size_t>(top->as_u64());
+    for (const AsId id : top_k_deployment(graph, k).deployers) {
+      filters.add(id);
+    }
+  }
+  if (filters.count() > 0) {
+    sim.set_validators(filters.bitset());
+  } else {
+    sim.set_validators(std::nullopt);
+  }
+
+  AttackOptions options;
+  options.kind = AttackKind::ExactPrefix;
+  if (const obs::JsonValue* forged = doc.find("forged_origin")) {
+    if (!forged->is_bool()) {
+      return error_response(400, "forged_origin must be a boolean");
+    }
+    options.forged_origin = forged->as_bool();
+  }
+  std::uint32_t probe_count = 0;
+  if (const obs::JsonValue* probes = doc.find("probes")) {
+    if (!probes->is_number()) {
+      return error_response(400, "probes must be a number");
+    }
+    probe_count = static_cast<std::uint32_t>(probes->as_u64());
+  }
+
+  const ExtendedAttackResult result = sim.attack_ex(victim, attacker, options);
+  const bool warm = sim.last_attack_warm();
+
+  // Detection runs against the converged table before any trace replay
+  // (attack_with_trace reconverges on the generation engine and would
+  // overwrite it).
+  std::uint32_t probes_triggered = 0;
+  bool detected = false;
+  std::uint32_t first_generation = 0;
+  if (probe_count > 0) {
+    const ProbeSet probe_set = ProbeSet::top_k(graph, probe_count);
+    const DetectionOutcome outcome = evaluate_detection(sim.routes(), probe_set);
+    probes_triggered = outcome.probes_triggered;
+    detected = outcome.detected();
+    if (detected && !options.forged_origin) {
+      PropagationTrace trace;
+      sim.attack_with_trace(victim, attacker, trace);
+      first_generation = first_detection_generation(trace, probe_set);
+    }
+  }
+
+  obs::JsonWriter json;
+  json.begin_object();
+  json.field("victim", static_cast<std::uint64_t>(graph.asn(victim)));
+  json.field("attacker", static_cast<std::uint64_t>(graph.asn(attacker)));
+  json.field("polluted_ases", static_cast<std::uint64_t>(result.polluted_ases));
+  json.field("polluted_fraction", result.polluted_address_fraction);
+  json.field("routed_ases", static_cast<std::uint64_t>(result.routed_ases));
+  json.field("deployment_size", static_cast<std::uint64_t>(filters.count()));
+  json.field("forged_origin", options.forged_origin);
+  json.field("warm", warm);
+  json.field("generations", static_cast<std::uint64_t>(result.generations));
+  if (probe_count > 0) {
+    json.key("detection");
+    json.begin_object();
+    json.field("probes", static_cast<std::uint64_t>(probe_count));
+    json.field("triggered", static_cast<std::uint64_t>(probes_triggered));
+    json.field("detected", detected);
+    json.field("first_generation", static_cast<std::uint64_t>(first_generation));
+    json.end_object();
+  }
+  json.end_object();
+  BGPSIM_COUNTER_ADD(warm ? "serve.attacks_warm" : "serve.attacks_cold", 1);
+  return HttpResponse{200, "application/json", std::move(json).str()};
+}
+
+HttpResponse WhatIfService::handle_topology() const {
+  const AsGraph& graph = scenario_.graph();
+  obs::JsonWriter json;
+  json.begin_object();
+  json.field("format_version", static_cast<std::uint64_t>(info_.format_version));
+  json.field("topology_checksum", std::to_string(info_.topology_checksum));
+  json.field("ases", static_cast<std::uint64_t>(info_.ases));
+  json.field("links", info_.links);
+  json.field("regions", static_cast<std::uint64_t>(info_.regions));
+  json.field("baseline_targets",
+             static_cast<std::uint64_t>(info_.baseline_targets));
+  json.field("seed", info_.params.seed);
+  json.field("scale", static_cast<std::uint64_t>(info_.params.scale));
+  json.field("tier1_shortest_path", info_.params.tier1_shortest_path);
+  json.field("stub_first_hop_filter", info_.params.stub_first_hop_filter);
+
+  // Sample ASNs so a client (or the CI smoke test) can pick attack
+  // endpoints without downloading the graph: baseline targets make warm
+  // victims, transit ASes make effective attackers.
+  json.key("baseline_sample");
+  json.begin_array();
+  {
+    const std::vector<AsId> targets = baselines_->targets();
+    const std::size_t n = std::min<std::size_t>(targets.size(), 16);
+    for (std::size_t i = 0; i < n; ++i) {
+      json.value(static_cast<std::uint64_t>(graph.asn(targets[i])));
+    }
+  }
+  json.end_array();
+  json.key("transit_sample");
+  json.begin_array();
+  {
+    const std::vector<AsId>& transit = scenario_.transit();
+    const std::size_t n = std::min<std::size_t>(transit.size(), 16);
+    for (std::size_t i = 0; i < n; ++i) {
+      json.value(static_cast<std::uint64_t>(graph.asn(transit[i])));
+    }
+  }
+  json.end_array();
+  json.end_object();
+  return HttpResponse{200, "application/json", std::move(json).str()};
+}
+
+}  // namespace bgpsim::serve

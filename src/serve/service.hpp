@@ -1,0 +1,48 @@
+// WhatIfService: the hijack query endpoints behind `bgpsim serve`.
+//
+// Owns a Scenario rebuilt from a snapshot, shares the snapshot's baselines
+// read-only across a fixed set of per-worker HijackSimulators (one per
+// QueryServer worker — no locking), and registers:
+//
+//   POST /v1/attack    {"victim": asn, "attacker": asn,
+//                       "deployment": [asn, ...], "deployment_top": K,
+//                       "forged_origin": false, "probes": 0}
+//                      -> pollution summary (+ detection when probes > 0)
+//   GET  /v1/topology  snapshot summary + sample ASNs for clients
+//   GET  /metrics      Prometheus exposition of the obs registry
+//
+// Endpoint schemas are documented in DESIGN.md §9.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "serve/router.hpp"
+#include "store/snapshot.hpp"
+
+namespace bgpsim::serve {
+
+class WhatIfService {
+ public:
+  /// `workers` must match the QueryServer worker count: handler `worker`
+  /// indices address the per-worker simulators built here.
+  WhatIfService(store::Snapshot snapshot, unsigned workers);
+
+  /// Routes bound to this service; the service must outlive the server.
+  Router make_router();
+
+  const Scenario& scenario() const { return scenario_; }
+  const store::SnapshotInfo& info() const { return info_; }
+
+ private:
+  HttpResponse handle_attack(const net::HttpRequest& request, unsigned worker);
+  HttpResponse handle_topology() const;
+
+  Scenario scenario_;
+  store::SnapshotInfo info_;
+  std::shared_ptr<const store::BaselineStore> baselines_;
+  std::vector<std::unique_ptr<HijackSimulator>> sims_;  // one per worker
+};
+
+}  // namespace bgpsim::serve

@@ -1,0 +1,66 @@
+#include "store/baseline.hpp"
+
+#include <algorithm>
+
+#include "bgp/equilibrium_engine.hpp"
+#include "obs/obs.hpp"
+#include "support/assert.hpp"
+
+namespace bgpsim::store {
+
+BaselineStore BaselineStore::compute(const AsGraph& graph,
+                                     const PolicyConfig& policy,
+                                     std::span<const AsId> targets) {
+  BGPSIM_TIMED_SCOPE("store.baseline_compute");
+  BaselineStore store;
+  EquilibriumEngine engine(graph, policy);
+  RouteTable table;
+  for (const AsId target : targets) {
+    BGPSIM_REQUIRE(target < graph.num_ases(), "baseline target out of range");
+    if (store.contains(target)) continue;
+    engine.compute(target, /*validators=*/nullptr, table);
+    store.put(target, table);
+    BGPSIM_COUNTER_ADD("store.baselines_computed", 1);
+  }
+  return store;
+}
+
+const RouteTable* BaselineStore::find(AsId target) const {
+  const auto it = std::lower_bound(
+      tables_.begin(), tables_.end(), target,
+      [](const auto& entry, AsId key) { return entry.first < key; });
+  if (it == tables_.end() || it->first != target) return nullptr;
+  return &it->second;
+}
+
+void BaselineStore::put(AsId target, RouteTable table) {
+  const auto it = std::lower_bound(
+      tables_.begin(), tables_.end(), target,
+      [](const auto& entry, AsId key) { return entry.first < key; });
+  if (it != tables_.end() && it->first == target) {
+    it->second = std::move(table);
+  } else {
+    tables_.emplace(it, target, std::move(table));
+  }
+}
+
+std::vector<AsId> BaselineStore::targets() const {
+  std::vector<AsId> out;
+  out.reserve(tables_.size());
+  for (const auto& [target, table] : tables_) {
+    (void)table;
+    out.push_back(target);
+  }
+  return out;
+}
+
+std::uint64_t BaselineStore::memory_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [target, table] : tables_) {
+    (void)target;
+    total += table.memory_bytes();
+  }
+  return total;
+}
+
+}  // namespace bgpsim::store

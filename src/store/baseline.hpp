@@ -1,0 +1,55 @@
+// Per-target converged baselines: the data that makes hijack queries cheap.
+//
+// A baseline is the legitimate-only equilibrium route table of one target —
+// 8 bytes per AS. It is deliberately *validator-independent*: origin
+// validation only ever drops attacker-origin routes, so the no-attacker
+// state is the same under every deployment set, and one stored table serves
+// every (attacker, deployment) what-if against that target (see
+// bgp/warm_repair.hpp for the repair step).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bgp/policy.hpp"
+#include "bgp/types.hpp"
+#include "topology/as_graph.hpp"
+
+namespace bgpsim::store {
+
+class BaselineStore {
+ public:
+  BaselineStore() = default;
+
+  /// Converge the legitimate-only state for each target (duplicates are
+  /// computed once). Every table is produced by EquilibriumEngine::compute
+  /// with no validators — the canonical baseline warm_hijack_repair expects.
+  static BaselineStore compute(const AsGraph& graph, const PolicyConfig& policy,
+                               std::span<const AsId> targets);
+
+  /// Stored table for `target`, or nullptr when absent.
+  const RouteTable* find(AsId target) const;
+
+  bool contains(AsId target) const { return find(target) != nullptr; }
+
+  /// Insert or replace one baseline. The table size must match across all
+  /// entries (enforced lazily by serialization and attach_baseline).
+  void put(AsId target, RouteTable table);
+
+  /// Targets with stored baselines, ascending (serialization order).
+  std::vector<AsId> targets() const;
+
+  std::size_t size() const { return tables_.size(); }
+  bool empty() const { return tables_.empty(); }
+
+  /// Heap footprint of the stored tables (mem.* gauge material).
+  std::uint64_t memory_bytes() const;
+
+ private:
+  // Dense-id keyed; kept sorted by target so iteration and serialization
+  // are deterministic.
+  std::vector<std::pair<AsId, RouteTable>> tables_;
+};
+
+}  // namespace bgpsim::store

@@ -20,6 +20,10 @@ namespace bgpsim {
 
 class GraphBuilder;
 
+namespace store {
+class SnapshotCodec;
+}  // namespace store
+
 class AsGraph {
  public:
   AsGraph() = default;
@@ -76,6 +80,10 @@ class AsGraph {
 
  private:
   friend class GraphBuilder;
+  // Binary snapshot serialization (src/store/snapshot.cpp) round-trips the
+  // CSR arrays directly so a reloaded graph is field-identical — re-saving
+  // a loaded snapshot reproduces the original bytes.
+  friend class store::SnapshotCodec;
 
   std::vector<std::uint32_t> offsets_;  // size num_ases + 1
   std::vector<Neighbor> adj_;           // both directions of every link

@@ -1,0 +1,246 @@
+// End-to-end tests of the query service: router dispatch, the what-if
+// endpoints over real loopback sockets, and graceful drain.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "obs/json_parse.hpp"
+#include "serve/query_server.hpp"
+#include "serve/service.hpp"
+#include "store/baseline.hpp"
+#include "store/snapshot.hpp"
+#include "support/rng.hpp"
+
+namespace bgpsim::serve {
+namespace {
+
+struct ClientResponse {
+  int status = 0;
+  std::string body;
+};
+
+/// Minimal blocking HTTP client for loopback tests.
+ClientResponse http_request(std::uint16_t port, const std::string& method,
+                            const std::string& target,
+                            const std::string& body = std::string()) {
+  ClientResponse out;
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return out;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return out;
+  }
+  std::string request = method + " " + target + " HTTP/1.1\r\n";
+  if (!body.empty()) {
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  request += "Connection: close\r\n\r\n" + body;
+  (void)send(fd, request.data(), request.size(), 0);
+
+  std::string raw;
+  char buf[8192];
+  for (;;) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  close(fd);
+
+  if (raw.rfind("HTTP/1.1 ", 0) == 0 && raw.size() > 12) {
+    out.status = std::stoi(raw.substr(9, 3));
+  }
+  const std::size_t split = raw.find("\r\n\r\n");
+  if (split != std::string::npos) out.body = raw.substr(split + 4);
+  return out;
+}
+
+store::Snapshot make_snapshot(std::uint32_t scale, std::uint64_t seed,
+                              std::size_t num_targets) {
+  ScenarioParams params;
+  params.topology.total_ases = scale;
+  params.topology.seed = seed;
+  const Scenario scenario = Scenario::generate(params);
+  Rng rng(seed + 1);
+  std::vector<AsId> targets;
+  for (std::size_t i = 0; i < num_targets; ++i) {
+    targets.push_back(
+        static_cast<AsId>(rng.bounded(scenario.graph().num_ases())));
+  }
+  store::Snapshot snapshot;
+  snapshot.graph = scenario.graph();
+  snapshot.params = scenario.snapshot_params();
+  snapshot.baselines = store::BaselineStore::compute(scenario.graph(),
+                                                     scenario.policy(), targets);
+  return snapshot;
+}
+
+class ServeTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    service_ = std::make_unique<WhatIfService>(make_snapshot(800, 21, 6),
+                                               /*workers=*/2);
+    QueryServerOptions options;
+    options.workers = 2;
+    server_ = std::make_unique<QueryServer>(service_->make_router(), options);
+    ASSERT_TRUE(server_->start());
+    ASSERT_GT(server_->port(), 0);
+  }
+
+  void TearDown() override {
+    server_->stop();
+    EXPECT_FALSE(server_->running());
+  }
+
+  std::uint16_t port() const { return server_->port(); }
+
+  std::unique_ptr<WhatIfService> service_;
+  std::unique_ptr<QueryServer> server_;
+};
+
+TEST_F(ServeTest, TopologyEndpoint) {
+  const ClientResponse response = http_request(port(), "GET", "/v1/topology");
+  ASSERT_EQ(response.status, 200);
+  const obs::JsonValue doc = obs::JsonValue::parse(response.body);
+  EXPECT_EQ(doc.number_at("ases"), 800.0);
+  EXPECT_GT(doc.number_at("baseline_targets"), 0.0);
+  ASSERT_NE(doc.find("baseline_sample"), nullptr);
+  EXPECT_FALSE(doc.find("baseline_sample")->items().empty());
+  ASSERT_NE(doc.find("transit_sample"), nullptr);
+  EXPECT_FALSE(doc.find("transit_sample")->items().empty());
+}
+
+TEST_F(ServeTest, SixtyFourSequentialAttacks) {
+  const ClientResponse topo = http_request(port(), "GET", "/v1/topology");
+  ASSERT_EQ(topo.status, 200);
+  const obs::JsonValue doc = obs::JsonValue::parse(topo.body);
+  const auto& victims = doc.find("baseline_sample")->items();
+  const auto& attackers = doc.find("transit_sample")->items();
+  ASSERT_FALSE(victims.empty());
+  ASSERT_FALSE(attackers.empty());
+
+  int warm_hits = 0;
+  int sent = 0;
+  for (int i = 0; sent < 64; ++i) {
+    const std::uint64_t victim = victims[i % victims.size()].as_u64();
+    const std::uint64_t attacker = attackers[i % attackers.size()].as_u64();
+    if (victim == attacker) continue;
+    std::string body = "{\"victim\": " + std::to_string(victim) +
+                       ", \"attacker\": " + std::to_string(attacker);
+    if (i % 3 == 1) body += ", \"deployment_top\": 10";
+    if (i % 5 == 2) body += ", \"forged_origin\": true";
+    body += "}";
+    const ClientResponse response =
+        http_request(port(), "POST", "/v1/attack", body);
+    ASSERT_EQ(response.status, 200) << "request " << sent << ": " << response.body;
+    const obs::JsonValue result = obs::JsonValue::parse(response.body);
+    EXPECT_EQ(result.number_at("victim"), static_cast<double>(victim));
+    EXPECT_EQ(result.number_at("attacker"), static_cast<double>(attacker));
+    ASSERT_NE(result.find("polluted_ases"), nullptr);
+    ASSERT_NE(result.find("polluted_fraction"), nullptr);
+    ASSERT_NE(result.find("routed_ases"), nullptr);
+    ASSERT_NE(result.find("warm"), nullptr);
+    EXPECT_GT(result.number_at("routed_ases"), 0.0);
+    warm_hits += result.find("warm")->as_bool() ? 1 : 0;
+    ++sent;
+  }
+  // Every victim came from baseline_sample, so each attack warm-started.
+  EXPECT_EQ(warm_hits, sent);
+}
+
+TEST_F(ServeTest, DetectionFieldsWhenProbesRequested) {
+  const ClientResponse topo = http_request(port(), "GET", "/v1/topology");
+  const obs::JsonValue doc = obs::JsonValue::parse(topo.body);
+  const std::uint64_t victim = doc.find("baseline_sample")->items()[0].as_u64();
+  std::uint64_t attacker = doc.find("transit_sample")->items()[0].as_u64();
+  if (attacker == victim) {
+    attacker = doc.find("transit_sample")->items()[1].as_u64();
+  }
+  const std::string body = "{\"victim\": " + std::to_string(victim) +
+                           ", \"attacker\": " + std::to_string(attacker) +
+                           ", \"probes\": 10}";
+  const ClientResponse response =
+      http_request(port(), "POST", "/v1/attack", body);
+  ASSERT_EQ(response.status, 200) << response.body;
+  const obs::JsonValue result = obs::JsonValue::parse(response.body);
+  const obs::JsonValue* detection = result.find("detection");
+  ASSERT_NE(detection, nullptr);
+  EXPECT_EQ(detection->number_at("probes"), 10.0);
+  ASSERT_NE(detection->find("detected"), nullptr);
+  ASSERT_NE(detection->find("triggered"), nullptr);
+  ASSERT_NE(detection->find("first_generation"), nullptr);
+}
+
+TEST_F(ServeTest, MetricsEndpoint) {
+  const ClientResponse response = http_request(port(), "GET", "/metrics");
+  ASSERT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("serve_requests"), std::string::npos);
+}
+
+TEST_F(ServeTest, ErrorStatuses) {
+  EXPECT_EQ(http_request(port(), "GET", "/nope").status, 404);
+  EXPECT_EQ(http_request(port(), "GET", "/v1/attack").status, 405);
+  EXPECT_EQ(http_request(port(), "POST", "/v1/attack", "not json").status, 400);
+  EXPECT_EQ(http_request(port(), "POST", "/v1/attack", "{}").status, 400);
+  EXPECT_EQ(http_request(port(), "POST", "/v1/attack",
+                         "{\"victim\": 1, \"attacker\": 1}")
+                .status,
+            400);
+  EXPECT_EQ(http_request(port(), "POST", "/v1/attack",
+                         "{\"victim\": 99999999, \"attacker\": 1}")
+                .status,
+            400);
+  // Body past the configured limit answers 413.
+  const std::string huge(70 * 1024, 'x');
+  EXPECT_EQ(http_request(port(), "POST", "/v1/attack", huge).status, 413);
+}
+
+TEST_F(ServeTest, StopIsIdempotentAndDrains) {
+  server_->stop();
+  EXPECT_FALSE(server_->running());
+  server_->stop();  // second stop is a no-op
+}
+
+TEST(Router, DispatchRules) {
+  Router router;
+  router.add("GET", "/a", [](const net::HttpRequest&, unsigned) {
+    return HttpResponse{200, "text/plain", "a"};
+  });
+  router.add("POST", "/a", [](const net::HttpRequest&, unsigned) {
+    return HttpResponse{200, "text/plain", "posted"};
+  });
+  router.add("GET", "/boom", [](const net::HttpRequest&, unsigned) -> HttpResponse {
+    throw std::runtime_error("handler exploded");
+  });
+
+  net::HttpRequest request;
+  request.method = "GET";
+  request.target = "/a?x=1";  // query string stripped before matching
+  EXPECT_EQ(router.dispatch(request, 0).body, "a");
+  request.method = "POST";
+  request.target = "/a";
+  EXPECT_EQ(router.dispatch(request, 0).body, "posted");
+  request.method = "DELETE";
+  EXPECT_EQ(router.dispatch(request, 0).status, 405);
+  request.method = "GET";
+  request.target = "/missing";
+  EXPECT_EQ(router.dispatch(request, 0).status, 404);
+  request.target = "/boom";
+  const HttpResponse boom = router.dispatch(request, 0);
+  EXPECT_EQ(boom.status, 500);
+  EXPECT_NE(boom.body.find("handler exploded"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bgpsim::serve

@@ -1,0 +1,198 @@
+// Warm-start equivalence: attacks answered from a stored baseline via
+// warm_hijack_repair must be bit-identical to cold reconvergence — same
+// AttackResult fields AND the same full route table. PR1's uniqueness
+// theorem (strict per-AS preference order => one stable state) is what
+// makes this a hard equality, not a statistical one.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "defense/deployment.hpp"
+#include "defense/filter_set.hpp"
+#include "store/baseline.hpp"
+#include "support/rng.hpp"
+
+namespace bgpsim {
+namespace {
+
+Scenario make_scenario(std::uint32_t scale, std::uint64_t seed,
+                       bool stub_filter = false) {
+  ScenarioParams params;
+  params.topology.total_ases = scale;
+  params.topology.seed = seed;
+  params.stub_first_hop_filter = stub_filter;
+  return Scenario::generate(params);
+}
+
+void expect_tables_equal(const RouteTable& warm, const RouteTable& cold) {
+  ASSERT_EQ(warm.routes.size(), cold.routes.size());
+  for (std::size_t v = 0; v < warm.routes.size(); ++v) {
+    const Route& w = warm.routes[v];
+    const Route& c = cold.routes[v];
+    ASSERT_TRUE(w.origin == c.origin && w.cls == c.cls &&
+                w.path_len == c.path_len && w.via == c.via)
+        << "route tables diverge at AS " << v << ": warm=("
+        << static_cast<int>(w.origin) << "," << static_cast<int>(w.cls) << ","
+        << w.path_len << "," << w.via << ") cold=("
+        << static_cast<int>(c.origin) << "," << static_cast<int>(c.cls) << ","
+        << c.path_len << "," << c.via << ")";
+  }
+}
+
+void expect_results_equal(const AttackResult& warm, const AttackResult& cold) {
+  EXPECT_EQ(warm.polluted_ases, cold.polluted_ases);
+  EXPECT_EQ(warm.polluted_address_space, cold.polluted_address_space);
+  EXPECT_DOUBLE_EQ(warm.polluted_address_fraction,
+                   cold.polluted_address_fraction);
+  EXPECT_EQ(warm.routed_ases, cold.routed_ases);
+}
+
+/// Run the same (target, attacker, validators, options) attack warm and
+/// cold and require identical outcomes.
+void check_attack(const Scenario& scenario,
+                  const std::shared_ptr<const store::BaselineStore>& baselines,
+                  HijackSimulator& warm_sim, HijackSimulator& cold_sim,
+                  AsId target, AsId attacker,
+                  const std::optional<ValidatorSet>& validators,
+                  bool forged_origin) {
+  (void)scenario;
+  warm_sim.set_validators(validators);
+  cold_sim.set_validators(validators);
+
+  AttackOptions options;
+  options.forged_origin = forged_origin;
+
+  const ExtendedAttackResult warm = warm_sim.attack_ex(target, attacker, options);
+  ASSERT_TRUE(warm_sim.last_attack_warm())
+      << "baseline present but the warm path was not taken";
+  const RouteTable warm_table = warm_sim.routes();
+
+  const ExtendedAttackResult cold = cold_sim.attack_ex(target, attacker, options);
+  ASSERT_FALSE(cold_sim.last_attack_warm());
+
+  expect_results_equal(warm, cold);
+  expect_tables_equal(warm_table, cold_sim.routes());
+}
+
+/// The audit-matrix seeds/scales, exercised with no deployment, a top-K
+/// core, and a random transit deployment, plus forged-origin announcements.
+TEST(WarmStart, MatchesColdAcrossSeedMatrix) {
+  const struct {
+    std::uint32_t scale;
+    std::uint64_t seed;
+  } matrix[] = {{1000, 101}, {1500, 202}, {2000, 303}};
+
+  for (const auto& [scale, seed] : matrix) {
+    const Scenario scenario = make_scenario(scale, seed);
+    const AsGraph& g = scenario.graph();
+
+    Rng rng(seed * 7 + 1);
+    std::vector<AsId> targets, attackers;
+    for (int i = 0; i < 6; ++i) {
+      targets.push_back(rng.bounded(g.num_ases()));
+      attackers.push_back(rng.bounded(g.num_ases()));
+    }
+    const auto baselines = std::make_shared<const store::BaselineStore>(
+        store::BaselineStore::compute(g, scenario.policy(), targets));
+
+    HijackSimulator warm_sim = scenario.make_simulator();
+    warm_sim.attach_baseline(baselines);
+    HijackSimulator cold_sim = scenario.make_simulator();
+
+    const FilterSet top = to_filter_set(g, top_k_deployment(g, 20));
+    Rng deploy_rng(seed * 13 + 5);
+    const FilterSet random = to_filter_set(
+        g, random_transit_deployment(g, g.num_ases() / 50, deploy_rng));
+
+    const std::optional<ValidatorSet> deployments[] = {
+        std::nullopt, top.bitset(), random.bitset()};
+
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      const AsId target = targets[i];
+      const AsId attacker = attackers[i];
+      if (target == attacker) continue;
+      for (const auto& validators : deployments) {
+        check_attack(scenario, baselines, warm_sim, cold_sim, target, attacker,
+                     validators, /*forged_origin=*/false);
+      }
+      check_attack(scenario, baselines, warm_sim, cold_sim, target, attacker,
+                   std::nullopt, /*forged_origin=*/true);
+    }
+  }
+}
+
+TEST(WarmStart, MatchesColdWithStubFirstHopFilter) {
+  const Scenario scenario = make_scenario(1200, 77, /*stub_filter=*/true);
+  const AsGraph& g = scenario.graph();
+
+  Rng rng(771);
+  std::vector<AsId> targets;
+  for (int i = 0; i < 5; ++i) targets.push_back(rng.bounded(g.num_ases()));
+  const auto baselines = std::make_shared<const store::BaselineStore>(
+      store::BaselineStore::compute(g, scenario.policy(), targets));
+
+  HijackSimulator warm_sim = scenario.make_simulator();
+  warm_sim.attach_baseline(baselines);
+  HijackSimulator cold_sim = scenario.make_simulator();
+
+  for (const AsId target : targets) {
+    for (int i = 0; i < 4; ++i) {
+      const AsId attacker = rng.bounded(g.num_ases());
+      if (attacker == target) continue;
+      check_attack(scenario, baselines, warm_sim, cold_sim, target, attacker,
+                   std::nullopt, /*forged_origin=*/false);
+    }
+  }
+}
+
+/// No baseline for the target => the simulator silently runs cold.
+TEST(WarmStart, FallsBackColdWithoutBaseline) {
+  const Scenario scenario = make_scenario(800, 9);
+  const AsGraph& g = scenario.graph();
+  const std::vector<AsId> targets{0};
+  const auto baselines = std::make_shared<const store::BaselineStore>(
+      store::BaselineStore::compute(g, scenario.policy(), targets));
+
+  HijackSimulator sim = scenario.make_simulator();
+  sim.attach_baseline(baselines);
+
+  sim.attack(/*target=*/0, /*attacker=*/5);
+  EXPECT_TRUE(sim.last_attack_warm());
+  sim.attack(/*target=*/1, /*attacker=*/5);
+  EXPECT_FALSE(sim.last_attack_warm());
+
+  sim.attach_baseline(nullptr);
+  sim.attack(/*target=*/0, /*attacker=*/5);
+  EXPECT_FALSE(sim.last_attack_warm());
+}
+
+/// attack() (plain exact-prefix entry point) takes the warm path too.
+TEST(WarmStart, PlainAttackEntryPointMatches) {
+  const Scenario scenario = make_scenario(1000, 4242);
+  const AsGraph& g = scenario.graph();
+  Rng rng(17);
+  const AsId target = rng.bounded(g.num_ases());
+  AsId attacker = rng.bounded(g.num_ases());
+  if (attacker == target) attacker = (attacker + 1) % g.num_ases();
+
+  const std::vector<AsId> targets{target};
+  const auto baselines = std::make_shared<const store::BaselineStore>(
+      store::BaselineStore::compute(g, scenario.policy(), targets));
+
+  HijackSimulator warm_sim = scenario.make_simulator();
+  warm_sim.attach_baseline(baselines);
+  HijackSimulator cold_sim = scenario.make_simulator();
+
+  const AttackResult warm = warm_sim.attack(target, attacker);
+  EXPECT_TRUE(warm_sim.last_attack_warm());
+  const RouteTable warm_table = warm_sim.routes();
+  const AttackResult cold = cold_sim.attack(target, attacker);
+
+  expect_results_equal(warm, cold);
+  expect_tables_equal(warm_table, cold_sim.routes());
+}
+
+}  // namespace
+}  // namespace bgpsim

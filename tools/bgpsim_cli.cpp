@@ -17,6 +17,20 @@
 //   bgpsim promcheck --file metrics.prom
 //       validate a Prometheus text exposition file with the in-repo parser
 //       (the `promtool check metrics` stand-in CI uses); prints a summary
+//   bgpsim snapshot save (--topo file | --ases N [--seed S]) --out world.snap
+//                        [--targets all|transit|ASN,ASN,...]
+//       converge the legitimate baseline for each target AS and persist
+//       topology + params + baselines as a versioned binary snapshot
+//       (default targets: every transit AS)
+//   bgpsim snapshot info --file world.snap [--json]
+//       header and section summary of a snapshot
+//   bgpsim snapshot load --file world.snap
+//       load + validate, then recompute one stored baseline cold and
+//       compare route-for-route (an end-to-end integrity check)
+//   bgpsim serve --snapshot world.snap [--port N] [--workers N]
+//                [--max-body BYTES]
+//       long-lived loopback query service: POST /v1/attack, GET
+//       /v1/topology, GET /metrics; drains and exits 0 on SIGTERM/SIGINT
 //
 // Observability (any command):
 //   --obs [file]       dump the metrics-registry snapshot after the command:
@@ -29,12 +43,17 @@
 //   --progress         heartbeat status line on stderr while the command
 //                      runs (equivalent to BGPSIM_PROGRESS_STDERR=1); the
 //                      sampler also honors BGPSIM_PROM_FILE/BGPSIM_PROM_PORT
+#include <poll.h>
+
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "analysis/detector_experiment.hpp"
 #include "analysis/vulnerability.hpp"
@@ -43,6 +62,9 @@
 #include "defense/deployment.hpp"
 #include "obs/obs.hpp"
 #include "obs/promtext.hpp"
+#include "serve/query_server.hpp"
+#include "serve/service.hpp"
+#include "store/snapshot.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 #include "topology/caida_writer.hpp"
@@ -72,8 +94,16 @@ struct Args {
 
 Args parse_args(int argc, char** argv) {
   Args args;
+  int first_option = 2;
   if (argc >= 2) args.command = argv[1];
-  for (int i = 2; i < argc; ++i) {
+  // `snapshot` takes a subcommand word: fold "snapshot save" into the
+  // command key so option parsing stays uniform.
+  if (args.command == "snapshot" && argc >= 3 &&
+      std::string(argv[2]).rfind("--", 0) != 0) {
+    args.command += std::string("-") + argv[2];
+    first_option = 3;
+  }
+  for (int i = first_option; i < argc; ++i) {
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) throw ConfigError("unexpected argument: " + key);
     key = key.substr(2);
@@ -262,10 +292,153 @@ int cmd_promcheck(const Args& args) {
   return 0;
 }
 
+/// Resolve the --targets option into dense ids: "all", "transit" (default),
+/// or a comma-separated ASN list.
+std::vector<AsId> snapshot_targets(const Scenario& scenario, const Args& args) {
+  const std::string spec = args.text("targets").value_or("transit");
+  if (spec == "transit" || spec.empty()) return scenario.transit();
+  if (spec == "all") {
+    std::vector<AsId> all(scenario.graph().num_ases());
+    for (AsId v = 0; v < scenario.graph().num_ases(); ++v) all[v] = v;
+    return all;
+  }
+  std::vector<AsId> targets;
+  for (const std::string_view field : split(spec, ',')) {
+    const auto asn = parse_u64(trim(field));
+    if (!asn) throw ConfigError("bad --targets entry: " + std::string(field));
+    targets.push_back(scenario.graph().require(static_cast<Asn>(*asn)));
+  }
+  return targets;
+}
+
+int cmd_snapshot_save(const Args& args) {
+  const auto out = args.text("out");
+  if (!out) throw ConfigError("snapshot save requires --out <file>");
+  const Scenario scenario = load_scenario(args);
+
+  const std::vector<AsId> targets = snapshot_targets(scenario, args);
+  BGPSIM_PROGRESS(targets.size());
+  BGPSIM_PROGRESS_PHASE("snapshot.baselines");
+
+  store::Snapshot snapshot;
+  snapshot.graph = scenario.graph();
+  snapshot.params = scenario.snapshot_params();
+  snapshot.baselines = store::BaselineStore::compute(
+      scenario.graph(), scenario.policy(), targets);
+  store::save_snapshot(*out, snapshot);
+
+  const store::SnapshotInfo info = store::describe_snapshot(snapshot);
+  std::printf("wrote %s: %u ASes, %llu links, %u baseline targets "
+              "(checksum %llu)\n",
+              out->c_str(), info.ases,
+              static_cast<unsigned long long>(info.links),
+              info.baseline_targets,
+              static_cast<unsigned long long>(info.topology_checksum));
+  return 0;
+}
+
+int cmd_snapshot_info(const Args& args) {
+  const auto file = args.text("file");
+  if (!file) throw ConfigError("snapshot info requires --file <file>");
+  const store::Snapshot snapshot = store::load_snapshot(*file);
+  const store::SnapshotInfo info = store::describe_snapshot(snapshot);
+  if (args.flag("json")) {
+    std::printf("%s\n", store::snapshot_info_json(info).c_str());
+    return 0;
+  }
+  std::printf("snapshot: %s\n", file->c_str());
+  std::printf("  format version: %u\n", info.format_version);
+  std::printf("  topology checksum: %llu\n",
+              static_cast<unsigned long long>(info.topology_checksum));
+  std::printf("  ases: %u  links: %llu  regions: %u\n", info.ases,
+              static_cast<unsigned long long>(info.links), info.regions);
+  std::printf("  baseline targets: %u\n", info.baseline_targets);
+  std::printf("  params: seed=%llu scale=%u tier1_shortest_path=%d "
+              "stub_first_hop_filter=%d\n",
+              static_cast<unsigned long long>(info.params.seed),
+              info.params.scale, info.params.tier1_shortest_path ? 1 : 0,
+              info.params.stub_first_hop_filter ? 1 : 0);
+  return 0;
+}
+
+int cmd_snapshot_load(const Args& args) {
+  const auto file = args.text("file");
+  if (!file) throw ConfigError("snapshot load requires --file <file>");
+  const store::Snapshot snapshot = store::load_snapshot(*file);
+  const Scenario scenario = Scenario::from_snapshot(snapshot);
+
+  // End-to-end integrity check beyond the checksums: recompute the first
+  // stored baseline cold and compare route-for-route.
+  const std::vector<AsId> targets = snapshot.baselines.targets();
+  if (!targets.empty()) {
+    const AsId probe = targets.front();
+    const store::BaselineStore recomputed = store::BaselineStore::compute(
+        scenario.graph(), scenario.policy(), std::vector<AsId>{probe});
+    const RouteTable* stored = snapshot.baselines.find(probe);
+    const RouteTable* fresh = recomputed.find(probe);
+    for (AsId v = 0; v < scenario.graph().num_ases(); ++v) {
+      const Route& a = stored->routes[v];
+      const Route& b = fresh->routes[v];
+      if (a.origin != b.origin || a.cls != b.cls || a.path_len != b.path_len ||
+          a.via != b.via) {
+        throw ConfigError("stored baseline for target " + std::to_string(probe) +
+                          " diverges from a fresh convergence at AS " +
+                          std::to_string(v));
+      }
+    }
+  }
+  std::printf("%s: ok — %u ASes, %zu baselines, first baseline verified "
+              "against a cold convergence\n",
+              file->c_str(), scenario.graph().num_ases(),
+              snapshot.baselines.size());
+  return 0;
+}
+
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void serve_signal_handler(int) { g_serve_stop = 1; }
+
+int cmd_serve(const Args& args) {
+  const auto snapshot_path = args.text("snapshot");
+  if (!snapshot_path) throw ConfigError("serve requires --snapshot <file>");
+  const auto workers =
+      static_cast<unsigned>(args.number("workers").value_or(4));
+
+  serve::WhatIfService service(store::load_snapshot(*snapshot_path), workers);
+
+  serve::QueryServerOptions options;
+  options.port = static_cast<std::uint16_t>(args.number("port").value_or(0));
+  options.workers = workers;
+  if (const auto max_body = args.number("max-body")) {
+    options.limits.max_body_bytes = static_cast<std::size_t>(*max_body);
+  }
+  serve::QueryServer server(service.make_router(), options);
+  if (!server.start()) {
+    std::fprintf(stderr, "error: cannot bind 127.0.0.1:%u\n", options.port);
+    return 1;
+  }
+
+  std::signal(SIGTERM, serve_signal_handler);
+  std::signal(SIGINT, serve_signal_handler);
+  std::printf("serving %s on 127.0.0.1:%u (%u workers, %u ASes, %zu baselines)\n",
+              snapshot_path->c_str(), server.port(), workers,
+              service.scenario().graph().num_ases(),
+              static_cast<std::size_t>(service.info().baseline_targets));
+  std::fflush(stdout);
+
+  while (g_serve_stop == 0) {
+    poll(nullptr, 0, 200);  // sleep; interrupted early by signals
+  }
+  std::printf("signal received, draining...\n");
+  server.stop();
+  std::printf("drained, exiting\n");
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
-               "usage: bgpsim <generate|info|attack|sweep|detect|promcheck> "
-               "[options]\n"
+               "usage: bgpsim <generate|info|attack|sweep|detect|promcheck"
+               "|snapshot save|snapshot info|snapshot load|serve> [options]\n"
                "see the header of tools/bgpsim_cli.cpp for details\n");
   return 2;
 }
@@ -319,6 +492,10 @@ int run_command(const Args& args) {
   if (args.command == "sweep") return cmd_sweep(args);
   if (args.command == "detect") return cmd_detect(args);
   if (args.command == "promcheck") return cmd_promcheck(args);
+  if (args.command == "snapshot-save") return cmd_snapshot_save(args);
+  if (args.command == "snapshot-info") return cmd_snapshot_info(args);
+  if (args.command == "snapshot-load") return cmd_snapshot_load(args);
+  if (args.command == "serve") return cmd_serve(args);
   return usage();
 }
 

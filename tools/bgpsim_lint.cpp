@@ -16,15 +16,19 @@
 //                  obs::StopWatch) so instrumentation compiles out under
 //                  -DBGPSIM_OBS=OFF
 //   thread-policy  no std::thread / std::jthread / <thread> in src/ outside
-//                  src/obs/, src/net/, and src/support/parallel* — sweep
-//                  fan-out goes through bgpsim::parallel_chunks, background
-//                  sampling through obs::heartbeat; ad-hoc threads dodge
-//                  both the join discipline and the OBS=OFF story
+//                  src/obs/, src/net/, src/serve/, and src/support/parallel*
+//                  — sweep fan-out goes through bgpsim::parallel_chunks,
+//                  background sampling through obs::heartbeat, and the query
+//                  service's worker pool lives in src/serve/; ad-hoc threads
+//                  elsewhere dodge both the join discipline and the OBS=OFF
+//                  story
 //   obs-io         no direct std::ofstream JSON emission in src/ outside
-//                  src/obs/ — a file that uses JsonWriter (or includes
-//                  obs/json.hpp) must route file output through the obs
-//                  layer (RunReport, EventLogSink, TraceSink), which owns
-//                  directory creation, truncation, and flush policy
+//                  src/obs/ and src/store/ — a file that uses JsonWriter (or
+//                  includes obs/json.hpp) must route file output through the
+//                  obs layer (RunReport, EventLogSink, TraceSink), which owns
+//                  directory creation, truncation, and flush policy; the
+//                  store exemption exists because snapshot.cpp owns binary
+//                  file I/O and also emits the `snapshot info` JSON summary
 //   self-contained every public header under src/ compiles standalone
 //                  (--check-headers; invokes the compiler per header)
 //
@@ -216,9 +220,13 @@ void lint_file(const fs::path& path, const fs::path& root,
   const bool is_rng_home = starts_with(rel, "src/support/rng");
   const bool is_obs_home = starts_with(rel, "src/obs/");
   const bool is_thread_home = is_obs_home || starts_with(rel, "src/net/") ||
+                              starts_with(rel, "src/serve/") ||
                               starts_with(rel, "src/support/parallel");
   // A library file that writes JSON (uses JsonWriter / includes obs/json.hpp)
-  // must not open files itself — the obs sinks own that.
+  // must not open files itself — the obs sinks own that. src/store/ is the
+  // other sanctioned home: the snapshot codec owns binary file I/O and also
+  // emits the `snapshot info` JSON summary.
+  const bool is_json_io_home = is_obs_home || starts_with(rel, "src/store/");
   const bool emits_json = code.find("JsonWriter") != std::string::npos ||
                           code.find("obs/json.hpp") != std::string::npos;
 
@@ -288,7 +296,7 @@ void lint_file(const fs::path& path, const fs::path& root,
       }
     }
 
-    if (is_library && !is_obs_home && emits_json &&
+    if (is_library && !is_json_io_home && emits_json &&
         line.find("std::ofstream") != std::string::npos) {
       findings.push_back({rel, lineno, "obs-io",
                           "direct std::ofstream in JSON-emitting library "
