@@ -54,41 +54,51 @@ void handle_connection(int fd, const MetricsHttpServer::Provider& provider) {
 }  // namespace
 
 bool MetricsHttpServer::start(std::uint16_t port, Provider provider) {
-  if (running()) return false;
+  MutexLock lock(&mutex_);
+  if (running_.load(std::memory_order_acquire)) return false;
 
   std::uint16_t bound = 0;
   const int fd = open_loopback_listener(port, bound);
   if (fd < 0) return false;
-  port_ = bound;
+  port_.store(bound, std::memory_order_release);
 
-  provider_ = std::move(provider);
   listen_fd_ = fd;
   stop_requested_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
-  thread_ = std::thread([this] { serve(); });
+  // The loop owns its provider copy: nothing it touches is guarded, so a
+  // scrape can never contend with (or race) the lifecycle lock.
+  thread_ = std::thread(
+      [this, fd, loop_provider = std::move(provider)] { serve(fd, loop_provider); });
   return true;
 }
 
 void MetricsHttpServer::stop() {
-  if (!running()) return;
-  stop_requested_.store(true, std::memory_order_release);
-  if (thread_.joinable()) thread_.join();
-  if (listen_fd_ >= 0) {
-    close(listen_fd_);
+  std::thread acceptor;
+  int fd = -1;
+  {
+    MutexLock lock(&mutex_);
+    if (!running_.load(std::memory_order_acquire)) return;
+    // Flip running_ before the join so a concurrent stop() returns here
+    // instead of joining a thread handle this caller already owns.
+    running_.store(false, std::memory_order_release);
+    stop_requested_.store(true, std::memory_order_release);
+    acceptor = std::move(thread_);
+    fd = listen_fd_;
     listen_fd_ = -1;
   }
-  port_ = 0;
-  running_.store(false, std::memory_order_release);
+  if (acceptor.joinable()) acceptor.join();
+  if (fd >= 0) close(fd);
+  port_.store(0, std::memory_order_release);
 }
 
-void MetricsHttpServer::serve() {
+void MetricsHttpServer::serve(int listen_fd, const Provider& provider) {
   while (!stop_requested_.load(std::memory_order_acquire)) {
-    struct pollfd pfd{listen_fd_, POLLIN, 0};
+    struct pollfd pfd{listen_fd, POLLIN, 0};
     const int ready = poll(&pfd, 1, kPollMillis);
     if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flag
-    const int conn = accept(listen_fd_, nullptr, nullptr);
+    const int conn = accept(listen_fd, nullptr, nullptr);
     if (conn < 0) continue;
-    handle_connection(conn, provider_);
+    handle_connection(conn, provider);
     close(conn);
   }
 }

@@ -6,6 +6,11 @@
 //
 // The simulation engines stay single-threaded: this thread only ever calls
 // the provider, which snapshots the lock-free metrics registry.
+//
+// Lifecycle: start()/stop() may race from any thread (the heartbeat stop
+// path, destructors, tests). mutex_ serializes them; the accept loop itself
+// never takes the lock — it works on values captured at spawn time plus the
+// stop_requested_ atomic, so a scrape can never contend with a stop().
 #pragma once
 
 #include <atomic>
@@ -13,6 +18,8 @@
 #include <functional>
 #include <string>
 #include <thread>
+
+#include "support/thread_annotations.hpp"
 
 namespace bgpsim::net {
 
@@ -28,26 +35,31 @@ class MetricsHttpServer {
   MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
 
   /// Bind 127.0.0.1:`port` (0 = ephemeral) and spawn the accept loop.
-  /// Returns false (without throwing) when the socket cannot be bound.
-  bool start(std::uint16_t port, Provider provider);
+  /// Returns false (without throwing) when the socket cannot be bound or the
+  /// server is already running.
+  bool start(std::uint16_t port, Provider provider) BGPSIM_EXCLUDES(mutex_);
 
-  /// Shut the listener down and join the thread. Idempotent.
-  void stop();
+  /// Shut the listener down and join the thread. Idempotent and safe to
+  /// call concurrently: exactly one caller performs the join.
+  void stop() BGPSIM_EXCLUDES(mutex_);
 
   bool running() const { return running_.load(std::memory_order_acquire); }
 
   /// Actual bound port (useful after start(0, ...)); 0 when not running.
-  std::uint16_t port() const { return port_; }
+  std::uint16_t port() const { return port_.load(std::memory_order_acquire); }
 
  private:
-  void serve();
+  /// The accept loop. Owns its parameters by value: the listener fd and the
+  /// provider are fixed for the lifetime of one start()/stop() cycle, so the
+  /// loop shares nothing guarded with the lifecycle methods.
+  void serve(int listen_fd, const Provider& provider);
 
-  Provider provider_;
+  Mutex mutex_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
-  int listen_fd_ = -1;
-  std::uint16_t port_ = 0;
-  std::thread thread_;
+  std::atomic<std::uint16_t> port_{0};
+  int listen_fd_ BGPSIM_GUARDED_BY(mutex_) = -1;
+  std::thread thread_ BGPSIM_GUARDED_BY(mutex_);
 };
 
 }  // namespace bgpsim::net

@@ -34,7 +34,7 @@ void eventlog_signal_handler(int signum) {
 // when the process still has the default disposition (never clobber a host
 // application's handler).
 void install_crash_safety_handlers() {
-  if (g_handlers_installed.exchange(true)) return;
+  if (g_handlers_installed.exchange(true, std::memory_order_acq_rel)) return;
   std::atexit([] { EventLogSink::instance().flush(); });
   const auto previous = std::signal(SIGINT, &eventlog_signal_handler);
   if (previous != SIG_DFL && previous != SIG_ERR) {
@@ -57,7 +57,7 @@ EventLogSink::EventLogSink() : epoch_ns_(steady_now_ns()) {
 EventLogSink::~EventLogSink() { flush(); }
 
 void EventLogSink::set_output(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (out_.is_open()) {
     out_.flush();
     out_.close();
@@ -83,7 +83,7 @@ double EventLogSink::now_seconds() const {
 }
 
 std::uint64_t EventLogSink::write_record(std::string_view open_object) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   const std::uint64_t seq = next_seq_++;
   if (out_.is_open()) {
     // Crash safety: flush every line. A killed sweep (OOM, Ctrl-C, CI
@@ -97,7 +97,7 @@ std::uint64_t EventLogSink::write_record(std::string_view open_object) {
 }
 
 void EventLogSink::flush() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (out_.is_open()) out_.flush();
 }
 

@@ -20,11 +20,11 @@
 #include <atomic>
 #include <cstdint>
 #include <fstream>
-#include <mutex>
 #include <string>
 #include <string_view>
 
 #include "obs/json.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace bgpsim::obs {
 
@@ -38,7 +38,7 @@ class EventLogSink {
   /// (Re)direct output (CLI flags, tests). An empty path disables logging
   /// and flushes what was written. The file is truncated on open — an event
   /// log documents one run, not a history of runs.
-  void set_output(const std::string& path);
+  void set_output(const std::string& path) BGPSIM_EXCLUDES(mutex_);
 
   /// Seconds since the sink epoch (steady clock).
   double now_seconds() const;
@@ -47,23 +47,27 @@ class EventLogSink {
   /// to (excluding) the closing brace — the sink appends the "seq" field
   /// and closes it, so sequence numbers match file order even under
   /// concurrent emitters. Returns the assigned sequence number.
-  std::uint64_t write_record(std::string_view open_object);
+  std::uint64_t write_record(std::string_view open_object)
+      BGPSIM_EXCLUDES(mutex_);
 
   /// Flush buffered lines to disk. write_record already flushes each line
   /// (crash safety: a killed sweep leaves at worst one torn trailing line);
   /// this remains for set_output("") and the atexit/destructor paths.
-  void flush();
+  void flush() BGPSIM_EXCLUDES(mutex_);
 
   ~EventLogSink();
 
  private:
   EventLogSink();
 
+  // enabled_ is the lock-free fast-path check (one relaxed load per
+  // BGPSIM_EVENT site when no log is configured); mutex_ serializes the
+  // stream and the seq counter so records land whole and in seq order.
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mutex_;
-  std::ofstream out_;
-  std::uint64_t next_seq_ = 0;
-  std::int64_t epoch_ns_ = 0;
+  mutable Mutex mutex_;
+  std::ofstream out_ BGPSIM_GUARDED_BY(mutex_);
+  std::uint64_t next_seq_ BGPSIM_GUARDED_BY(mutex_) = 0;
+  std::int64_t epoch_ns_ = 0;  // set once in the constructor, then read-only
 };
 
 inline bool eventlog_enabled() { return EventLogSink::instance().enabled(); }

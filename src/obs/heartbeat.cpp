@@ -10,9 +10,9 @@
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "net/metrics_http.hpp"
 #include "obs/eventlog.hpp"
@@ -21,6 +21,7 @@
 #include "obs/progress.hpp"
 #include "obs/promtext.hpp"
 #include "support/env.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace bgpsim::obs {
 namespace {
@@ -56,6 +57,25 @@ std::string scrape_prom_text() {
   return to_prom_text(registry().snapshot());
 }
 
+/// One background sampler per process. Two capabilities:
+///
+///   mutex_       the lifecycle lock — guards running_/stop_requested_/the
+///                thread handle, pairs with cv_ for the interval wait.
+///   emit_mutex_  the emission lock — serializes emitters (sampler thread,
+///                tests via emit_heartbeat_now, the stop path) and guards the
+///                sink configuration they read; the prom-file atomic rename
+///                uses one well-known temp name per target, so concurrent
+///                rewrites must not interleave.
+///
+/// Lock order: mutex_ before emit_mutex_ (start() emits the first beat while
+/// still holding the lifecycle lock); emit_mutex_ never takes mutex_.
+///
+/// stop() is careful about join ordering: it flips running_ and moves the
+/// thread handle out under mutex_, then joins *outside* the lock (the
+/// sampler thread takes mutex_ to wait, so joining under it would deadlock).
+/// Because running_ is already false when the lock drops, a second stop() —
+/// the destructor racing the atexit hook, or two threads draining at once —
+/// returns immediately instead of joining a thread someone else owns.
 class HeartbeatSampler {
  public:
   static HeartbeatSampler& instance() {
@@ -65,20 +85,20 @@ class HeartbeatSampler {
 
   void force_stderr(bool on) { stderr_forced_.store(on, std::memory_order_relaxed); }
 
-  void start() {
-    std::unique_lock<std::mutex> lock(mutex_);
+  void start() BGPSIM_EXCLUDES(mutex_, emit_mutex_) {
+    MutexLock lock(&mutex_);
     if (running_) return;
 
-    interval_seconds_ = env_f64("BGPSIM_HEARTBEAT_SECS", 1.0);
-    if (interval_seconds_ < 0.05) interval_seconds_ = 0.05;
-    stderr_status_ = stderr_forced_.load(std::memory_order_relaxed) ||
-                     env_bool("BGPSIM_PROGRESS_STDERR", false);
-    prom_file_ = env_string("BGPSIM_PROM_FILE", "");
+    const double interval = env_f64("BGPSIM_HEARTBEAT_SECS", 1.0);
+    const bool stderr_status =
+        stderr_forced_.load(std::memory_order_relaxed) ||
+        env_bool("BGPSIM_PROGRESS_STDERR", false);
+    const std::string prom_file = env_string("BGPSIM_PROM_FILE", "");
     const auto prom_port =
         static_cast<std::uint16_t>(env_u64("BGPSIM_PROM_PORT", 0));
 
-    const bool any_sink = eventlog_enabled() || stderr_status_ ||
-                          !prom_file_.empty() || prom_port != 0;
+    const bool any_sink = eventlog_enabled() || stderr_status ||
+                          !prom_file.empty() || prom_port != 0;
     if (!any_sink) return;
 
     // Touch the sink singletons before registering our atexit hook: atexit
@@ -88,12 +108,18 @@ class HeartbeatSampler {
     (void)EventLogSink::instance();
     (void)ProgressTracker::instance();
 
+    {
+      MutexLock config(&emit_mutex_);
+      interval_seconds_ = interval < 0.05 ? 0.05 : interval;
+      stderr_status_ = stderr_status;
+      prom_file_ = prom_file;
+    }
+
     if (prom_port != 0) {
       server_.start(prom_port, [] { return scrape_prom_text(); });
     }
     stop_requested_ = false;
     running_ = true;
-    lock.unlock();
 
     emit();  // heartbeat at start — with the final one, always >= 2
     thread_ = std::thread([this] { loop(); });
@@ -105,27 +131,31 @@ class HeartbeatSampler {
     (void)atexit_registered;
   }
 
-  void stop() {
+  void stop() BGPSIM_EXCLUDES(mutex_, emit_mutex_) {
+    std::thread sampler;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       if (!running_) return;
+      running_ = false;
       stop_requested_ = true;
+      sampler = std::move(thread_);
     }
     cv_.notify_all();
-    if (thread_.joinable()) thread_.join();
+    if (sampler.joinable()) sampler.join();
     server_.stop();
     emit();  // final heartbeat: campaign-end state reaches every sink
-    if (stderr_status_ && isatty(2) != 0) {
+    bool newline = false;
+    {
+      MutexLock config(&emit_mutex_);
+      newline = stderr_status_;
+    }
+    if (newline && isatty(2) != 0) {
       std::fprintf(stderr, "\n");  // leave the live status line in place
     }
-    std::lock_guard<std::mutex> lock(mutex_);
-    running_ = false;
   }
 
-  void emit() {
-    // Serialize emitters (sampler thread, tests, stop path): the prom-file
-    // atomic rename uses one well-known temp name per target.
-    std::lock_guard<std::mutex> lock(emit_mutex_);
+  void emit() BGPSIM_EXCLUDES(emit_mutex_) {
+    MutexLock lock(&emit_mutex_);
     const double now = EventLogSink::instance().now_seconds();
     const ProgressStats stats = ProgressTracker::instance().sample(now);
     const MemUsage mem = publish_mem_gauges();
@@ -156,19 +186,30 @@ class HeartbeatSampler {
  private:
   HeartbeatSampler() = default;
 
-  void loop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    while (!stop_requested_) {
-      cv_.wait_for(lock, std::chrono::duration<double>(interval_seconds_),
-                   [this] { return stop_requested_; });
-      if (stop_requested_) break;
-      lock.unlock();
+  void loop() BGPSIM_EXCLUDES(mutex_, emit_mutex_) {
+    double interval = 1.0;
+    {
+      MutexLock config(&emit_mutex_);
+      interval = interval_seconds_;
+    }
+    for (;;) {
+      bool stopping = false;
+      {
+        MutexLock lock(&mutex_);
+        if (!stop_requested_) {
+          // condition_variable_any releases and reacquires the Mutex itself;
+          // a spurious or timeout wakeup just emits one beat early.
+          cv_.wait_for(mutex_, std::chrono::duration<double>(interval));
+        }
+        stopping = stop_requested_;
+      }
+      if (stopping) return;  // stop() emits the final beat after the join
       emit();
-      lock.lock();
     }
   }
 
-  void print_status(const ProgressStats& stats, const MemUsage& mem) {
+  void print_status(const ProgressStats& stats, const MemUsage& mem)
+      BGPSIM_REQUIRES(emit_mutex_) {
     char eta[32];
     char rss[32];
     format_eta(stats.eta_seconds, eta, sizeof(eta));
@@ -191,18 +232,18 @@ class HeartbeatSampler {
     }
   }
 
-  std::mutex mutex_;  // guards running_/stop_requested_, pairs with cv_
-  std::condition_variable cv_;
-  bool running_ = false;
-  bool stop_requested_ = false;
-  std::thread thread_;
+  Mutex mutex_;
+  std::condition_variable_any cv_;
+  bool running_ BGPSIM_GUARDED_BY(mutex_) = false;
+  bool stop_requested_ BGPSIM_GUARDED_BY(mutex_) = false;
+  std::thread thread_ BGPSIM_GUARDED_BY(mutex_);
 
-  std::mutex emit_mutex_;
-  double interval_seconds_ = 1.0;
-  bool stderr_status_ = false;
+  Mutex emit_mutex_;
+  double interval_seconds_ BGPSIM_GUARDED_BY(emit_mutex_) = 1.0;
+  bool stderr_status_ BGPSIM_GUARDED_BY(emit_mutex_) = false;
+  std::string prom_file_ BGPSIM_GUARDED_BY(emit_mutex_);
   std::atomic<bool> stderr_forced_{false};
-  std::string prom_file_;
-  net::MetricsHttpServer server_;
+  net::MetricsHttpServer server_;  // lifecycle-safe on its own lock
 };
 
 }  // namespace

@@ -110,14 +110,14 @@ Registry& Registry::instance() {
 }
 
 Counter& Registry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   const auto it = counters_.find(name);
   if (it != counters_.end()) return it->second;
   return counters_[std::string(name)];
 }
 
 Gauge& Registry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   const auto it = gauges_.find(name);
   if (it != gauges_.end()) return it->second;
   return gauges_[std::string(name)];
@@ -125,7 +125,7 @@ Gauge& Registry::gauge(std::string_view name) {
 
 HistogramMetric& Registry::histogram(std::string_view name,
                                      const HistogramSpec& spec) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) return *it->second;
   auto& slot = histograms_[std::string(name)];
@@ -134,13 +134,13 @@ HistogramMetric& Registry::histogram(std::string_view name,
 }
 
 const HistogramMetric* Registry::find_histogram(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   const auto it = histograms_.find(name);
   return it != histograms_.end() ? it->second.get() : nullptr;
 }
 
 RegistrySnapshot Registry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   RegistrySnapshot snap;
   for (const auto& [name, counter] : counters_) {
     snap.counters.emplace(name, counter.value());
@@ -165,7 +165,7 @@ RegistrySnapshot Registry::snapshot() const {
 }
 
 void Registry::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   for (auto& [name, counter] : counters_) counter.reset();
   for (auto& [name, gauge] : gauges_) gauge.reset();
   for (auto& [name, hist] : histograms_) hist->reset();

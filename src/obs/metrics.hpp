@@ -12,12 +12,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "obs/json.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace bgpsim::obs {
 
@@ -130,25 +130,31 @@ class Registry {
  public:
   static Registry& instance();
 
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
+  Counter& counter(std::string_view name) BGPSIM_EXCLUDES(mutex_);
+  Gauge& gauge(std::string_view name) BGPSIM_EXCLUDES(mutex_);
   /// First call under a name fixes the bucket layout; later calls ignore
   /// `spec` and return the existing histogram.
-  HistogramMetric& histogram(std::string_view name, const HistogramSpec& spec);
+  HistogramMetric& histogram(std::string_view name, const HistogramSpec& spec)
+      BGPSIM_EXCLUDES(mutex_);
   /// Lookup without creating; nullptr when the name was never registered.
-  const HistogramMetric* find_histogram(std::string_view name) const;
+  const HistogramMetric* find_histogram(std::string_view name) const
+      BGPSIM_EXCLUDES(mutex_);
 
-  RegistrySnapshot snapshot() const;
+  RegistrySnapshot snapshot() const BGPSIM_EXCLUDES(mutex_);
   std::string to_json() const { return snapshot().to_json(); }
 
   /// Zero every registered metric (names stay registered). Test helper.
-  void reset();
+  void reset() BGPSIM_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, Counter, std::less<>> counters_;
-  std::map<std::string, Gauge, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<HistogramMetric>, std::less<>> histograms_;
+  // mutex_ guards name registration only; the returned metric handles are
+  // stable for the registry's lifetime (node-based maps) and every hot-path
+  // operation on them is a relaxed atomic taken without this lock.
+  mutable Mutex mutex_;
+  std::map<std::string, Counter, std::less<>> counters_ BGPSIM_GUARDED_BY(mutex_);
+  std::map<std::string, Gauge, std::less<>> gauges_ BGPSIM_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<HistogramMetric>, std::less<>>
+      histograms_ BGPSIM_GUARDED_BY(mutex_);
 };
 
 /// Shorthand for Registry::instance().

@@ -40,7 +40,7 @@ ProgressStats ProgressTracker::sample(double now_seconds) {
   const std::uint64_t total_now = total();
   const char* phase_now = phase();
 
-  std::lock_guard<std::mutex> lock(window_mutex_);
+  MutexLock lock(&window_mutex_);
   window_.push_back(ProgressSample{now_seconds, done_now});
   if (window_.size() > kWindow) {
     window_.erase(window_.begin(), window_.end() - static_cast<std::ptrdiff_t>(kWindow));
@@ -52,7 +52,7 @@ void ProgressTracker::reset() {
   done_.store(0, std::memory_order_relaxed);
   total_.store(0, std::memory_order_relaxed);
   phase_.store("", std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(window_mutex_);
+  MutexLock lock(&window_mutex_);
   window_.clear();
 }
 

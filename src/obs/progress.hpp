@@ -16,9 +16,10 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <vector>
+
+#include "support/thread_annotations.hpp"
 
 namespace bgpsim::obs {
 
@@ -74,10 +75,10 @@ class ProgressTracker {
   /// Append a (now, done) sample to the rate window and return the derived
   /// stats. Called by the heartbeat sampler once per interval; tests may call
   /// it directly with a synthetic clock.
-  ProgressStats sample(double now_seconds);
+  ProgressStats sample(double now_seconds) BGPSIM_EXCLUDES(window_mutex_);
 
   /// Zero everything, including the rate window (test helper).
-  void reset();
+  void reset() BGPSIM_EXCLUDES(window_mutex_);
 
   /// Samples kept in the rate window: rates average over roughly the last
   /// kWindow heartbeat intervals, so a stalled sweep's rate decays to zero
@@ -91,8 +92,9 @@ class ProgressTracker {
   std::atomic<std::uint64_t> total_{0};
   std::atomic<const char*> phase_{""};
 
-  std::mutex window_mutex_;
-  std::vector<ProgressSample> window_;  // oldest first, <= kWindow entries
+  Mutex window_mutex_;
+  /// Oldest first, <= kWindow entries.
+  std::vector<ProgressSample> window_ BGPSIM_GUARDED_BY(window_mutex_);
 };
 
 /// Shorthand for ProgressTracker::instance().

@@ -16,13 +16,6 @@ std::int64_t steady_ns() {
       .count();
 }
 
-// Dense per-thread ids; thread_local caches the assignment so the sink's
-// mutex is only touched on a thread's first event.
-std::uint32_t assign_tid(std::uint32_t& next, std::mutex& mutex) {
-  std::lock_guard<std::mutex> lock(mutex);
-  return next++;
-}
-
 }  // namespace
 
 TraceSink& TraceSink::instance() {
@@ -31,44 +24,47 @@ TraceSink& TraceSink::instance() {
 }
 
 TraceSink::TraceSink() : epoch_ns_(steady_ns()) {
-  const std::string path = env_string("BGPSIM_TRACE", "");
-  if (!path.empty()) {
-    path_ = path;
-    enabled_ = true;
-  }
+  set_output(env_string("BGPSIM_TRACE", ""));
 }
 
 TraceSink::~TraceSink() { flush(); }
 
 void TraceSink::set_output(std::string path) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   path_ = std::move(path);
-  enabled_ = !path_.empty();
+  enabled_.store(!path_.empty(), std::memory_order_relaxed);
 }
 
 double TraceSink::now_us() const {
   return static_cast<double>(steady_ns() - epoch_ns_) / 1000.0;
 }
 
+std::uint32_t TraceSink::alloc_tid() {
+  MutexLock lock(&mutex_);
+  return next_tid_++;
+}
+
 std::uint32_t TraceSink::thread_id() {
-  thread_local std::uint32_t tid = assign_tid(next_tid_, mutex_);
+  // thread_local caches the assignment so the sink's mutex is only touched
+  // on a thread's first event.
+  thread_local std::uint32_t tid = alloc_tid();
   return tid;
 }
 
 void TraceSink::record(const Event& event) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   events_.push_back(event);
 }
 
 void TraceSink::counter(const char* name, double value) {
-  if (!enabled_) return;
+  if (!enabled()) return;
   const double ts = now_us();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   counters_.push_back(CounterEvent{name, ts, value});
 }
 
 void TraceSink::flush() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (path_.empty() || (events_.empty() && counters_.empty())) return;
 
   JsonWriter json;

@@ -10,11 +10,13 @@
 // -DBGPSIM_OBS=OFF build compiles spans out entirely (see obs/obs.hpp).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "support/thread_annotations.hpp"
 
 namespace bgpsim::obs {
 
@@ -23,11 +25,12 @@ class TraceSink {
   /// Process-wide sink; reads BGPSIM_TRACE once at first use.
   static TraceSink& instance();
 
-  bool enabled() const { return enabled_; }
+  /// Lock-free fast-path check: spans branch on this before doing any work.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   /// (Re)direct output programmatically (CLI flags, tests). An empty path
   /// disables tracing. Does not clear already-buffered events.
-  void set_output(std::string path);
+  void set_output(std::string path) BGPSIM_EXCLUDES(mutex_);
 
   /// Microseconds since process trace epoch (steady clock).
   double now_us() const;
@@ -47,16 +50,16 @@ class TraceSink {
     double arg_values[kMaxArgs] = {};
   };
 
-  void record(const Event& event);
+  void record(const Event& event) BGPSIM_EXCLUDES(mutex_);
 
   /// Emit a counter-track event ("ph":"C"): a named series Perfetto plots
   /// over time (e.g. polluted ASes per generation).
-  void counter(const char* name, double value);
+  void counter(const char* name, double value) BGPSIM_EXCLUDES(mutex_);
 
   /// Write everything buffered so far to the output path. Safe to call
   /// repeatedly; the file is rewritten with the full buffer each time.
   /// Called automatically at process exit.
-  void flush();
+  void flush() BGPSIM_EXCLUDES(mutex_);
 
   /// Small dense id for the calling thread (trace "tid").
   std::uint32_t thread_id();
@@ -66,19 +69,22 @@ class TraceSink {
  private:
   TraceSink();
 
+  /// Take the sink mutex once per thread to hand out the next dense id.
+  std::uint32_t alloc_tid() BGPSIM_EXCLUDES(mutex_);
+
   struct CounterEvent {
     const char* name;
     double ts_us;
     double value;
   };
 
-  bool enabled_ = false;
-  std::string path_;
-  std::int64_t epoch_ns_ = 0;
-  std::mutex mutex_;
-  std::vector<Event> events_;
-  std::vector<CounterEvent> counters_;
-  std::uint32_t next_tid_ = 0;
+  std::atomic<bool> enabled_{false};
+  std::int64_t epoch_ns_ = 0;  // set once in the constructor, then read-only
+  Mutex mutex_;
+  std::string path_ BGPSIM_GUARDED_BY(mutex_);
+  std::vector<Event> events_ BGPSIM_GUARDED_BY(mutex_);
+  std::vector<CounterEvent> counters_ BGPSIM_GUARDED_BY(mutex_);
+  std::uint32_t next_tid_ BGPSIM_GUARDED_BY(mutex_) = 0;
 };
 
 inline bool trace_enabled() { return TraceSink::instance().enabled(); }

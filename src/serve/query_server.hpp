@@ -16,6 +16,7 @@
 
 #include "net/http_common.hpp"
 #include "serve/router.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace bgpsim::serve {
 
@@ -37,26 +38,32 @@ class QueryServer {
   QueryServer& operator=(const QueryServer&) = delete;
 
   /// Bind and spawn the workers. Returns false when the port cannot be
-  /// bound (no throw: the CLI turns this into an exit code).
-  bool start();
+  /// bound or the server is already running (no throw: the CLI turns this
+  /// into an exit code).
+  bool start() BGPSIM_EXCLUDES(mutex_);
 
-  /// Drain and join. Safe to call from a signal-triggered main loop and
-  /// idempotent.
-  void stop();
+  /// Drain and join. Safe to call from a signal-triggered main loop,
+  /// idempotent, and safe to call concurrently: running_ flips before the
+  /// join, so exactly one caller drains and the rest return immediately.
+  void stop() BGPSIM_EXCLUDES(mutex_);
 
   bool running() const { return running_.load(std::memory_order_acquire); }
-  std::uint16_t port() const { return port_; }
+  std::uint16_t port() const { return port_.load(std::memory_order_acquire); }
 
  private:
-  void worker_loop(unsigned index);
+  /// One worker's accept loop. The listener fd is fixed for the lifetime of
+  /// one start()/stop() cycle and passed by value, so the loop reads nothing
+  /// guarded by the lifecycle lock — only the stop_requested_ atomic.
+  void worker_loop(unsigned index, int listen_fd);
 
   Router router_;
   QueryServerOptions options_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
-  int listen_fd_ = -1;
-  std::uint16_t port_ = 0;
-  std::vector<std::thread> workers_;
+  std::atomic<std::uint16_t> port_{0};
+  Mutex mutex_;
+  int listen_fd_ BGPSIM_GUARDED_BY(mutex_) = -1;
+  std::vector<std::thread> workers_ BGPSIM_GUARDED_BY(mutex_);
 };
 
 }  // namespace bgpsim::serve

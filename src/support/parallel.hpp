@@ -6,6 +6,13 @@
 // Analysis sweeps parallelize by giving each worker its own simulator over a
 // disjoint index range — identical results to a serial run, no shared
 // mutable state — and this header is where that pattern lives.
+//
+// There is deliberately no lock here to annotate: workers share nothing but
+// the (const) callback, and the join in parallel_chunks is the only
+// synchronization point. Anything the workers *do* share (obs counters,
+// progress ticks) must be atomics with explicit memory orders — enforced by
+// bgpsim-lint's seq-cst-atomic rule and exercised by the contended-counter
+// battery in tests/concurrency_stress.
 #pragma once
 
 #include <cstddef>

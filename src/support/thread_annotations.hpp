@@ -1,0 +1,119 @@
+// Clang thread-safety annotations and the one sanctioned lock type.
+//
+// Locking discipline (enforced three ways — see DESIGN.md "Concurrency
+// model"):
+//
+//   static   Clang's -Wthread-safety analysis proves, at compile time, that
+//            every BGPSIM_GUARDED_BY member is only touched with its
+//            capability held. The clang CI lanes build with
+//            -Wthread-safety -Wthread-safety-beta -Werror.
+//   lint     bgpsim-lint's concurrency rules (raw-lock, mutex-annotation,
+//            seq-cst-atomic, detached-thread) keep non-clang builds honest:
+//            locks are taken through the RAII guard below, mutex members in
+//            headers carry annotations, atomics spell out their memory
+//            order, and threads are never detached.
+//   dynamic  the tsan CI lane runs the full test suite plus
+//            tests/concurrency_stress under ThreadSanitizer.
+//
+// The analysis only works when the mutex type itself is annotated — the
+// standard library's std::mutex and std::lock_guard carry no capability
+// attributes under libstdc++ — so lock-protected structures use
+// bgpsim::Mutex + bgpsim::MutexLock from this header instead. std::mutex
+// appears in exactly one place: inside bgpsim::Mutex.
+//
+// On non-Clang compilers every annotation macro expands to nothing and
+// Mutex/MutexLock degrade to a plain std::mutex + RAII guard.
+#pragma once
+
+#include <mutex>
+
+// ---------------------------------------------------------------------------
+// Attribute macros (Clang only; see
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html).
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__)
+#define BGPSIM_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define BGPSIM_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+/// Marks a type as a capability ("mutex") the analysis can track.
+#define BGPSIM_CAPABILITY(x) BGPSIM_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define BGPSIM_SCOPED_CAPABILITY BGPSIM_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only with the given capability held.
+#define BGPSIM_GUARDED_BY(x) BGPSIM_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given capability.
+#define BGPSIM_PT_GUARDED_BY(x) BGPSIM_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function that may only be called with the capability already held.
+#define BGPSIM_REQUIRES(...) \
+  BGPSIM_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function that must NOT be called with the capability held (it takes it).
+#define BGPSIM_EXCLUDES(...) \
+  BGPSIM_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function that acquires the capability and returns holding it.
+#define BGPSIM_ACQUIRE(...) \
+  BGPSIM_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the capability.
+#define BGPSIM_RELEASE(...) \
+  BGPSIM_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability when it returns `ret`.
+#define BGPSIM_TRY_ACQUIRE(ret, ...) \
+  BGPSIM_THREAD_ANNOTATION_(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Escape hatch for code the analysis cannot follow (keep rare; every use
+/// needs a comment saying why the checker is wrong).
+#define BGPSIM_NO_THREAD_SAFETY_ANALYSIS \
+  BGPSIM_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace bgpsim {
+
+// ---------------------------------------------------------------------------
+// Annotated lock types.
+// ---------------------------------------------------------------------------
+
+/// std::mutex with capability annotations. Satisfies BasicLockable, so it
+/// also works as the lock argument of std::condition_variable_any — the
+/// wait's internal unlock/relock is invisible to the analysis, which
+/// correctly sees the capability held on both sides of the wait.
+class BGPSIM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  // The three calls below are the only raw mutex operations in the tree;
+  // everything else goes through MutexLock (bgpsim-lint: raw-lock).
+  void lock() BGPSIM_ACQUIRE() { inner_.lock(); }  // bgpsim-lint: allow(raw-lock)
+  void unlock() BGPSIM_RELEASE() { inner_.unlock(); }  // bgpsim-lint: allow(raw-lock)
+  bool try_lock() BGPSIM_TRY_ACQUIRE(true) { return inner_.try_lock(); }  // bgpsim-lint: allow(raw-lock)
+
+ private:
+  std::mutex inner_;  // bgpsim-lint: allow(mutex-annotation)
+};
+
+/// RAII guard: the only sanctioned way to hold a Mutex. Scoped-capability
+/// annotated, so the analysis knows the capability is held from construction
+/// to the end of the enclosing scope.
+class BGPSIM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) BGPSIM_ACQUIRE(mu) : mu_(mu) { mu_->lock(); }  // bgpsim-lint: allow(raw-lock)
+  ~MutexLock() BGPSIM_RELEASE() { mu_->unlock(); }  // bgpsim-lint: allow(raw-lock)
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+}  // namespace bgpsim

@@ -1,0 +1,473 @@
+// Concurrency stress battery: every test here puts real threads on the
+// shared observability/serving surfaces and lets the TSan lane (and, on
+// Clang, -Wthread-safety) arbitrate. These are the races the annotations in
+// support/thread_annotations.hpp exist to prevent:
+//
+//   - N clients hammering the query server while SIGTERM-style drains race
+//     each other and the destructor,
+//   - heartbeat start/stop churn against metric writers and the Prometheus
+//     exposition-file rewrite (regression: the stop/join ordering race),
+//   - event-log writers against flush()/set_output() churn (regression: the
+//     signal-path flush racing a writer mid-record),
+//   - parallel_chunks workers contending on shared relaxed atomics,
+//   - concurrent metric registration against registry snapshots.
+//
+// Iteration counts are deliberately small: the battery runs on every lane,
+// and TSan's 5-15x slowdown multiplies everything. The point is overlap, not
+// volume — each test only needs two operations in flight to expose an
+// unsynchronized pair.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "net/metrics_http.hpp"
+#include "obs/eventlog.hpp"
+#include "obs/heartbeat.hpp"
+#include "obs/json_parse.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "serve/query_server.hpp"
+#include "serve/service.hpp"
+#include "store/baseline.hpp"
+#include "store/snapshot.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+
+namespace bgpsim {
+namespace {
+
+struct ClientResponse {
+  int status = 0;
+  std::string body;
+};
+
+/// Minimal blocking HTTP client for loopback tests (same shape as
+/// serve_test.cpp; a failed connect comes back as status 0, which the drain
+/// tests treat as an acceptable outcome rather than an error).
+ClientResponse http_request(std::uint16_t port, const std::string& method,
+                            const std::string& target,
+                            const std::string& body = std::string()) {
+  ClientResponse out;
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return out;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return out;
+  }
+  std::string request = method + " " + target + " HTTP/1.1\r\n";
+  if (!body.empty()) {
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  request += "Connection: close\r\n\r\n" + body;
+  (void)send(fd, request.data(), request.size(), 0);
+
+  std::string raw;
+  char buf[8192];
+  for (;;) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  close(fd);
+
+  if (raw.rfind("HTTP/1.1 ", 0) == 0 && raw.size() > 12) {
+    out.status = std::stoi(raw.substr(9, 3));
+  }
+  const std::size_t split = raw.find("\r\n\r\n");
+  if (split != std::string::npos) out.body = raw.substr(split + 4);
+  return out;
+}
+
+store::Snapshot make_snapshot(std::uint32_t scale, std::uint64_t seed,
+                              std::size_t num_targets) {
+  ScenarioParams params;
+  params.topology.total_ases = scale;
+  params.topology.seed = seed;
+  const Scenario scenario = Scenario::generate(params);
+  Rng rng(seed + 1);
+  std::vector<AsId> targets;
+  for (std::size_t i = 0; i < num_targets; ++i) {
+    targets.push_back(
+        static_cast<AsId>(rng.bounded(scenario.graph().num_ases())));
+  }
+  store::Snapshot snapshot;
+  snapshot.graph = scenario.graph();
+  snapshot.params = scenario.snapshot_params();
+  snapshot.baselines = store::BaselineStore::compute(scenario.graph(),
+                                                     scenario.policy(), targets);
+  return snapshot;
+}
+
+// ---------------------------------------------------------------------------
+// Query server: client hammer + concurrent drain
+// ---------------------------------------------------------------------------
+
+class QueryServerStress : public testing::Test {
+ protected:
+  void SetUp() override {
+    service_ = std::make_unique<serve::WhatIfService>(make_snapshot(600, 31, 4),
+                                                      /*workers=*/3);
+    serve::QueryServerOptions options;
+    options.workers = 3;
+    server_ =
+        std::make_unique<serve::QueryServer>(service_->make_router(), options);
+    ASSERT_TRUE(server_->start());
+    ASSERT_GT(server_->port(), 0);
+    ases_ = service_->scenario().graph().num_ases();
+  }
+
+  void TearDown() override { server_->stop(); }
+
+  std::string attack_body(std::size_t i) const {
+    // ASN 0 is not a valid id in the generated graph; derive ids in [1, n).
+    const std::size_t victim = 1 + i % (ases_ - 1);
+    std::size_t attacker = 1 + (i + ases_ / 2) % (ases_ - 1);
+    if (attacker == victim) attacker = 1 + attacker % (ases_ - 1);
+    return "{\"victim\": " + std::to_string(victim) +
+           ", \"attacker\": " + std::to_string(attacker) + "}";
+  }
+
+  std::unique_ptr<serve::WhatIfService> service_;
+  std::unique_ptr<serve::QueryServer> server_;
+  std::size_t ases_ = 0;
+};
+
+TEST_F(QueryServerStress, ParallelClientsAllSucceed) {
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 6;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([this, c, &ok] {
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        const std::size_t i = static_cast<std::size_t>(c * 97 + r);
+        const ClientResponse response =
+            r % 2 == 0
+                ? http_request(server_->port(), "POST", "/v1/attack",
+                               attack_body(i))
+                : http_request(server_->port(), "GET", "/v1/topology");
+        if (response.status == 200) ok.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  // The server is fully up for the whole phase: every request must land.
+  EXPECT_EQ(ok.load(std::memory_order_relaxed), kClients * kRequestsPerClient);
+}
+
+TEST_F(QueryServerStress, ConcurrentDrainWhileClientsHammer) {
+  const std::uint16_t port = server_->port();
+  std::atomic<bool> go{false};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([this, c, port, &go] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (int r = 0; r < 8; ++r) {
+        // During a drain any outcome is legitimate (200, 0 on refused
+        // connect); the test only demands nothing crashes or hangs.
+        (void)http_request(port, "POST", "/v1/attack",
+                           attack_body(static_cast<std::size_t>(c * 13 + r)));
+      }
+    });
+  }
+  // Two drains race each other and the in-flight clients: exactly one must
+  // join the workers, the other must return immediately (the stop/join
+  // ordering contract in QueryServer::stop()).
+  std::thread drain_a([this, &go] {
+    while (!go.load(std::memory_order_acquire)) {
+    }
+    server_->stop();
+  });
+  std::thread drain_b([this, &go] {
+    while (!go.load(std::memory_order_acquire)) {
+    }
+    server_->stop();
+  });
+  go.store(true, std::memory_order_release);
+  for (std::thread& t : clients) t.join();
+  drain_a.join();
+  drain_b.join();
+  EXPECT_FALSE(server_->running());
+  EXPECT_EQ(server_->port(), 0);
+
+  // The lifecycle must survive the churn: a fresh start()/stop() cycle on
+  // the same object works after the racing drains.
+  ASSERT_TRUE(server_->start());
+  EXPECT_GT(server_->port(), 0);
+  EXPECT_EQ(http_request(server_->port(), "GET", "/v1/topology").status, 200);
+  server_->stop();
+  EXPECT_FALSE(server_->running());
+}
+
+// ---------------------------------------------------------------------------
+// /metrics exposition server: scrapes racing concurrent stops
+// ---------------------------------------------------------------------------
+
+TEST(MetricsHttpStress, ScrapesRaceConcurrentStops) {
+  net::MetricsHttpServer server;
+  ASSERT_TRUE(server.start(0, [] { return std::string("bgpsim_up 1\n"); }));
+  const std::uint16_t port = server.port();
+  ASSERT_GT(port, 0);
+
+  std::atomic<bool> go{false};
+  std::vector<std::thread> scrapers;
+  for (int c = 0; c < 3; ++c) {
+    scrapers.emplace_back([port, &go] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (int r = 0; r < 6; ++r) {
+        (void)http_request(port, "GET", "/metrics");
+      }
+    });
+  }
+  std::thread stop_a([&server, &go] {
+    while (!go.load(std::memory_order_acquire)) {
+    }
+    server.stop();
+  });
+  std::thread stop_b([&server, &go] {
+    while (!go.load(std::memory_order_acquire)) {
+    }
+    server.stop();
+  });
+  go.store(true, std::memory_order_release);
+  for (std::thread& t : scrapers) t.join();
+  stop_a.join();
+  stop_b.join();
+  EXPECT_FALSE(server.running());
+
+  // Restart proves stop() left the lifecycle state coherent.
+  ASSERT_TRUE(server.start(0, [] { return std::string("bgpsim_up 1\n"); }));
+  const ClientResponse scrape = http_request(server.port(), "GET", "/metrics");
+  EXPECT_EQ(scrape.status, 200);
+  EXPECT_EQ(scrape.body, "bgpsim_up 1\n");
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeat: start/stop churn vs metric writers vs prom-file rewrites
+// ---------------------------------------------------------------------------
+
+// Regression for the stop/join ordering race: heartbeat_stop() used to be
+// able to race its own atexit hook (or a second caller) into joining the
+// sampler thread twice / joining under the lock the sampler was waiting on.
+// The fix moves the handle out under the lifecycle lock and joins outside
+// it; this churn loop (with writers and emitters in flight) deadlocked or
+// crashed under the old ordering within a handful of iterations under TSan.
+TEST(HeartbeatStress, StartStopChurnVsWritersAndPromRewrite) {
+  if (!obs::kHeartbeatCompiled) {
+    GTEST_SKIP() << "heartbeat sampler compiled out (-DBGPSIM_OBS=OFF)";
+  }
+  const std::string prom_path = testing::TempDir() + "concstress_prom.txt";
+  ::setenv("BGPSIM_PROM_FILE", prom_path.c_str(), 1);
+  ::setenv("BGPSIM_HEARTBEAT_SECS", "0.05", 1);
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; ++w) {
+    writers.emplace_back([w, &done] {
+      obs::Counter& counter =
+          obs::registry().counter("concstress.heartbeat.writes");
+      obs::Gauge& gauge = obs::registry().gauge("concstress.heartbeat.gauge");
+      while (!done.load(std::memory_order_acquire)) {
+        counter.add(1);
+        gauge.set(static_cast<double>(w));
+        obs::ProgressTracker::instance().tick(1);
+      }
+    });
+  }
+  std::thread emitter([&done] {
+    while (!done.load(std::memory_order_acquire)) {
+      obs::emit_heartbeat_now();
+    }
+  });
+
+  obs::ProgressTracker::instance().add_total(1000);
+  for (int i = 0; i < 8; ++i) {
+    obs::heartbeat_start();
+    obs::emit_heartbeat_now();
+    obs::heartbeat_stop();
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : writers) t.join();
+  emitter.join();
+  obs::heartbeat_stop();  // idempotent on an already-stopped sampler
+
+  // The exposition file was rewritten (atomic rename) many times mid-churn;
+  // whatever survives must be a complete snapshot, not a torn write.
+  std::ifstream prom(prom_path);
+  ASSERT_TRUE(prom.good());
+  std::stringstream contents;
+  contents << prom.rdbuf();
+  EXPECT_NE(contents.str().find("progress"), std::string::npos);
+
+  ::unsetenv("BGPSIM_PROM_FILE");
+  ::unsetenv("BGPSIM_HEARTBEAT_SECS");
+  std::remove(prom_path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Event log: writers vs flush()/set_output() churn
+// ---------------------------------------------------------------------------
+
+// Regression for the flush race: the SIGINT path flushes the sink while
+// writer threads may be mid-record. Every surviving line must be a complete
+// JSON object — a torn line means flush and write interleaved inside the
+// stream.
+TEST(EventLogStress, WritersRaceFlushAndRetargeting) {
+  const std::string log_a = testing::TempDir() + "concstress_events_a.ndjson";
+  const std::string log_b = testing::TempDir() + "concstress_events_b.ndjson";
+  obs::EventLogSink& sink = obs::EventLogSink::instance();
+  sink.set_output(log_a);
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 3; ++w) {
+    writers.emplace_back([w, &done] {
+      for (std::uint64_t i = 0; i < 60; ++i) {
+        obs::EventRecord ev("stress");
+        ev.u64("writer", static_cast<std::uint64_t>(w)).u64("i", i);
+        ev.emit();
+      }
+      done.store(true, std::memory_order_release);
+    });
+  }
+  std::thread flusher([&sink, &done] {
+    while (!done.load(std::memory_order_acquire)) {
+      sink.flush();
+    }
+  });
+  // Retarget mid-stream: records land in whichever file is current, but
+  // every record lands whole in exactly one of them.
+  sink.set_output(log_b);
+  for (std::thread& t : writers) t.join();
+  flusher.join();
+  sink.flush();
+  sink.set_output("");  // disable and final-flush
+  EXPECT_FALSE(sink.enabled());
+
+  std::uint64_t records = 0;
+  for (const std::string& path : {log_a, log_b}) {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      ASSERT_FALSE(line.front() != '{' || line.back() != '}')
+          << path << ": torn line: " << line;
+      const obs::JsonValue record = obs::JsonValue::parse(line);
+      if (record.find("writer") != nullptr) ++records;
+    }
+    std::remove(path.c_str());
+  }
+  EXPECT_EQ(records, 3u * 60u);
+}
+
+// ---------------------------------------------------------------------------
+// parallel_chunks: deliberately contended shared counters
+// ---------------------------------------------------------------------------
+
+TEST(ParallelChunksStress, ContendedRelaxedCountersSumExactly) {
+  constexpr std::size_t kItems = 20000;
+  constexpr unsigned kWorkers = 4;
+  std::atomic<std::uint64_t> sum{0};
+  std::vector<std::atomic<std::uint8_t>> visits(kItems);
+  for (auto& v : visits) v.store(0, std::memory_order_relaxed);
+
+  parallel_chunks(kItems, kWorkers,
+                  [&](unsigned /*worker*/, std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i) {
+                      sum.fetch_add(i, std::memory_order_relaxed);
+                      visits[i].fetch_add(1, std::memory_order_relaxed);
+                    }
+                  });
+
+  // The join in parallel_chunks is the only synchronization point; after it,
+  // relaxed counts must still be exact (atomicity) and coverage disjoint.
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(kItems) * (kItems - 1) / 2;
+  EXPECT_EQ(sum.load(std::memory_order_relaxed), expected);
+  for (std::size_t i = 0; i < kItems; ++i) {
+    ASSERT_EQ(visits[i].load(std::memory_order_relaxed), 1u) << "index " << i;
+  }
+}
+
+TEST(ParallelChunksStress, BackToBackFanOutsReuseCleanly) {
+  std::atomic<std::uint64_t> total{0};
+  for (int round = 0; round < 6; ++round) {
+    parallel_chunks(500, 3,
+                    [&](unsigned /*worker*/, std::size_t begin,
+                        std::size_t end) {
+                      total.fetch_add(end - begin, std::memory_order_relaxed);
+                    });
+  }
+  EXPECT_EQ(total.load(std::memory_order_relaxed), 6u * 500u);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry: concurrent registration vs snapshots
+// ---------------------------------------------------------------------------
+
+TEST(RegistryStress, ConcurrentRegistrationAndSnapshots) {
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 150;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      // Same-name registration from every thread must converge on one
+      // handle; distinct names must not invalidate anyone else's.
+      obs::Counter& shared =
+          obs::registry().counter("concstress.registry.shared");
+      obs::Counter& mine = obs::registry().counter(
+          "concstress.registry.t" + std::to_string(t));
+      obs::HistogramMetric& hist = obs::registry().histogram(
+          "concstress.registry.hist", obs::HistogramSpec::linear(0, 10, 10));
+      for (int i = 0; i < kIterations; ++i) {
+        shared.add(1);
+        mine.add(1);
+        hist.observe(static_cast<double>(i % 10));
+      }
+    });
+  }
+  std::thread snapshotter([&done] {
+    while (!done.load(std::memory_order_acquire)) {
+      (void)obs::registry().snapshot();
+    }
+  });
+  for (std::thread& t : workers) t.join();
+  done.store(true, std::memory_order_release);
+  snapshotter.join();
+
+  const obs::RegistrySnapshot snap = obs::registry().snapshot();
+  EXPECT_EQ(snap.counters.at("concstress.registry.shared"),
+            static_cast<std::uint64_t>(kThreads) * kIterations);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(snap.counters.at("concstress.registry.t" + std::to_string(t)),
+              static_cast<std::uint64_t>(kIterations));
+  }
+  EXPECT_EQ(snap.histograms.at("concstress.registry.hist").count,
+            static_cast<std::uint64_t>(kThreads) * kIterations);
+}
+
+}  // namespace
+}  // namespace bgpsim

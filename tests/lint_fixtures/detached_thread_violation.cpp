@@ -1,0 +1,16 @@
+// Deliberate detached-thread violation: .detach() abandons the thread
+// handle, so nothing can join it before exit — it races static destruction
+// and slips past the TSan lane's shutdown barrier. The rule bans detach
+// everywhere (even the sanctioned thread homes); the
+// lint_detects_detached_thread test expects a nonzero exit on this file.
+#include <thread>  // bgpsim-lint: allow(thread-policy)
+
+namespace bgpsim {
+
+inline void fire_and_forget() {
+  // bgpsim-lint: allow(thread-policy)
+  std::thread worker([] {});
+  worker.detach();
+}
+
+}  // namespace bgpsim

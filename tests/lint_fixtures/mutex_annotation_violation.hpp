@@ -1,0 +1,31 @@
+// Deliberate mutex-annotation violation: a raw std::mutex member in a
+// header with no thread-safety annotation anywhere near it. libstdc++ types
+// carry no capability attributes, so -Wthread-safety cannot check anything
+// about this lock; the fix is bgpsim::Mutex + BGPSIM_GUARDED_BY
+// (support/thread_annotations.hpp). The lint_detects_mutex_annotation test
+// expects a nonzero exit on this file.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+namespace bgpsim {
+
+class UnannotatedQueue {
+ public:
+  void push(int v) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    items_.push_back(v);
+    ready_.notify_one();
+  }
+
+ private:
+  std::mutex mutex_;
+
+  std::condition_variable ready_;
+
+  std::vector<int> items_;
+};
+
+}  // namespace bgpsim

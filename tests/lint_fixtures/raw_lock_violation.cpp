@@ -1,0 +1,26 @@
+// Deliberate raw-lock violation: direct .lock()/.unlock() member calls in
+// library code. Locks must be held through bgpsim::MutexLock
+// (support/thread_annotations.hpp) so Clang's -Wthread-safety analysis sees
+// every critical section; this file pins the rule in CI (the
+// lint_detects_raw_lock test expects a nonzero exit).
+#include <mutex>
+
+namespace bgpsim {
+
+inline int g_value = 0;
+inline std::mutex g_value_mutex;
+
+inline void bump_value() {
+  g_value_mutex.lock();
+  ++g_value;
+  g_value_mutex.unlock();
+}
+
+inline bool try_bump_value() {
+  if (!g_value_mutex.try_lock()) return false;
+  ++g_value;
+  g_value_mutex.unlock();
+  return true;
+}
+
+}  // namespace bgpsim

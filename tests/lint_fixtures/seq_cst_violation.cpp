@@ -1,0 +1,34 @@
+// Deliberate seq-cst-atomic violations: bare std::atomic operations that
+// silently default to memory_order_seq_cst. Library code must spell out the
+// order each access relies on (relaxed for counters, acquire/release for
+// handoffs); the multi-line call below is exactly the shape a line-based
+// regex would miss, which is why the rule is token-aware. The
+// lint_detects_seq_cst test expects a nonzero exit on this file.
+#include <atomic>
+#include <cstdint>
+
+namespace bgpsim {
+
+inline std::atomic<std::uint64_t> g_requests{0};
+inline std::atomic<bool> g_shutdown{false};
+
+inline void count_request() { g_requests.fetch_add(1); }
+
+inline bool shutting_down() { return g_shutdown.load(); }
+
+inline void request_shutdown() {
+  g_shutdown.store(
+      true);
+}
+
+// Correctly ordered operations must NOT trip the rule.
+inline std::uint64_t requests_snapshot() {
+  return g_requests.load(std::memory_order_relaxed);
+}
+
+inline std::uint64_t bump_relaxed() {
+  return g_requests.fetch_add(1,
+                              std::memory_order_relaxed);
+}
+
+}  // namespace bgpsim

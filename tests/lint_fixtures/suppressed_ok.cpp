@@ -1,0 +1,23 @@
+// Suppression-comment pass case: every violation in this file carries a
+// `// bgpsim-lint: allow(<rule>)` comment — on its own line above, or inline
+// on the offending line — so bgpsim-lint must exit 0 here. The
+// lint_honors_suppressions test pins that contract (and, by contrast with
+// the *_violation fixtures, that suppressions are per-rule and per-line,
+// never blanket).
+#include <atomic>
+#include <mutex>
+
+namespace bgpsim {
+
+inline std::mutex g_mutex;
+inline std::atomic<int> g_counter{0};
+
+inline void legacy_critical_section() {
+  g_mutex.lock();  // bgpsim-lint: allow(raw-lock)
+  // bgpsim-lint: allow(seq-cst-atomic)
+  g_counter.fetch_add(1);
+  // bgpsim-lint: allow(raw-lock)
+  g_mutex.unlock();
+}
+
+}  // namespace bgpsim

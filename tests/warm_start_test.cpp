@@ -58,6 +58,7 @@ void check_attack(const Scenario& scenario,
                   const std::optional<ValidatorSet>& validators,
                   bool forged_origin) {
   (void)scenario;
+  (void)baselines;  // attached to warm_sim by the caller; kept for symmetry
   warm_sim.set_validators(validators);
   cold_sim.set_validators(validators);
 

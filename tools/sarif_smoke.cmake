@@ -1,0 +1,93 @@
+# SARIF contract smoke check for bgpsim-lint (run via ctest, see
+# tools/CMakeLists.txt). Runs the linter over a fixture that is known to
+# violate several rules, asks for a --sarif report, and validates the
+# minimal SARIF 2.1.0 shape GitHub code scanning requires:
+#   version, runs[0].tool.driver.{name,rules}, and for every result:
+#   ruleId, message.text, locations[0].physicalLocation with
+#   artifactLocation.uri and region.startLine.
+# Uses cmake's string(JSON) so the check needs no interpreter beyond cmake.
+#
+# Expected -D inputs: BGPSIM_LINT (linter binary), REPO_ROOT, WORK_DIR.
+cmake_minimum_required(VERSION 3.20)  # string(JSON), IN_LIST in script mode
+if(NOT BGPSIM_LINT OR NOT REPO_ROOT OR NOT WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DBGPSIM_LINT=... -DREPO_ROOT=... -DWORK_DIR=... -P sarif_smoke.cmake")
+endif()
+
+set(sarif_file "${WORK_DIR}/lint_smoke.sarif")
+set(json_file "${WORK_DIR}/lint_smoke.json")
+file(REMOVE "${sarif_file}" "${json_file}")
+
+execute_process(
+  COMMAND "${BGPSIM_LINT}" --root "${REPO_ROOT}"
+          --sarif "${sarif_file}" --json "${json_file}"
+          "${REPO_ROOT}/tests/lint_fixtures/seq_cst_violation.cpp"
+          "${REPO_ROOT}/tests/lint_fixtures/raw_lock_violation.cpp"
+  RESULT_VARIABLE lint_rc
+  OUTPUT_VARIABLE lint_out)
+# Findings are the point of the fixture: the run must exit 1 (not 0: rules
+# silently off; not 2: the linter itself broke).
+if(NOT lint_rc EQUAL 1)
+  message(FATAL_ERROR "expected exit 1 on violation fixtures, got ${lint_rc}\n${lint_out}")
+endif()
+
+file(READ "${sarif_file}" sarif)
+
+string(JSON version GET "${sarif}" "version")
+if(NOT version STREQUAL "2.1.0")
+  message(FATAL_ERROR "sarif version '${version}' != 2.1.0")
+endif()
+
+string(JSON driver_name GET "${sarif}" "runs" 0 "tool" "driver" "name")
+if(NOT driver_name STREQUAL "bgpsim-lint")
+  message(FATAL_ERROR "unexpected tool.driver.name '${driver_name}'")
+endif()
+
+# The driver must advertise the full rule catalog (>= 6 rules, per the
+# concurrency-pass acceptance bar) with non-empty descriptions.
+string(JSON rule_count LENGTH "${sarif}" "runs" 0 "tool" "driver" "rules")
+if(rule_count LESS 6)
+  message(FATAL_ERROR "only ${rule_count} rules in driver.rules, expected >= 6")
+endif()
+math(EXPR last_rule "${rule_count} - 1")
+foreach(i RANGE ${last_rule})
+  string(JSON rule_id GET "${sarif}" "runs" 0 "tool" "driver" "rules" ${i} "id")
+  string(JSON rule_desc GET "${sarif}" "runs" 0 "tool" "driver" "rules" ${i}
+         "shortDescription" "text")
+  if(rule_id STREQUAL "" OR rule_desc STREQUAL "")
+    message(FATAL_ERROR "rule ${i} has empty id or description")
+  endif()
+endforeach()
+
+string(JSON result_count LENGTH "${sarif}" "runs" 0 "results")
+if(result_count LESS 2)
+  message(FATAL_ERROR "only ${result_count} results, expected the fixture violations")
+endif()
+math(EXPR last_result "${result_count} - 1")
+set(seen_rules "")
+foreach(i RANGE ${last_result})
+  string(JSON rule_id GET "${sarif}" "runs" 0 "results" ${i} "ruleId")
+  string(JSON msg GET "${sarif}" "runs" 0 "results" ${i} "message" "text")
+  string(JSON uri GET "${sarif}" "runs" 0 "results" ${i}
+         "locations" 0 "physicalLocation" "artifactLocation" "uri")
+  string(JSON start_line GET "${sarif}" "runs" 0 "results" ${i}
+         "locations" 0 "physicalLocation" "region" "startLine")
+  if(rule_id STREQUAL "" OR msg STREQUAL "" OR uri STREQUAL "")
+    message(FATAL_ERROR "result ${i} missing ruleId/message/uri")
+  endif()
+  if(start_line LESS 1)
+    message(FATAL_ERROR "result ${i} has startLine ${start_line} < 1")
+  endif()
+  list(APPEND seen_rules "${rule_id}")
+endforeach()
+if(NOT "seq-cst-atomic" IN_LIST seen_rules OR NOT "raw-lock" IN_LIST seen_rules)
+  message(FATAL_ERROR "expected seq-cst-atomic and raw-lock results, saw: ${seen_rules}")
+endif()
+
+# The --json sidecar must parse too and agree on the finding count.
+file(READ "${json_file}" lint_json)
+string(JSON json_findings LENGTH "${lint_json}" "findings")
+if(NOT json_findings EQUAL result_count)
+  message(FATAL_ERROR "--json findings (${json_findings}) != sarif results (${result_count})")
+endif()
+
+message(STATUS "sarif smoke: ${rule_count} rules, ${result_count} results, shape ok")
