@@ -272,6 +272,11 @@ AttackResult HijackSimulator::summarize(AsId target, AsId attacker,
                ev.f64("polluted_fraction", result.polluted_address_fraction);
                ev.u64("routed_ases", result.routed_ases);
                ev.u64("generations", result.generations);
+               // Under serve, the request id joins this record to its
+               // access-log line; empty outside a request scope.
+               if (!::bgpsim::obs::thread_request_id().empty()) {
+                 ev.str("request_id", ::bgpsim::obs::thread_request_id());
+               }
                ev.emit());
   return result;
 }

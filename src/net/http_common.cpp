@@ -25,8 +25,8 @@ ssize_t recv_with_timeout(int fd, char* buf, std::size_t len, int timeout_ms) {
   return recv(fd, buf, len, 0);
 }
 
-/// Case-insensitive search for a header name at line starts; returns the
-/// value substring or empty when absent. `head` includes the request line.
+}  // namespace
+
 std::string_view find_header(std::string_view head, std::string_view name) {
   std::size_t pos = 0;
   while (pos < head.size()) {
@@ -54,10 +54,13 @@ std::string_view find_header(std::string_view head, std::string_view name) {
   return {};
 }
 
-}  // namespace
+std::string_view HttpRequest::header(std::string_view name) const {
+  return find_header(head, name);
+}
 
 HttpReadStatus read_http_request(int fd, const HttpLimits& limits,
-                                 HttpRequest& out) {
+                                 HttpRequest& out, HttpReadHook on_first_byte,
+                                 void* user) {
   std::string buffer;
   buffer.reserve(1024);
 
@@ -72,6 +75,10 @@ HttpReadStatus read_http_request(int fd, const HttpLimits& limits,
         limits.read_timeout_millis);
     if (n == -2) return HttpReadStatus::Timeout;
     if (n <= 0) return HttpReadStatus::Closed;
+    if (buffer.empty() && on_first_byte != nullptr) {
+      on_first_byte(user);
+      on_first_byte = nullptr;
+    }
     buffer.append(chunk, static_cast<std::size_t>(n));
     if (const auto crlf = buffer.find("\r\n\r\n"); crlf != std::string::npos) {
       head_end = crlf;
@@ -82,7 +89,10 @@ HttpReadStatus read_http_request(int fd, const HttpLimits& limits,
     }
   }
 
-  const std::string_view head(buffer.data(), head_end);
+  // Retain the raw head so callers can consult request headers (request-id
+  // passthrough, future keep-alive negotiation) without re-reading.
+  out.head = buffer.substr(0, head_end);
+  const std::string_view head(out.head);
 
   // Request line: METHOD SP TARGET SP HTTP/x.y
   std::size_t line_end = head.find('\n');
@@ -143,18 +153,20 @@ const char* http_status_text(int status) {
 }
 
 void write_http_response(int fd, int status, std::string_view content_type,
-                         std::string_view body) {
-  char header[256];
-  std::snprintf(header, sizeof(header),
+                         std::string_view body, std::string_view extra_headers) {
+  char status_line[256];
+  std::snprintf(status_line, sizeof(status_line),
                 "HTTP/1.1 %d %s\r\n"
                 "Content-Type: %.*s\r\n"
                 "Content-Length: %zu\r\n"
-                "Connection: close\r\n"
-                "\r\n",
+                "Connection: close\r\n",
                 status, http_status_text(status),
                 static_cast<int>(content_type.size()), content_type.data(),
                 body.size());
-  (void)send(fd, header, std::strlen(header), MSG_NOSIGNAL);
+  std::string header(status_line);
+  header.append(extra_headers);
+  header.append("\r\n");
+  (void)send(fd, header.data(), header.size(), MSG_NOSIGNAL);
   std::size_t sent = 0;
   while (sent < body.size()) {
     const ssize_t n =

@@ -23,7 +23,15 @@ struct HttpRequest {
   std::string method;  ///< "GET", "POST", ... (uppercase as received)
   std::string target;  ///< request-target, e.g. "/metrics" or "/v1/attack"
   std::string body;    ///< Content-Length bytes (empty when none declared)
+  std::string head;    ///< raw request head (request line + headers)
+
+  /// Value of `name` (case-insensitive) from the retained head, or empty.
+  std::string_view header(std::string_view name) const;
 };
+
+/// Case-insensitive search for a header name at line starts inside a raw
+/// request head; returns the trimmed value substring or empty when absent.
+std::string_view find_header(std::string_view head, std::string_view name);
 
 /// Why read_http_request returned without a usable request.
 enum class HttpReadStatus : std::uint8_t {
@@ -43,18 +51,31 @@ struct HttpLimits {
   int read_timeout_millis = 2000;
 };
 
+/// Observation hook fired once when the first request bytes arrive (plain
+/// function pointer + user cookie so the serve layer can split "waiting for
+/// the client" from "reading the request" without this layer owning clocks).
+using HttpReadHook = void (*)(void* user);
+
 /// Read and parse one request from `fd` (blocking socket, poll()-driven).
 /// On anything but Ok the contents of `out` are unspecified.
+/// `on_first_byte(user)` (when non-null) fires once, right after the first
+/// successful recv of this request.
 HttpReadStatus read_http_request(int fd, const HttpLimits& limits,
-                                 HttpRequest& out);
+                                 HttpRequest& out,
+                                 HttpReadHook on_first_byte = nullptr,
+                                 void* user = nullptr);
 
 /// Standard reason phrase for the handful of codes the servers emit.
 const char* http_status_text(int status);
 
-/// Serialize and send one response, Connection: close. Short writes and
-/// send errors are swallowed — the connection is closed right after anyway.
+/// Serialize and send one response, Connection: close. `extra_headers`,
+/// when non-empty, is spliced verbatim into the head and must be complete
+/// CRLF-terminated header lines (e.g. "X-Request-Id: abc\r\n"). Short writes
+/// and send errors are swallowed — the connection is closed right after
+/// anyway.
 void write_http_response(int fd, int status, std::string_view content_type,
-                         std::string_view body);
+                         std::string_view body,
+                         std::string_view extra_headers = {});
 
 /// Bind a loopback TCP listener (port 0 = ephemeral) and start listening.
 /// Returns the listening fd (non-blocking) and fills `bound_port`, or -1.

@@ -46,13 +46,18 @@ void install_crash_safety_handlers() {
 
 EventLogSink& EventLogSink::instance() {
   static EventLogSink sink;
+  // Apply the environment once, after construction, so standalone sinks
+  // (the serve access log) never inherit BGPSIM_EVENTLOG.
+  static const bool env_applied = [] {
+    const std::string path = env_string("BGPSIM_EVENTLOG", "");
+    if (!path.empty()) sink.set_output(path);
+    return true;
+  }();
+  (void)env_applied;
   return sink;
 }
 
-EventLogSink::EventLogSink() : epoch_ns_(steady_now_ns()) {
-  const std::string path = env_string("BGPSIM_EVENTLOG", "");
-  if (!path.empty()) set_output(path);
-}
+EventLogSink::EventLogSink() : epoch_ns_(steady_now_ns()) {}
 
 EventLogSink::~EventLogSink() { flush(); }
 
@@ -101,16 +106,27 @@ void EventLogSink::flush() {
   if (out_.is_open()) out_.flush();
 }
 
-EventRecord::EventRecord(const char* type) {
+namespace {
+
+thread_local std::string t_request_id;  // NOLINT
+
+}  // namespace
+
+void set_thread_request_id(std::string_view id) { t_request_id.assign(id); }
+
+const std::string& thread_request_id() { return t_request_id; }
+
+EventRecord::EventRecord(const char* type, EventLogSink* sink)
+    : sink_(sink != nullptr ? sink : &EventLogSink::instance()) {
   json_.begin_object();
   json_.field("type", type);
-  json_.field("ts", EventLogSink::instance().now_seconds());
+  json_.field("ts", sink_->now_seconds());
 }
 
 void EventRecord::emit() {
   if (emitted_) return;
   emitted_ = true;
-  EventLogSink& sink = EventLogSink::instance();
+  EventLogSink& sink = *sink_;
   if (!sink.enabled()) return;
   // The writer's object is still open (no end_object): the sink appends the
   // seq field and the closing brace under its lock.

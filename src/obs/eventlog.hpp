@@ -30,6 +30,12 @@ namespace bgpsim::obs {
 
 class EventLogSink {
  public:
+  /// A standalone, disabled sink (no environment lookup). Secondary NDJSON
+  /// streams — the serve access log, say — construct their own sink so they
+  /// get the same locked-seq/flush-per-line discipline without interleaving
+  /// with the simulation event log.
+  EventLogSink();
+
   /// Process-wide sink; reads BGPSIM_EVENTLOG once at first use.
   static EventLogSink& instance();
 
@@ -58,8 +64,6 @@ class EventLogSink {
   ~EventLogSink();
 
  private:
-  EventLogSink();
-
   // enabled_ is the lock-free fast-path check (one relaxed load per
   // BGPSIM_EVENT site when no log is configured); mutex_ serializes the
   // stream and the seq counter so records land whole and in seq order.
@@ -72,15 +76,23 @@ class EventLogSink {
 
 inline bool eventlog_enabled() { return EventLogSink::instance().enabled(); }
 
+/// Per-thread correlation id joining engine-level event-log records to the
+/// serve request that triggered them. Empty (the default) means "not inside
+/// a request"; emitters that care (attack_result) attach it when set. The
+/// serve layer scopes it around handler dispatch.
+void set_thread_request_id(std::string_view id);
+const std::string& thread_request_id();
+
 /// Builder for one event record. Construct with the type, add fields, then
 /// emit() exactly once; ts is sampled at construction, seq at emission.
+/// Records target the process-wide sink unless a specific one is given.
 ///
 ///   EventRecord ev("generation_end");
 ///   ev.u64("generation", g).u64("messages_sent", n);
 ///   ev.emit();
 class EventRecord {
  public:
-  explicit EventRecord(const char* type);
+  explicit EventRecord(const char* type, EventLogSink* sink = nullptr);
 
   EventRecord& u64(std::string_view key, std::uint64_t value) {
     json_.field(key, value);
@@ -104,6 +116,7 @@ class EventRecord {
 
  private:
   JsonWriter json_;
+  EventLogSink* sink_;
   bool emitted_ = false;
 };
 

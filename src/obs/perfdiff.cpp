@@ -20,10 +20,37 @@ bool starts_with(const std::string& s, std::string_view prefix) {
   return s.rfind(prefix, 0) == 0;
 }
 
-/// wall.* and time.* metrics carry seconds and regress by threshold; every
-/// other flattened metric is a determinism check (exact match).
+bool ends_with(const std::string& s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Microsecond-valued series: the serve latency/phase histograms
+/// (…_us.mean/p50/p90/p99) and *_us extras from the load-generator bench.
+/// hist.*.count entries stay fidelity — observation counts are
+/// deterministic even when the observed durations are not.
+bool is_us_metric(const std::string& metric) {
+  if (starts_with(metric, "hist.")) return false;
+  return metric.find("_us") != std::string::npos;
+}
+
+/// wall.* and time.* metrics carry seconds and regress by threshold, as do
+/// microsecond series and *_seconds extras; every other flattened metric is
+/// a determinism check (exact match) unless classified rate/mem below.
 bool is_time_metric(const std::string& metric) {
-  return starts_with(metric, "wall.") || starts_with(metric, "time.");
+  return starts_with(metric, "wall.") || starts_with(metric, "time.") ||
+         is_us_metric(metric) ||
+         (starts_with(metric, "extra.") && ends_with(metric, "_seconds"));
+}
+
+/// Throughput-style extras (qps, speedups): measured, so thresholded rather
+/// than exact — but higher is better, so only a *drop* past the threshold
+/// regresses.
+bool is_rate_metric(const std::string& metric) {
+  if (!starts_with(metric, "extra.")) return false;
+  return metric.find("qps") != std::string::npos ||
+         metric.find("speedup") != std::string::npos ||
+         metric.find("per_sec") != std::string::npos;
 }
 
 /// Memory-footprint gauges (RSS, RIB/topology byte estimates): real but
@@ -55,6 +82,7 @@ std::string fmt_seconds(double seconds) {
 }
 
 std::string fmt_value(const std::string& metric, double value) {
+  if (is_us_metric(metric)) return fmt_seconds(value * 1e-6);
   if (is_time_metric(metric)) return fmt_seconds(value);
   char buffer[48];
   std::snprintf(buffer, sizeof(buffer), "%.6g", value);
@@ -112,6 +140,10 @@ BenchSample parse_bench_report(const std::string& path) {
   }
   if (const JsonValue* gauges = doc.find_path({"metrics", "gauges"})) {
     for (const auto& [key, value] : gauges->members()) {
+      // Point-in-time concurrency gauges carry whatever value the last
+      // worker happened to publish at shutdown — not reproducible, so not
+      // a gate signal.
+      if (ends_with(key, ".in_flight")) continue;
       sample.metrics["gauge." + key] = value.as_number();
     }
   }
@@ -119,7 +151,7 @@ BenchSample parse_bench_report(const std::string& path) {
     for (const auto& [key, hist] : histograms->members()) {
       const double count = hist.number_at("count");
       sample.metrics["hist." + key + ".count"] = count;
-      if (starts_with(key, "time.")) {
+      if (starts_with(key, "time.") || key.find("_us") != std::string::npos) {
         // Latency histograms: the observation count is deterministic, the
         // seconds are the perf signal.
         if (count > 0.0) {
@@ -248,7 +280,11 @@ PerfDiffResult diff_reports(const std::vector<BenchSample>& baseline,
         diff.delta = std::numeric_limits<double>::infinity();
       }
       const bool mem = is_mem_metric(metric);
-      diff.fidelity = !is_time_metric(metric) && !mem;
+      const bool rate = is_rate_metric(metric);
+      diff.fidelity = !is_time_metric(metric) && !mem && !rate;
+
+      // min_seconds compares wall seconds; microsecond series scale first.
+      const double seconds_scale = is_us_metric(metric) ? 1e-6 : 1.0;
 
       if (diff.fidelity) {
         // Same seed + same topology => deterministic; any drift is a bug or
@@ -258,7 +294,17 @@ PerfDiffResult diff_reports(const std::vector<BenchSample>& baseline,
       } else if (mem) {
         // Memory only regresses upward; shrinking footprints are a win.
         diff.regression = diff.delta > options.mem_threshold;
-      } else if (std::max(diff.baseline, diff.candidate) >= options.min_seconds) {
+      } else if (rate) {
+        // Throughput regresses downward; gains are wins. Mann-Whitney is
+        // two-sided, so the same test gates both directions.
+        diff.tested = base_values.size() >= 4 && cand_values.size() >= 4;
+        if (diff.tested) {
+          diff.p_value = mann_whitney_p(base_values, cand_values);
+        }
+        diff.regression = -diff.delta > options.threshold &&
+                          (!diff.tested || diff.p_value < options.alpha);
+      } else if (std::max(diff.baseline, diff.candidate) * seconds_scale >=
+                 options.min_seconds) {
         // 4+4 runs is the smallest layout where Mann-Whitney can reach
         // p < 0.05 at all; below that the threshold alone decides.
         diff.tested = base_values.size() >= 4 && cand_values.size() >= 4;
@@ -311,9 +357,11 @@ std::string PerfDiffResult::render(const DiffOptions& options) const {
         continue;
       }
       const char* status = "ok        ";
+      const bool rate = is_rate_metric(diff.metric);
       if (diff.regression) {
         status = diff.fidelity ? "FIDELITY  " : "REGRESSION";
-      } else if (!diff.fidelity && diff.delta < -options.threshold) {
+      } else if (!diff.fidelity && (rate ? diff.delta > options.threshold
+                                         : diff.delta < -options.threshold)) {
         status = "improved  ";
       }
       std::string detail;

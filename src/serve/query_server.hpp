@@ -56,6 +56,12 @@ class QueryServer {
   /// guarded by the lifecycle lock — only the stop_requested_ atomic.
   void worker_loop(unsigned index, int listen_fd);
 
+  /// One accepted connection end-to-end: read, route, write, account. Owns
+  /// the request lifecycle — request-id assignment/echo, phase timing,
+  /// status-class counters, in-flight gauge, and the access-log record.
+  /// Does not close `conn`.
+  void handle_connection(unsigned index, int conn);
+
   Router router_;
   QueryServerOptions options_;
   std::atomic<bool> running_{false};

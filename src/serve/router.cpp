@@ -34,7 +34,7 @@ void Router::add(std::string method, std::string path, Handler handler) {
 }
 
 HttpResponse Router::dispatch(const net::HttpRequest& request,
-                              unsigned worker) const {
+                              RequestContext& ctx) const {
   const std::string_view path = path_of(request.target);
   bool path_known = false;
   for (const Entry& entry : routes_) {
@@ -42,7 +42,7 @@ HttpResponse Router::dispatch(const net::HttpRequest& request,
     path_known = true;
     if (entry.method != request.method) continue;
     try {
-      return entry.handler(request, worker);
+      return entry.handler(request, ctx);
     } catch (const std::exception& e) {
       return error_response(500, e.what());
     }

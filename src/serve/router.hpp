@@ -1,8 +1,10 @@
 // Request router for the bgpsim query service: exact method + path match
 // over a small fixed route table. Query strings are stripped before
 // matching, a path hit with the wrong method answers 405, anything else
-// 404. Handlers receive the worker index so per-worker state (one
-// HijackSimulator per worker) needs no locking.
+// 404. Handlers receive the per-request context; its worker index lets
+// per-worker state (one HijackSimulator per worker) go lock-free, and
+// handlers report engine facts (warm, generations) back through it for the
+// access log.
 #pragma once
 
 #include <functional>
@@ -11,6 +13,7 @@
 #include <vector>
 
 #include "net/http_common.hpp"
+#include "serve/request_obs.hpp"
 
 namespace bgpsim::serve {
 
@@ -27,7 +30,7 @@ HttpResponse error_response(int status, std::string_view message);
 class Router {
  public:
   using Handler =
-      std::function<HttpResponse(const net::HttpRequest&, unsigned worker)>;
+      std::function<HttpResponse(const net::HttpRequest&, RequestContext&)>;
 
   /// Register `method` + exact `path` (no query string). Later additions of
   /// the same (method, path) pair win — there is no route shadowing to debug.
@@ -35,7 +38,8 @@ class Router {
 
   /// Match and invoke. 405 on a known path with the wrong method, 404
   /// otherwise. Never throws: a handler exception becomes a 500.
-  HttpResponse dispatch(const net::HttpRequest& request, unsigned worker) const;
+  HttpResponse dispatch(const net::HttpRequest& request,
+                        RequestContext& ctx) const;
 
   std::size_t size() const { return routes_.size(); }
 

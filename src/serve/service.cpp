@@ -55,24 +55,36 @@ WhatIfService::WhatIfService(store::Snapshot snapshot, unsigned workers)
 Router WhatIfService::make_router() {
   Router router;
   router.add("POST", "/v1/attack",
-             [this](const net::HttpRequest& request, unsigned worker) {
-               return handle_attack(request, worker);
+             [this](const net::HttpRequest& request, RequestContext& ctx) {
+               return handle_attack(request, ctx);
              });
   router.add("GET", "/v1/topology",
-             [this](const net::HttpRequest&, unsigned) {
+             [this](const net::HttpRequest&, RequestContext&) {
                return handle_topology();
              });
-  router.add("GET", "/metrics", [](const net::HttpRequest&, unsigned) {
+  router.add("GET", "/metrics", [](const net::HttpRequest&, RequestContext&) {
     return HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
                         obs::to_prom_text(obs::registry().snapshot())};
   });
+  router.add("GET", "/healthz", [](const net::HttpRequest&, RequestContext&) {
+    // Liveness only: no locks, no engine state — safe to probe at any rate.
+    return HttpResponse{200, "text/plain", "ok\n"};
+  });
+  router.add("GET", "/statusz",
+             [this](const net::HttpRequest&, RequestContext&) {
+               return handle_statusz();
+             });
   return router;
 }
 
 HttpResponse WhatIfService::handle_attack(const net::HttpRequest& request,
-                                          unsigned worker) {
+                                          RequestContext& ctx) {
   BGPSIM_TIMED_SCOPE("serve.attack");
+  const unsigned worker = ctx.worker;
   BGPSIM_REQUIRE(worker < sims_.size(), "worker index out of range");
+  // Publish the request id for the scope of the engine run so attack_result
+  // event-log records can be joined back to this access-log line.
+  ScopedRequestId correlate(ctx.request_id);
   HijackSimulator& sim = *sims_[worker];
   const AsGraph& graph = scenario_.graph();
 
@@ -145,6 +157,9 @@ HttpResponse WhatIfService::handle_attack(const net::HttpRequest& request,
 
   const ExtendedAttackResult result = sim.attack_ex(victim, attacker, options);
   const bool warm = sim.last_attack_warm();
+  ctx.attack = true;
+  ctx.warm = warm;
+  ctx.generations = result.generations;
 
   // Detection runs against the converged table before any trace replay
   // (attack_with_trace reconverges on the generation engine and would
@@ -228,6 +243,38 @@ HttpResponse WhatIfService::handle_topology() const {
     }
   }
   json.end_array();
+  json.end_object();
+  return HttpResponse{200, "application/json", std::move(json).str()};
+}
+
+HttpResponse WhatIfService::handle_statusz() const {
+  const ServeStats& stats = serve_stats();
+  obs::JsonWriter json;
+  json.begin_object();
+  json.field("status", "serving");
+  json.field("uptime_seconds", uptime_.elapsed_seconds());
+  json.field("git_rev", obs::git_rev());
+  json.field("format_version", static_cast<std::uint64_t>(info_.format_version));
+  json.field("topology_checksum", std::to_string(info_.topology_checksum));
+  json.field("ases", static_cast<std::uint64_t>(info_.ases));
+  json.field("baseline_targets",
+             static_cast<std::uint64_t>(info_.baseline_targets));
+  json.field("workers", static_cast<std::uint64_t>(sims_.size()));
+#if defined(BGPSIM_OBS_DISABLED)
+  json.field("obs_enabled", false);
+#else
+  json.field("obs_enabled", true);
+#endif
+  json.field("in_flight", static_cast<std::uint64_t>(std::max<std::int64_t>(
+                              0, stats.in_flight.load(std::memory_order_relaxed))));
+  json.key("requests");
+  json.begin_object();
+  json.field("total", stats.total.load(std::memory_order_relaxed));
+  json.field("status_2xx", stats.status_2xx.load(std::memory_order_relaxed));
+  json.field("status_4xx", stats.status_4xx.load(std::memory_order_relaxed));
+  json.field("status_5xx", stats.status_5xx.load(std::memory_order_relaxed));
+  json.field("dropped", stats.dropped.load(std::memory_order_relaxed));
+  json.end_object();
   json.end_object();
   return HttpResponse{200, "application/json", std::move(json).str()};
 }

@@ -10,14 +10,18 @@
 //                      -> pollution summary (+ detection when probes > 0)
 //   GET  /v1/topology  snapshot summary + sample ASNs for clients
 //   GET  /metrics      Prometheus exposition of the obs registry
+//   GET  /healthz      cheap liveness probe ("ok")
+//   GET  /statusz      JSON debug status: uptime, git rev, snapshot
+//                      checksum, worker pool, request totals by class
 //
-// Endpoint schemas are documented in DESIGN.md §9.
+// Endpoint schemas are documented in DESIGN.md §9 and §12.
 #pragma once
 
 #include <memory>
 #include <vector>
 
 #include "core/scenario.hpp"
+#include "obs/timer.hpp"
 #include "serve/router.hpp"
 #include "store/snapshot.hpp"
 
@@ -36,13 +40,16 @@ class WhatIfService {
   const store::SnapshotInfo& info() const { return info_; }
 
  private:
-  HttpResponse handle_attack(const net::HttpRequest& request, unsigned worker);
+  HttpResponse handle_attack(const net::HttpRequest& request,
+                             RequestContext& ctx);
   HttpResponse handle_topology() const;
+  HttpResponse handle_statusz() const;
 
   Scenario scenario_;
   store::SnapshotInfo info_;
   std::shared_ptr<const store::BaselineStore> baselines_;
   std::vector<std::unique_ptr<HijackSimulator>> sims_;  // one per worker
+  obs::StopWatch uptime_;  // since service construction, for /statusz
 };
 
 }  // namespace bgpsim::serve

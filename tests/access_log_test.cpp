@@ -1,0 +1,264 @@
+// Round-trip tests of the serve access log: schema of the NDJSON records,
+// seq-vs-file-order agreement, request-id correlation with the X-Request-Id
+// response header, and slow-request capture. The log rides the process-wide
+// AccessLog singleton, so these tests run requests through a real server
+// and re-point the sink at per-test temp files.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "obs/json_parse.hpp"
+#include "serve/query_server.hpp"
+#include "serve/request_obs.hpp"
+#include "serve/service.hpp"
+#include "store/baseline.hpp"
+#include "store/snapshot.hpp"
+#include "support/rng.hpp"
+
+namespace bgpsim::serve {
+namespace {
+
+struct ClientResponse {
+  int status = 0;
+  std::string head;
+  std::string body;
+};
+
+/// Minimal blocking HTTP client; `headers` must be CRLF-terminated lines.
+ClientResponse http_request(std::uint16_t port, const std::string& method,
+                            const std::string& target,
+                            const std::string& body = std::string(),
+                            const std::string& headers = std::string()) {
+  ClientResponse out;
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return out;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return out;
+  }
+  std::string request = method + " " + target + " HTTP/1.1\r\n";
+  if (!body.empty()) {
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  request += headers;
+  request += "Connection: close\r\n\r\n" + body;
+  (void)send(fd, request.data(), request.size(), 0);
+
+  std::string raw;
+  char buf[8192];
+  for (;;) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  close(fd);
+
+  if (raw.rfind("HTTP/1.1 ", 0) == 0 && raw.size() > 12) {
+    out.status = std::stoi(raw.substr(9, 3));
+  }
+  const std::size_t split = raw.find("\r\n\r\n");
+  if (split != std::string::npos) {
+    out.head = raw.substr(0, split);
+    out.body = raw.substr(split + 4);
+  }
+  return out;
+}
+
+std::string response_request_id(const ClientResponse& response) {
+  const std::size_t at = response.head.find("X-Request-Id:");
+  if (at == std::string::npos) return {};
+  std::size_t begin = at + std::string("X-Request-Id:").size();
+  std::size_t end = response.head.find("\r\n", begin);
+  if (end == std::string::npos) end = response.head.size();
+  while (begin < end && response.head[begin] == ' ') ++begin;
+  return response.head.substr(begin, end - begin);
+}
+
+std::vector<obs::JsonValue> read_ndjson(const std::string& path) {
+  std::vector<obs::JsonValue> records;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) records.push_back(obs::JsonValue::parse(line));
+  }
+  return records;
+}
+
+class AccessLogTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = testing::TempDir() + "access_log_test_" +
+            std::to_string(getpid()) + "_" +
+            testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".ndjson";
+
+    ScenarioParams params;
+    params.topology.total_ases = 600;
+    params.topology.seed = 33;
+    const Scenario scenario = Scenario::generate(params);
+    Rng rng(34);
+    std::vector<AsId> targets;
+    for (std::size_t i = 0; i < 4; ++i) {
+      targets.push_back(
+          static_cast<AsId>(rng.bounded(scenario.graph().num_ases())));
+    }
+    store::Snapshot snapshot;
+    snapshot.graph = scenario.graph();
+    snapshot.params = scenario.snapshot_params();
+    snapshot.baselines = store::BaselineStore::compute(
+        scenario.graph(), scenario.policy(), targets);
+
+    service_ = std::make_unique<WhatIfService>(std::move(snapshot),
+                                               /*workers=*/1);
+    QueryServerOptions options;
+    options.workers = 1;
+    server_ = std::make_unique<QueryServer>(service_->make_router(), options);
+    ASSERT_TRUE(server_->start());
+
+    AccessLog::instance().set_output(path_);
+  }
+
+  void TearDown() override {
+    server_->stop();
+    // Disable + flush, and drop the per-test file.
+    AccessLog::instance().set_output("");
+    AccessLog::instance().set_slow_threshold_us(0);
+    std::remove(path_.c_str());
+  }
+
+  std::uint16_t port() const { return server_->port(); }
+
+  /// A warm /v1/attack body built from the service's own samples.
+  std::string attack_body() {
+    const ClientResponse topo = http_request(port(), "GET", "/v1/topology");
+    const obs::JsonValue doc = obs::JsonValue::parse(topo.body);
+    const std::uint64_t victim =
+        doc.find("baseline_sample")->items()[0].as_u64();
+    std::uint64_t attacker = doc.find("transit_sample")->items()[0].as_u64();
+    if (attacker == victim) {
+      attacker = doc.find("transit_sample")->items()[1].as_u64();
+    }
+    return "{\"victim\": " + std::to_string(victim) +
+           ", \"attacker\": " + std::to_string(attacker) + "}";
+  }
+
+  std::string path_;
+  std::unique_ptr<WhatIfService> service_;
+  std::unique_ptr<QueryServer> server_;
+};
+
+#if !defined(BGPSIM_OBS_DISABLED)
+
+TEST_F(AccessLogTest, OneSchemaValidRecordPerRequest) {
+  // /v1/topology (inside attack_body), /v1/attack, /healthz, and a 404.
+  const std::string body = attack_body();
+  const ClientResponse attack =
+      http_request(port(), "POST", "/v1/attack", body);
+  ASSERT_EQ(attack.status, 200);
+  ASSERT_EQ(http_request(port(), "GET", "/healthz").status, 200);
+  ASSERT_EQ(http_request(port(), "GET", "/nope").status, 404);
+
+  const auto records = read_ndjson(path_);
+  ASSERT_EQ(records.size(), 4u);
+  for (const obs::JsonValue& record : records) {
+    // Required keys of every access record (DESIGN.md §12).
+    ASSERT_NE(record.find("type"), nullptr);
+    EXPECT_EQ(record.find("type")->as_string(), "access");
+    for (const char* key :
+         {"ts", "seq", "worker", "status", "bytes_out", "queue_wait_us",
+          "read_us", "handle_us", "write_us", "total_us"}) {
+      EXPECT_NE(record.find(key), nullptr) << "missing " << key;
+    }
+    ASSERT_NE(record.find("request_id"), nullptr);
+    EXPECT_FALSE(record.find("request_id")->as_string().empty());
+    ASSERT_NE(record.find("route"), nullptr);
+  }
+
+  // seq matches file order even with concurrent emitters (locked at write).
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_GT(records[i].number_at("seq"), records[i - 1].number_at("seq"));
+  }
+
+  // Routes land in request order on this single-connection client.
+  EXPECT_EQ(records[0].find("route")->as_string(), "topology");
+  EXPECT_EQ(records[1].find("route")->as_string(), "attack");
+  EXPECT_EQ(records[2].find("route")->as_string(), "healthz");
+  EXPECT_EQ(records[3].find("route")->as_string(), "other");
+  EXPECT_EQ(records[3].number_at("status"), 404.0);
+
+  // The attack record carries engine facts and the id echoed to the client.
+  const obs::JsonValue& attack_record = records[1];
+  ASSERT_NE(attack_record.find("warm"), nullptr);
+  EXPECT_TRUE(attack_record.find("warm")->as_bool());
+  ASSERT_NE(attack_record.find("generations"), nullptr);
+  EXPECT_EQ(attack_record.find("request_id")->as_string(),
+            response_request_id(attack));
+}
+
+TEST_F(AccessLogTest, PassthroughIdReachesLog) {
+  const ClientResponse response =
+      http_request(port(), "GET", "/healthz", "",
+                   "X-Request-Id: log-corr-42\r\n");
+  ASSERT_EQ(response.status, 200);
+  EXPECT_EQ(response_request_id(response), "log-corr-42");
+
+  const auto records = read_ndjson(path_);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].find("request_id")->as_string(), "log-corr-42");
+}
+
+TEST_F(AccessLogTest, SlowCaptureAttachesParams) {
+  // Threshold 1µs: every request is "slow", so the attack body is captured.
+  AccessLog::instance().set_slow_threshold_us(1);
+  const std::string body = attack_body();
+  ASSERT_EQ(http_request(port(), "POST", "/v1/attack", body).status, 200);
+
+  auto records = read_ndjson(path_);
+  ASSERT_EQ(records.size(), 2u);  // topology + attack
+  const obs::JsonValue& slow_record = records[1];
+  ASSERT_NE(slow_record.find("slow"), nullptr);
+  EXPECT_TRUE(slow_record.find("slow")->as_bool());
+  ASSERT_NE(slow_record.find("params"), nullptr);
+  EXPECT_EQ(slow_record.find("params")->as_string(), body);
+
+  // An unreachable threshold captures nothing.
+  AccessLog::instance().set_slow_threshold_us(3600ull * 1000 * 1000);
+  ASSERT_EQ(http_request(port(), "POST", "/v1/attack", body).status, 200);
+  records = read_ndjson(path_);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[2].find("slow"), nullptr);
+  EXPECT_EQ(records[2].find("params"), nullptr);
+}
+
+#else  // BGPSIM_OBS_DISABLED
+
+TEST_F(AccessLogTest, CompiledOutUnderObsOff) {
+  // set_output is a no-op stub: the log never enables and no file appears,
+  // but requests still flow and the X-Request-Id echo still works.
+  EXPECT_FALSE(AccessLog::instance().enabled());
+  const ClientResponse response =
+      http_request(port(), "GET", "/healthz", "",
+                   "X-Request-Id: off-mode\r\n");
+  ASSERT_EQ(response.status, 200);
+  EXPECT_EQ(response_request_id(response), "off-mode");
+  EXPECT_TRUE(read_ndjson(path_).empty());
+}
+
+#endif  // BGPSIM_OBS_DISABLED
+
+}  // namespace
+}  // namespace bgpsim::serve

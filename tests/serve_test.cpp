@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <memory>
 #include <string>
 #include <vector>
@@ -24,13 +25,32 @@ namespace {
 
 struct ClientResponse {
   int status = 0;
+  std::string head;  ///< status line + response headers
   std::string body;
+
+  /// Case-insensitive response-header lookup ("" when absent).
+  std::string header(const std::string& name) const {
+    std::string lower_head = head;
+    for (char& c : lower_head) c = static_cast<char>(std::tolower(c));
+    std::string needle = "\r\n" + name + ":";
+    for (char& c : needle) c = static_cast<char>(std::tolower(c));
+    const std::size_t at = lower_head.find(needle);
+    if (at == std::string::npos) return {};
+    std::size_t begin = at + needle.size();
+    std::size_t end = head.find("\r\n", begin);
+    if (end == std::string::npos) end = head.size();
+    while (begin < end && head[begin] == ' ') ++begin;
+    while (end > begin && head[end - 1] == ' ') --end;
+    return head.substr(begin, end - begin);
+  }
 };
 
-/// Minimal blocking HTTP client for loopback tests.
+/// Minimal blocking HTTP client for loopback tests; `headers` must be
+/// complete CRLF-terminated lines.
 ClientResponse http_request(std::uint16_t port, const std::string& method,
                             const std::string& target,
-                            const std::string& body = std::string()) {
+                            const std::string& body = std::string(),
+                            const std::string& headers = std::string()) {
   ClientResponse out;
   const int fd = socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return out;
@@ -46,6 +66,7 @@ ClientResponse http_request(std::uint16_t port, const std::string& method,
   if (!body.empty()) {
     request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
   }
+  request += headers;
   request += "Connection: close\r\n\r\n" + body;
   (void)send(fd, request.data(), request.size(), 0);
 
@@ -62,7 +83,10 @@ ClientResponse http_request(std::uint16_t port, const std::string& method,
     out.status = std::stoi(raw.substr(9, 3));
   }
   const std::size_t split = raw.find("\r\n\r\n");
-  if (split != std::string::npos) out.body = raw.substr(split + 4);
+  if (split != std::string::npos) {
+    out.head = raw.substr(0, split);
+    out.body = raw.substr(split + 4);
+  }
   return out;
 }
 
@@ -192,6 +216,72 @@ TEST_F(ServeTest, MetricsEndpoint) {
 #endif
 }
 
+TEST_F(ServeTest, HealthzEndpoint) {
+  const ClientResponse response = http_request(port(), "GET", "/healthz");
+  ASSERT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "ok\n");
+}
+
+TEST_F(ServeTest, StatuszEndpoint) {
+  const ClientResponse topo = http_request(port(), "GET", "/v1/topology");
+  ASSERT_EQ(topo.status, 200);
+  const ClientResponse response = http_request(port(), "GET", "/statusz");
+  ASSERT_EQ(response.status, 200);
+  const obs::JsonValue doc = obs::JsonValue::parse(response.body);
+  ASSERT_NE(doc.find("status"), nullptr);
+  EXPECT_EQ(doc.find("status")->as_string(), "serving");
+  EXPECT_GE(doc.number_at("uptime_seconds"), 0.0);
+  ASSERT_NE(doc.find("git_rev"), nullptr);
+  EXPECT_EQ(doc.number_at("ases"), 800.0);
+  EXPECT_EQ(doc.number_at("workers"), 2.0);
+  ASSERT_NE(doc.find("obs_enabled"), nullptr);
+  EXPECT_GE(doc.number_at("in_flight"), 0.0);
+  // The snapshot checksum must match the one /v1/topology reports: both
+  // views describe the same loaded snapshot.
+  const obs::JsonValue topo_doc = obs::JsonValue::parse(topo.body);
+  ASSERT_NE(doc.find("topology_checksum"), nullptr);
+  ASSERT_NE(topo_doc.find("topology_checksum"), nullptr);
+  EXPECT_EQ(doc.find("topology_checksum")->as_string(),
+            topo_doc.find("topology_checksum")->as_string());
+  EXPECT_FALSE(doc.find("topology_checksum")->as_string().empty());
+  // Request totals by status class: the counters are process-global, so
+  // this test can only pin lower bounds — the /v1/topology hit above plus
+  // this very request are already in flight/counted.
+  const obs::JsonValue* requests = doc.find("requests");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_GE(requests->number_at("total"), 2.0);
+  EXPECT_GE(requests->number_at("status_2xx"), 1.0);
+  ASSERT_NE(requests->find("status_4xx"), nullptr);
+  ASSERT_NE(requests->find("status_5xx"), nullptr);
+  ASSERT_NE(requests->find("dropped"), nullptr);
+}
+
+TEST_F(ServeTest, RequestIdMintedWhenAbsent) {
+  const ClientResponse response = http_request(port(), "GET", "/healthz");
+  ASSERT_EQ(response.status, 200);
+  const std::string id = response.header("X-Request-Id");
+  ASSERT_FALSE(id.empty());
+  EXPECT_EQ(id[0], 'r');  // minted ids look like r<pid>-w<worker>-<seq>
+  EXPECT_NE(id.find("-w"), std::string::npos);
+  // A second request mints a distinct id.
+  const ClientResponse second = http_request(port(), "GET", "/healthz");
+  EXPECT_NE(second.header("X-Request-Id"), id);
+}
+
+TEST_F(ServeTest, RequestIdPassthroughEcho) {
+  const ClientResponse response =
+      http_request(port(), "GET", "/healthz", "",
+                   "X-Request-Id: trace-abc.123_X\r\n");
+  ASSERT_EQ(response.status, 200);
+  EXPECT_EQ(response.header("X-Request-Id"), "trace-abc.123_X");
+  // Characters outside [A-Za-z0-9._-] are sanitized, not reflected: a
+  // client cannot smuggle header/log structure through the id.
+  const ClientResponse hostile =
+      http_request(port(), "GET", "/healthz", "",
+                   "X-Request-Id: a b\"c\r\n");
+  EXPECT_EQ(hostile.header("X-Request-Id"), "a-b-c");
+}
+
 TEST_F(ServeTest, ErrorStatuses) {
   EXPECT_EQ(http_request(port(), "GET", "/nope").status, 404);
   EXPECT_EQ(http_request(port(), "GET", "/v1/attack").status, 405);
@@ -218,30 +308,34 @@ TEST_F(ServeTest, StopIsIdempotentAndDrains) {
 
 TEST(Router, DispatchRules) {
   Router router;
-  router.add("GET", "/a", [](const net::HttpRequest&, unsigned) {
-    return HttpResponse{200, "text/plain", "a"};
+  router.add("GET", "/a", [](const net::HttpRequest&, RequestContext& ctx) {
+    return HttpResponse{200, "text/plain",
+                        "a:worker=" + std::to_string(ctx.worker)};
   });
-  router.add("POST", "/a", [](const net::HttpRequest&, unsigned) {
+  router.add("POST", "/a", [](const net::HttpRequest&, RequestContext&) {
     return HttpResponse{200, "text/plain", "posted"};
   });
-  router.add("GET", "/boom", [](const net::HttpRequest&, unsigned) -> HttpResponse {
-    throw std::runtime_error("handler exploded");
-  });
+  router.add("GET", "/boom",
+             [](const net::HttpRequest&, RequestContext&) -> HttpResponse {
+               throw std::runtime_error("handler exploded");
+             });
 
+  RequestContext ctx;
+  ctx.worker = 3;
   net::HttpRequest request;
   request.method = "GET";
   request.target = "/a?x=1";  // query string stripped before matching
-  EXPECT_EQ(router.dispatch(request, 0).body, "a");
+  EXPECT_EQ(router.dispatch(request, ctx).body, "a:worker=3");
   request.method = "POST";
   request.target = "/a";
-  EXPECT_EQ(router.dispatch(request, 0).body, "posted");
+  EXPECT_EQ(router.dispatch(request, ctx).body, "posted");
   request.method = "DELETE";
-  EXPECT_EQ(router.dispatch(request, 0).status, 405);
+  EXPECT_EQ(router.dispatch(request, ctx).status, 405);
   request.method = "GET";
   request.target = "/missing";
-  EXPECT_EQ(router.dispatch(request, 0).status, 404);
+  EXPECT_EQ(router.dispatch(request, ctx).status, 404);
   request.target = "/boom";
-  const HttpResponse boom = router.dispatch(request, 0);
+  const HttpResponse boom = router.dispatch(request, ctx);
   EXPECT_EQ(boom.status, 500);
   EXPECT_NE(boom.body.find("handler exploded"), std::string::npos);
 }

@@ -28,9 +28,12 @@
 //       load + validate, then recompute one stored baseline cold and
 //       compare route-for-route (an end-to-end integrity check)
 //   bgpsim serve --snapshot world.snap [--port N] [--workers N]
-//                [--max-body BYTES]
+//                [--max-body BYTES] [--access-log file.ndjson]
 //       long-lived loopback query service: POST /v1/attack, GET
-//       /v1/topology, GET /metrics; drains and exits 0 on SIGTERM/SIGINT
+//       /v1/topology, GET /metrics, GET /healthz, GET /statusz; drains and
+//       exits 0 on SIGTERM/SIGINT. --access-log writes one NDJSON record
+//       per request (equivalent to BGPSIM_ACCESS_LOG=<file>; slow-request
+//       capture via BGPSIM_SLOW_REQ_US)
 //
 // Observability (any command):
 //   --obs [file]       dump the metrics-registry snapshot after the command:
@@ -63,6 +66,7 @@
 #include "obs/obs.hpp"
 #include "obs/promtext.hpp"
 #include "serve/query_server.hpp"
+#include "serve/request_obs.hpp"
 #include "serve/service.hpp"
 #include "store/snapshot.hpp"
 #include "support/error.hpp"
@@ -411,6 +415,10 @@ int cmd_serve(const Args& args) {
   options.workers = workers;
   if (const auto max_body = args.number("max-body")) {
     options.limits.max_body_bytes = static_cast<std::size_t>(*max_body);
+  }
+  if (const auto access_log = args.text("access-log");
+      access_log && !access_log->empty()) {
+    serve::AccessLog::instance().set_output(*access_log);
   }
   serve::QueryServer server(service.make_router(), options);
   if (!server.start()) {

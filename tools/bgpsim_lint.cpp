@@ -8,7 +8,7 @@
 //           line below, so it can sit above or beside the finding)
 //   pass 1  line rules over comment/string-stripped lines (the PR-1 rule
 //           set: pragma-once, raw-assert, rng-policy, library-io,
-//           timing-policy, thread-policy, obs-io)
+//           timing-policy, thread-policy, obs-io, serve-logging)
 //   pass 2  token rules (the concurrency set: raw-lock, mutex-annotation,
 //           seq-cst-atomic, detached-thread)
 //   pass 3  optional header self-containment (--check-headers; invokes the
@@ -22,6 +22,9 @@
 //   timing-policy    no raw std::chrono in src/ outside src/obs/
 //   thread-policy    no std::thread in src/ outside the thread homes
 //   obs-io           no direct ofstream JSON emission outside obs/store
+//   serve-logging    no stdout/stderr writes from src/serve/ request
+//                    handlers — request reporting goes through the access
+//                    log and metrics registry, never a worker's stdio
 //   raw-lock         no direct .lock()/.unlock()/.try_lock() member calls in
 //                    src/ — locks are held through the annotated RAII guard
 //                    (bgpsim::MutexLock, support/thread_annotations.hpp), the
@@ -96,6 +99,9 @@ constexpr RuleInfo kRules[] = {
      "obs heartbeat, net, serve)"},
     {"obs-io",
      "JSON-emitting library code routes file output through the obs layer"},
+    {"serve-logging",
+     "serve handlers never write to stdout/stderr; request reporting goes "
+     "through the access log and metrics registry"},
     {"raw-lock",
      "locks are held through the annotated RAII guard (bgpsim::MutexLock), "
      "never via direct .lock()/.unlock() calls"},
@@ -380,6 +386,7 @@ struct FileContext {
   bool is_obs_home = false;
   bool is_thread_home = false;
   bool is_json_io_home = false;
+  bool is_serve = false;       // src/serve/: the serve-logging rule applies
   bool is_lock_home = false;   // the annotated Mutex/MutexLock live here
 };
 
@@ -396,6 +403,8 @@ FileContext classify(const fs::path& path, const fs::path& root) {
                        starts_with(ctx.rel, "src/serve/") ||
                        starts_with(ctx.rel, "src/support/parallel");
   ctx.is_json_io_home = ctx.is_obs_home || starts_with(ctx.rel, "src/store/");
+  ctx.is_serve = starts_with(ctx.rel, "src/serve/") ||
+                 starts_with(ctx.rel, "tests/lint_fixtures/serve_logging");
   ctx.is_lock_home = ctx.rel == "src/support/thread_annotations.hpp";
   return ctx;
 }
@@ -490,6 +499,33 @@ void run_line_rules(const FileContext& ctx, const LexedFile& lexed,
                           "direct std::ofstream in JSON-emitting library "
                           "code; emit through bgpsim::obs (RunReport / "
                           "EventLogSink), which owns file lifecycle"});
+    }
+
+    if (ctx.is_serve) {
+      // Tighter than library-io: a request handler that logs to a shared
+      // stdio stream interleaves across workers and is invisible to the
+      // access log's seq ordering. fprintf-family and the raw streams are
+      // all banned; report through record_request()/metrics instead.
+      for (const char* banned : {"fprintf", "fputs", "fputc", "fwrite",
+                                 "vfprintf", "perror"}) {
+        // has_identifier, not has_call: the std::-qualified spellings must
+        // fire too.
+        if (has_identifier(line, banned)) {
+          findings.push_back({ctx.rel, lineno, "serve-logging",
+                              std::string(banned) +
+                                  " in serve code; request reporting goes "
+                                  "through the access log / metrics, not a "
+                                  "worker's stdio"});
+        }
+      }
+      for (const char* stream : {"stdout", "stderr", "clog"}) {
+        if (has_identifier(line, stream)) {
+          findings.push_back({ctx.rel, lineno, "serve-logging",
+                              std::string(stream) +
+                                  " referenced in serve code; handlers must "
+                                  "not touch process stdio"});
+        }
+      }
     }
 
     if (ctx.is_library) {
