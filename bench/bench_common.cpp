@@ -8,6 +8,7 @@
 #include "obs/heartbeat.hpp"
 #include "obs/mem.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "topology/metrics.hpp"
 
@@ -59,6 +60,7 @@ BenchEnv::BenchEnv(const char* slug_in, const char* title)
   obs::registry().gauge("mem.topology_bytes_est")
       .set(static_cast<double>(g.memory_bytes()));
   obs::heartbeat_start();
+  obs::profiler_start_from_env();  // BGPSIM_PROFILE=<path> arms SIGPROF sampling
 }
 
 BenchEnv::~BenchEnv() {
@@ -67,8 +69,39 @@ BenchEnv::~BenchEnv() {
   // the report sees the campaign-end progress and memory gauges; the
   // explicit publish covers runs where no heartbeat sink was configured.
   obs::heartbeat_stop();
+  obs::profiler_stop();  // flush the folded profile before the final snapshot
   obs::publish_mem_gauges();
   report.set_total_wall_seconds(wall.elapsed_seconds());
+
+  // Convergence-shape + profiler rollup into the BENCH_*.json extras block.
+  // Snapshot once; absent metrics (engine never ran, profiling off) simply
+  // produce no extras, so perfdiff baselines stay comparable.
+  {
+    const obs::RegistrySnapshot snap = obs::registry().snapshot();
+    const auto roll = [&](const char* hist, const char* prefix) {
+      const auto it = snap.histograms.find(hist);
+      if (it == snap.histograms.end() || it->second.count == 0) return;
+      const obs::HistogramSnapshot& h = it->second;
+      report.add_extra(std::string(prefix) + "_p50", h.approx_quantile(0.50));
+      report.add_extra(std::string(prefix) + "_p90", h.approx_quantile(0.90));
+      report.add_extra(std::string(prefix) + "_max", h.max);
+    };
+    roll("engine.frontier_size", "frontier_size");
+    roll("engine.frontier_messages", "frontier_messages");
+    roll("engine.frontier_gen_us", "frontier_gen_us");
+    roll("warm.worklist_peak", "warm_worklist_peak");
+    const auto samples = snap.counters.find("profile.samples");
+    if (samples != snap.counters.end()) {
+      report.add_extra("profile_samples",
+                       static_cast<double>(samples->second));
+      const auto dropped = snap.counters.find("profile.samples_dropped");
+      report.add_extra("profile_samples_dropped",
+                       dropped == snap.counters.end()
+                           ? 0.0
+                           : static_cast<double>(dropped->second));
+    }
+  }
+
   if (env_bool("BGPSIM_OBS_REPORT", true)) {
     const std::string path = out_path(*this, "BENCH_" + slug + ".json");
     if (report.write(path)) {

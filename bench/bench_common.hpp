@@ -19,6 +19,13 @@
 //                       written. Benches declare their expected workload
 //                       with BGPSIM_PROGRESS(total_attacks) so heartbeats
 //                       carry a finite ETA.
+//   BGPSIM_PROFILE    — arm the in-process sampling CPU profiler
+//                       (obs/profiler.hpp) for the whole bench run; the
+//                       collapsed-stack (folded) profile lands at <path> in
+//                       the destructor, and profile.samples{,_dropped} roll
+//                       into the report extras
+//   BGPSIM_PROFILE_HZ / BGPSIM_PROFILE_RING — sample rate (default 151 Hz)
+//                       and preallocated sample-buffer capacity (32768)
 #pragma once
 
 #include <cstdint>

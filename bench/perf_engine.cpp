@@ -7,6 +7,7 @@
 #include "bgp/equilibrium_engine.hpp"
 #include "bgp/generation_engine.hpp"
 #include "core/scenario.hpp"
+#include "obs/profiler.hpp"
 #include "support/rng.hpp"
 #include "topology/metrics.hpp"
 
@@ -100,4 +101,17 @@ BENCHMARK(BM_ReachMetric)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace bgpsim
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so the sampling profiler brackets the benchmark
+// run: BGPSIM_PROFILE=<path> [BGPSIM_PROFILE_HZ=<hz>] arms SIGPROF sampling
+// before RunSpecifiedBenchmarks and flushes the folded profile after. This
+// bench uses raw google-benchmark (no BenchEnv), so it wires the env hook
+// itself.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  bgpsim::obs::profiler_start_from_env();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  bgpsim::obs::profiler_stop();
+  return 0;
+}

@@ -149,6 +149,15 @@ void EquilibriumEngine::stage1_customer_routes(AsId primary, Origin primary_tag,
       }
       frontier.clear();
     };
+#if !defined(BGPSIM_OBS_DISABLED)
+    // The equilibrium analogue of the generation engine's frontier: how
+    // many ASes gain a customer route per path-length level. Shares the
+    // engine.frontier_size histogram so BENCH extras compare engines.
+    BGPSIM_HISTOGRAM_OBSERVE(
+        "engine.frontier_size",
+        ::bgpsim::obs::HistogramSpec::exponential(1.0, 2.0, 22),
+        legit_levels[level].size() + att_levels[level].size());
+#endif
     expand(legit_levels[level], Origin::Legit);
     expand(att_levels[level], Origin::Attacker);
   }

@@ -203,7 +203,9 @@ EventRunStats EventEngine::announce(AsId origin, Origin tag, double at_time,
 
   EventRunStats stats;
   stats.quiescent_time = at_time;
+  [[maybe_unused]] std::size_t queue_peak = queue_.size();
   while (!queue_.empty()) {
+    if (queue_.size() > queue_peak) queue_peak = queue_.size();
     if (stats.messages_delivered >= config_.max_events) {
       stats.converged = false;
       break;
@@ -226,11 +228,17 @@ EventRunStats EventEngine::announce(AsId origin, Origin tag, double at_time,
   if (validator_drop_count_ != 0) {
     BGPSIM_COUNTER_ADD("defense.validator_drops", validator_drop_count_);
   }
+  // The event engine has no synchronous frontier; the in-flight message
+  // queue's high-water mark is its convergence-shape equivalent.
+  BGPSIM_HISTOGRAM_OBSERVE("engine.event_queue_peak",
+                           ::bgpsim::obs::HistogramSpec::exponential(1.0, 2.0, 26),
+                           queue_peak);
   BGPSIM_EVENT(::bgpsim::obs::EventRecord ev("run_end");
                ev.str("engine", "event");
                ev.boolean("converged", stats.converged);
                ev.u64("messages_delivered", stats.messages_delivered);
                ev.u64("messages_accepted", stats.messages_accepted);
+               ev.u64("queue_peak", queue_peak);
                ev.f64("quiescent_time", stats.quiescent_time);
                ev.emit());
   return stats;

@@ -340,6 +340,10 @@ ConvergeStats GenerationEngine::announce(AsId origin, Origin tag,
   // Safety cap only; Gao–Rexford-compatible policies converge long before.
   const std::uint32_t generation_cap = 4 * graph_.num_ases() + 16;
 
+#if !defined(BGPSIM_OBS_DISABLED)
+  ::bgpsim::obs::StopWatch gen_watch;
+#endif
+
   while (!frontier_.empty() && stats.generations < generation_cap) {
     ++stats.generations;
     next_frontier_.clear();
@@ -446,6 +450,30 @@ ConvergeStats GenerationEngine::announce(AsId origin, Origin tag,
     // count is O(n), so only pay for it when a trace file is being written.
     BGPSIM_TRACE_COUNTER("engine.polluted_ases",
                          static_cast<double>(count_origin(Origin::Attacker)));
+#if !defined(BGPSIM_OBS_DISABLED)
+    // Per-generation convergence shape: frontier width, traffic, and wall
+    // time. These histograms are what decides how ROADMAP item 4's
+    // frontier-parallel inner loop gets chunked — a run dominated by a few
+    // huge generations parallelizes very differently from one with many
+    // narrow ones.
+    const double gen_us = gen_watch.elapsed_seconds() * 1e6;
+    gen_watch.restart();
+    BGPSIM_HISTOGRAM_OBSERVE(
+        "engine.frontier_size",
+        ::bgpsim::obs::HistogramSpec::exponential(1.0, 2.0, 22),
+        frontier_.size());
+    BGPSIM_HISTOGRAM_OBSERVE(
+        "engine.frontier_messages",
+        ::bgpsim::obs::HistogramSpec::exponential(1.0, 2.0, 26),
+        stats.messages_sent - gen_sent_before);
+    BGPSIM_HISTOGRAM_OBSERVE(
+        "engine.frontier_withdrawals",
+        ::bgpsim::obs::HistogramSpec::exponential(1.0, 2.0, 26),
+        stats.withdrawals - gen_withdrawals_before);
+    BGPSIM_HISTOGRAM_OBSERVE(
+        "engine.frontier_gen_us",
+        ::bgpsim::obs::HistogramSpec::exponential(1.0, 2.0, 30), gen_us);
+#endif
     // Same O(n) caveat for the event-log pollution field: the count runs
     // only when an event log is active.
     BGPSIM_EVENT(::bgpsim::obs::EventRecord ev("generation_end");
@@ -455,6 +483,7 @@ ConvergeStats GenerationEngine::announce(AsId origin, Origin tag,
                  ev.u64("messages_accepted",
                         stats.messages_accepted - gen_accepted_before);
                  ev.u64("withdrawals", stats.withdrawals - gen_withdrawals_before);
+                 ev.f64("gen_us", gen_us);
                  ev.u64("polluted", count_origin(Origin::Attacker));
                  ev.emit());
 

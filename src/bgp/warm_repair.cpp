@@ -131,7 +131,9 @@ bool warm_hijack_repair(const AsGraph& graph, const PolicyConfig& config,
   std::uint64_t pop_scanned = 0;
 
   std::size_t head = 0;
+  [[maybe_unused]] std::size_t worklist_peak = queue.size();
   while (head < queue.size()) {
+    if (queue.size() - head > worklist_peak) worklist_peak = queue.size() - head;
     const AsId v = queue[head++];
     queued[v] = 0;
     if (++pops > budget) {
@@ -226,6 +228,11 @@ bool warm_hijack_repair(const AsGraph& graph, const PolicyConfig& config,
   }
 
   BGPSIM_COUNTER_ADD("warm.repairs", 1);
+  // High-water mark of pending (unpopped) worklist entries: how wide the
+  // changed region gets, the warm-path analogue of engine.frontier_size.
+  BGPSIM_HISTOGRAM_OBSERVE("warm.worklist_peak",
+                           ::bgpsim::obs::HistogramSpec::exponential(1.0, 2.0, 22),
+                           worklist_peak);
   BGPSIM_COUNTER_ADD("warm.pops", pops);
   BGPSIM_COUNTER_ADD("warm.reselects", reselects);
   BGPSIM_COUNTER_ADD("warm.reselect_scanned", reselect_scanned);

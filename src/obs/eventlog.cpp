@@ -25,7 +25,7 @@ std::atomic<bool> g_handlers_installed{false};
 // re-deliver the signal with its default disposition so a Ctrl-C still kills
 // the sweep — leaving a log whose only possible damage is a torn final line.
 void eventlog_signal_handler(int signum) {
-  std::signal(signum, SIG_DFL);
+  std::signal(signum, SIG_DFL);  // bgpsim-lint: allow(signal-safety)
   std::raise(signum);
 }
 
@@ -36,9 +36,10 @@ void eventlog_signal_handler(int signum) {
 void install_crash_safety_handlers() {
   if (g_handlers_installed.exchange(true, std::memory_order_acq_rel)) return;
   std::atexit([] { EventLogSink::instance().flush(); });
-  const auto previous = std::signal(SIGINT, &eventlog_signal_handler);
+  const auto previous =
+      std::signal(SIGINT, &eventlog_signal_handler);  // bgpsim-lint: allow(signal-safety)
   if (previous != SIG_DFL && previous != SIG_ERR) {
-    std::signal(SIGINT, previous);
+    std::signal(SIGINT, previous);  // bgpsim-lint: allow(signal-safety)
   }
 }
 

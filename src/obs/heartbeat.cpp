@@ -18,6 +18,7 @@
 #include "obs/eventlog.hpp"
 #include "obs/mem.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/progress.hpp"
 #include "obs/promtext.hpp"
 #include "support/env.hpp"
@@ -174,6 +175,12 @@ class HeartbeatSampler {
       ev.str("phase", stats.phase);
       ev.u64("rss_bytes", mem.rss_bytes);
       ev.u64("rss_peak_bytes", mem.rss_peak_bytes);
+      // Profiler health: a long sweep with a silently full sample ring
+      // should be visible in the heartbeat stream, not only at stop time.
+      const ProfilerStatus prof = profiler_status();
+      ev.boolean("profiling", prof.active);
+      ev.u64("profile_samples", prof.samples);
+      ev.u64("profile_samples_dropped", prof.dropped);
       ev.emit();
     }
 

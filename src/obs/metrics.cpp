@@ -211,6 +211,11 @@ void write_histogram_json(JsonWriter& json, const HistogramSnapshot& hist) {
   json.begin_array();
   for (const std::uint64_t c : hist.counts) json.value(c);
   json.end_array();
+  // The last slot of `counts` is the overflow bucket (observations above
+  // bounds.back()). Surfaced explicitly so saturated tails are visible
+  // without knowing the bucket-layout convention.
+  json.field("overflow", hist.counts.empty() ? std::uint64_t{0}
+                                             : hist.counts.back());
   json.end_object();
 }
 

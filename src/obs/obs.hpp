@@ -24,6 +24,7 @@
 #include "obs/eventlog.hpp"
 #include "obs/heartbeat.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/progress.hpp"
 #include "obs/report.hpp"
 #include "obs/timer.hpp"

@@ -95,6 +95,14 @@ std::string to_prom_text(const RegistrySnapshot& snapshot) {
     std::snprintf(buf, sizeof(buf), "_count %llu\n",
                   static_cast<unsigned long long>(hist.count));
     out += n + buf;
+    // Explicit overflow-slot count (observations above the last finite
+    // bound). Redundant with _count minus the last cumulative bucket, but a
+    // saturated tail should be one glance away, not an arithmetic exercise.
+    const std::uint64_t overflow = hist.counts.empty() ? 0 : hist.counts.back();
+    out += "# TYPE " + n + "_overflow gauge\n";
+    std::snprintf(buf, sizeof(buf), "_overflow %llu\n",
+                  static_cast<unsigned long long>(overflow));
+    out += n + buf;
   }
   return out;
 }
@@ -185,6 +193,13 @@ RegistrySnapshot parse_prom_text(std::string_view text) {
                type_of(base_of("_count")) == "histogram") {
       hists[base_of("_count")].count =
           static_cast<std::uint64_t>(parse_double(value_token, "histogram count"));
+    } else if (ends_with(name, "_overflow") &&
+               type_of(base_of("_overflow")) == "histogram") {
+      // Derived overflow series the writer emits next to each histogram.
+      // The histogram reconstruction below already recovers the overflow
+      // slot from _count minus the last cumulative bucket, so the sample is
+      // deliberately dropped here (instead of landing in snap.gauges) to
+      // keep to_prom_text(parse_prom_text(text)) == text exact.
     } else if (type_of(name) == "counter") {
       snap.counters[name] =
           static_cast<std::uint64_t>(parse_double(value_token, "counter value"));

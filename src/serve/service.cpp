@@ -265,6 +265,18 @@ HttpResponse WhatIfService::handle_statusz() const {
 #else
   json.field("obs_enabled", true);
 #endif
+  {
+    // Compiles to an all-zero block under -DBGPSIM_OBS=OFF (profiler_status
+    // is an inline no-op there), so the statusz schema stays stable.
+    const obs::ProfilerStatus prof = obs::profiler_status();
+    json.key("profiling");
+    json.begin_object();
+    json.field("active", prof.active);
+    json.field("hz", static_cast<std::uint64_t>(prof.hz));
+    json.field("samples", prof.samples);
+    json.field("samples_dropped", prof.dropped);
+    json.end_object();
+  }
   json.field("in_flight", static_cast<std::uint64_t>(std::max<std::int64_t>(
                               0, stats.in_flight.load(std::memory_order_relaxed))));
   json.key("requests");

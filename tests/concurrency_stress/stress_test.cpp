@@ -9,6 +9,8 @@
 //     exposition-file rewrite (regression: the stop/join ordering race),
 //   - event-log writers against flush()/set_output() churn (regression: the
 //     signal-path flush racing a writer mid-record),
+//   - profiler start/stop churn while SIGPROF samples land in busy threads
+//     (the stop-side disarm/unpublish/drain ordering),
 //   - parallel_chunks workers contending on shared relaxed atomics,
 //   - concurrent metric registration against registry snapshots.
 //
@@ -39,6 +41,7 @@
 #include "obs/heartbeat.hpp"
 #include "obs/json_parse.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/progress.hpp"
 #include "serve/query_server.hpp"
 #include "serve/service.hpp"
@@ -324,6 +327,55 @@ TEST(HeartbeatStress, StartStopChurnVsWritersAndPromRewrite) {
   ::unsetenv("BGPSIM_PROM_FILE");
   ::unsetenv("BGPSIM_HEARTBEAT_SECS");
   std::remove(prom_path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Profiler: start/stop churn while SIGPROF fires into running threads
+// ---------------------------------------------------------------------------
+
+// The SIGPROF handler can interrupt any of the worker threads below and
+// record into the ring while the main thread tears the session down. The
+// stop path must disarm, unpublish the ring, and drain in-flight recorders
+// before freeing — under TSan this loop catches a handler touching a freed
+// ring or a drain that never observes the last commit. A tiny ring forces
+// the overflow path (release-increment of the drop counter) to run too.
+TEST(ProfilerStress, StartStopChurnVsBusyThreads) {
+  if (!obs::kProfilerCompiled) {
+    GTEST_SKIP() << "profiler compiled out (-DBGPSIM_OBS=OFF)";
+  }
+  ::setenv("BGPSIM_PROFILE_RING", "64", 1);
+  const std::string path = testing::TempDir() + "concstress_profile.folded";
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> burners;
+  for (int w = 0; w < 2; ++w) {
+    burners.emplace_back([&done] {
+      volatile std::uint64_t x = 1;
+      while (!done.load(std::memory_order_acquire)) {
+        for (int i = 0; i < 5000; ++i) x = x * 6364136223846793005ull + 1;
+      }
+    });
+  }
+  std::thread poller([&done] {
+    while (!done.load(std::memory_order_acquire)) {
+      (void)obs::profiler_status();  // racing reader of the live ring tallies
+    }
+  });
+
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(obs::profiler_start(path, 997));
+    volatile std::uint64_t spin = 0;
+    for (int j = 0; j < 200000; ++j) spin = spin + j;
+    (void)obs::profiler_stop();
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : burners) t.join();
+  poller.join();
+  obs::profiler_stop();  // idempotent on an already-stopped profiler
+  EXPECT_FALSE(obs::profiler_status().active);
+
+  ::unsetenv("BGPSIM_PROFILE_RING");
+  std::remove(path.c_str());
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,24 @@
+// Deliberate signal-safety violation: an ad-hoc SIGALRM handler installed
+// with std::signal plus a raw interval timer outside src/obs/profiler*. The
+// signal-safety rule bans the signal/timer/unwind APIs everywhere else — a
+// handler like this one can deadlock on malloc or on a lock the interrupted
+// thread holds, which is exactly the contract the profiler's handler is
+// audited against. The lint_detects_signal_safety test expects a nonzero
+// exit on this file.
+#include <sys/time.h>
+
+#include <csignal>
+
+namespace bgpsim {
+
+inline void ad_hoc_alarm_handler(int) {}
+
+inline void arm_ad_hoc_timer() {
+  std::signal(SIGALRM, &ad_hoc_alarm_handler);
+  itimerval timer{};
+  timer.it_interval.tv_usec = 10000;
+  timer.it_value = timer.it_interval;
+  setitimer(ITIMER_REAL, &timer, nullptr);
+}
+
+}  // namespace bgpsim

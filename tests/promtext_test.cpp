@@ -52,6 +52,9 @@ TEST(PromText, WriterEmitsTypedFamilies) {
   EXPECT_NE(text.find("time_sweep_bucket{le=\"+Inf\"} 9"), std::string::npos);
   EXPECT_NE(text.find("time_sweep_sum"), std::string::npos);
   EXPECT_NE(text.find("time_sweep_count 9"), std::string::npos);
+  // Explicit overflow-slot series: the two observations above bounds.back().
+  EXPECT_NE(text.find("# TYPE time_sweep_overflow gauge"), std::string::npos);
+  EXPECT_NE(text.find("time_sweep_overflow 2"), std::string::npos);
 }
 
 TEST(PromText, RoundTripIsExact) {

@@ -46,6 +46,11 @@
 //   --progress         heartbeat status line on stderr while the command
 //                      runs (equivalent to BGPSIM_PROGRESS_STDERR=1); the
 //                      sampler also honors BGPSIM_PROM_FILE/BGPSIM_PROM_PORT
+//   --profile <file>   sample the command with the in-process SIGPROF CPU
+//                      profiler and write a collapsed-stack (folded) profile
+//                      there on exit — feed it to flamegraph.pl, speedscope,
+//                      or bgpsim-profview (equivalent to
+//                      BGPSIM_PROFILE=<file>; rate via BGPSIM_PROFILE_HZ)
 #include <poll.h>
 
 #include <csignal>
@@ -69,6 +74,7 @@
 #include "serve/request_obs.hpp"
 #include "serve/service.hpp"
 #include "store/snapshot.hpp"
+#include "support/env.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 #include "topology/caida_writer.hpp"
@@ -426,8 +432,8 @@ int cmd_serve(const Args& args) {
     return 1;
   }
 
-  std::signal(SIGTERM, serve_signal_handler);
-  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);  // bgpsim-lint: allow(signal-safety)
+  std::signal(SIGINT, serve_signal_handler);   // bgpsim-lint: allow(signal-safety)
   std::printf("serving %s on 127.0.0.1:%u (%u workers, %u ASes, %zu baselines)\n",
               snapshot_path->c_str(), server.port(), workers,
               service.scenario().graph().num_ases(),
@@ -519,9 +525,17 @@ int main(int argc, char** argv) {
       obs::EventLogSink::instance().set_output(*eventlog);
     }
     if (args.flag("progress")) obs::heartbeat_force_stderr(true);
+    if (const auto profile = args.text("profile"); profile && !profile->empty()) {
+      obs::profiler_start(*profile,
+                          static_cast<unsigned>(env_u64("BGPSIM_PROFILE_HZ",
+                                                        obs::kDefaultProfileHz)));
+    } else {
+      obs::profiler_start_from_env();  // --profile wins over BGPSIM_PROFILE
+    }
     obs::heartbeat_start();  // no-op unless a telemetry sink is configured
     const int status = run_command(args);
     obs::heartbeat_stop();
+    obs::profiler_stop();  // writes the folded profile named by --profile
     if (args.flag("obs")) emit_obs_snapshot(args.text("obs").value_or(""));
     obs::flush_trace();
     return status;

@@ -114,6 +114,10 @@ constexpr RuleInfo kRules[] = {
     {"detached-thread",
      "std::thread::detach is banned: detached threads dodge every join "
      "point and race static destruction"},
+    {"signal-safety",
+     "signal/timer/unwind APIs (signal, sigaction, setitimer, backtrace, "
+     "...) live only in src/obs/profiler*; ad-hoc handlers dodge the "
+     "async-signal-safety contract"},
     {"self-contained", "every public header under src/ compiles standalone"},
     {"io", "linted file could not be read"},
 };
@@ -388,6 +392,7 @@ struct FileContext {
   bool is_json_io_home = false;
   bool is_serve = false;       // src/serve/: the serve-logging rule applies
   bool is_lock_home = false;   // the annotated Mutex/MutexLock live here
+  bool is_profiler_home = false;  // src/obs/profiler*: signal APIs allowed
 };
 
 FileContext classify(const fs::path& path, const fs::path& root) {
@@ -406,6 +411,7 @@ FileContext classify(const fs::path& path, const fs::path& root) {
   ctx.is_serve = starts_with(ctx.rel, "src/serve/") ||
                  starts_with(ctx.rel, "tests/lint_fixtures/serve_logging");
   ctx.is_lock_home = ctx.rel == "src/support/thread_annotations.hpp";
+  ctx.is_profiler_home = starts_with(ctx.rel, "src/obs/profiler");
   return ctx;
 }
 
@@ -524,6 +530,26 @@ void run_line_rules(const FileContext& ctx, const LexedFile& lexed,
                               std::string(stream) +
                                   " referenced in serve code; handlers must "
                                   "not touch process stdio"});
+        }
+      }
+    }
+
+    if (!ctx.is_profiler_home) {
+      // Signal handlers, interval timers, and the unwinder have one
+      // sanctioned home: the sampling profiler, whose handler honors the
+      // async-signal-safety contract (DESIGN.md §13). An ad-hoc handler
+      // elsewhere can deadlock on malloc or a lock the interrupted thread
+      // holds. has_identifier, not has_call: the std::-qualified spellings
+      // and <signal.h>-style includes must fire too.
+      for (const char* banned :
+           {"signal", "sigaction", "setitimer", "getitimer", "sigaltstack",
+            "backtrace", "backtrace_symbols", "backtrace_symbols_fd"}) {
+        if (has_identifier(line, banned)) {
+          findings.push_back({ctx.rel, lineno, "signal-safety",
+                              std::string(banned) +
+                                  " outside src/obs/profiler*; signal/timer/"
+                                  "unwind APIs live with the profiler's "
+                                  "async-signal-safety contract"});
         }
       }
     }
