@@ -90,6 +90,9 @@ BenchEnv::~BenchEnv() {
     roll("engine.frontier_messages", "frontier_messages");
     roll("engine.frontier_gen_us", "frontier_gen_us");
     roll("warm.worklist_peak", "warm_worklist_peak");
+    // Populated only when attacks run traced (BGPSIM_PROVENANCE=1): how far
+    // pollution spread from the attacker, in hops.
+    roll("engine.infection_depth", "infection_depth");
     const auto samples = snap.counters.find("profile.samples");
     if (samples != snap.counters.end()) {
       report.add_extra("profile_samples",

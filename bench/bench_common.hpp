@@ -26,6 +26,12 @@
 //                       into the report extras
 //   BGPSIM_PROFILE_HZ / BGPSIM_PROFILE_RING — sample rate (default 151 Hz)
 //                       and preallocated sample-buffer capacity (32768)
+//   BGPSIM_PROVENANCE — trace pollution provenance on every attack
+//                       (obs/provenance.hpp): "1" arms the recorder, any
+//                       other non-empty value also streams infection_edge
+//                       records to that NDJSON path; the engine.infection_depth
+//                       histogram then rolls into the report extras
+//   BGPSIM_PROVENANCE_RING — edge-ring capacity per attack (default 262144)
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,227 @@
+#include "analysis/attribution.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+#include "support/assert.hpp"
+
+namespace bgpsim {
+
+InfectionTree infection_tree_from_table(const AsGraph& graph,
+                                        const RouteTable& table,
+                                        AsId attacker) {
+  const std::uint32_t n = graph.num_ases();
+  BGPSIM_REQUIRE(table.routes.size() == n, "route table size mismatch");
+  BGPSIM_REQUIRE(attacker < n, "attacker out of range");
+  InfectionTree tree;
+  tree.attacker = attacker;
+  tree.seed_len = table.routes[attacker].valid()
+                      ? table.routes[attacker].path_len
+                      : static_cast<std::uint16_t>(1);
+  tree.parent.assign(n, kInvalidAs);
+  for (AsId v = 0; v < n; ++v) {
+    const Route& route = table.routes[v];
+    if (route.origin != Origin::Attacker || v == attacker) continue;
+    // The via must itself be polluted (or the attacker): the unique stable
+    // state gives v path_len = via's + 1 along an attacker-origin chain.
+    tree.parent[v] = route.via;
+    tree.infected.push_back(v);
+  }
+  return tree;
+}
+
+std::vector<AsId> infection_parents_from_edges(const obs::InfectionEdge* edges,
+                                               std::uint64_t count,
+                                               std::uint32_t num_ases) {
+  std::vector<AsId> parent(num_ases, kInvalidAs);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const obs::InfectionEdge& e = edges[i];
+    if (e.to >= num_ases) continue;  // defensive: corrupt/foreign edge
+    switch (obs::edge_kind(e)) {
+      case obs::InfectionEdgeKind::Adopt:
+        parent[e.to] = e.from;
+        break;
+      case obs::InfectionEdgeKind::Cure:
+        parent[e.to] = kInvalidAs;
+        break;
+      case obs::InfectionEdgeKind::Blocked:
+        break;  // no selection change
+    }
+  }
+  return parent;
+}
+
+AttributionReport compute_attribution(const AsGraph& graph,
+                                      const RouteTable& table, AsId target,
+                                      AsId attacker,
+                                      const obs::ProvenanceRecorder* prov,
+                                      std::size_t max_choke_points) {
+  const std::uint32_t n = graph.num_ases();
+  const InfectionTree tree = infection_tree_from_table(graph, table, attacker);
+
+  AttributionReport report;
+  report.target = target;
+  report.attacker = attacker;
+  report.seed_len = tree.seed_len;
+  report.polluted = static_cast<std::uint32_t>(tree.infected.size());
+
+  // Depth histogram straight off path lengths (depth 1 = attacker neighbor).
+  std::vector<std::uint32_t> depth(n, 0);
+  for (const AsId v : tree.infected) {
+    const std::uint16_t len = table.routes[v].path_len;
+    const auto d = static_cast<std::uint32_t>(
+        len > tree.seed_len ? len - tree.seed_len : 1);
+    depth[v] = d;
+    report.max_depth = std::max(report.max_depth, d);
+  }
+  if (report.polluted != 0) {
+    report.depth_histogram.assign(report.max_depth + 1, 0);
+    for (const AsId v : tree.infected) ++report.depth_histogram[depth[v]];
+  }
+
+  // Subtree sizes: accumulate leaf-to-root. Processing infected ASes in
+  // descending depth guarantees every child is finished before its parent
+  // (parent depth is strictly smaller in the converged tree).
+  std::vector<std::uint32_t> subtree(n, 0);
+  for (const AsId v : tree.infected) subtree[v] = 1;
+  std::vector<AsId> by_depth = tree.infected;
+  std::sort(by_depth.begin(), by_depth.end(),
+            [&depth](AsId a, AsId b) { return depth[a] > depth[b]; });
+  for (const AsId v : by_depth) {
+    const AsId p = tree.parent[v];
+    if (p != kInvalidAs && p != attacker && p < n) subtree[p] += subtree[v];
+  }
+
+  std::vector<AsId> ranked = tree.infected;
+  const std::size_t keep = std::min(max_choke_points, ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + keep, ranked.end(),
+                    [&subtree](AsId a, AsId b) {
+                      if (subtree[a] != subtree[b]) return subtree[a] > subtree[b];
+                      return a < b;
+                    });
+  report.choke_points.reserve(keep);
+  for (std::size_t i = 0; i < keep; ++i) {
+    report.choke_points.push_back(ChokePoint{ranked[i], subtree[ranked[i]], -1});
+  }
+
+  // Deployment frontier + accounting from the trace, when there is one.
+  if (prov != nullptr && (prov->committed() != 0 || prov->dropped() != 0 ||
+                          prov->capacity() != 0)) {
+    report.traced = true;
+    report.edges_recorded = prov->committed();
+    report.edges_dropped = prov->dropped();
+    report.trace_complete = report.edges_dropped == 0;
+    const obs::InfectionEdge* edges = prov->edges();
+    std::unordered_set<AsId> sites;
+    std::uint64_t depth_sum = 0;
+    for (std::uint64_t i = 0; i < report.edges_recorded; ++i) {
+      const obs::InfectionEdge& e = edges[i];
+      if (obs::edge_kind(e) != obs::InfectionEdgeKind::Blocked) continue;
+      ++report.blocked_offers;
+      sites.insert(e.to);
+      const auto d = static_cast<std::uint32_t>(
+          e.path_len > tree.seed_len ? e.path_len - tree.seed_len : 1);
+      depth_sum += d;
+      report.frontier_min_depth = report.frontier_min_depth == 0
+                                      ? d
+                                      : std::min(report.frontier_min_depth, d);
+    }
+    report.blocked_sites = static_cast<std::uint32_t>(sites.size());
+    if (report.blocked_offers != 0) {
+      report.frontier_mean_depth = static_cast<double>(depth_sum) /
+                                   static_cast<double>(report.blocked_offers);
+    }
+  }
+
+  BGPSIM_EVENT(::bgpsim::obs::EventRecord ev("attribution_summary");
+               ev.u64("target_asn", graph.asn(target));
+               ev.u64("attacker_asn", graph.asn(attacker));
+               ev.u64("polluted", report.polluted);
+               ev.u64("max_depth", report.max_depth);
+               ev.u64("blocked_offers", report.blocked_offers);
+               ev.u64("blocked_sites", report.blocked_sites);
+               ev.boolean("traced", report.traced);
+               ev.u64("edges_recorded", report.edges_recorded);
+               ev.u64("edges_dropped", report.edges_dropped);
+               if (!report.choke_points.empty()) {
+                 ev.u64("top_choke_asn",
+                        graph.asn(report.choke_points.front().as));
+                 ev.u64("top_choke_subtree",
+                        report.choke_points.front().subtree);
+               }
+               ev.emit());
+  return report;
+}
+
+std::string attribution_trace_json(const AsGraph& graph,
+                                   const AttributionReport& report) {
+  obs::JsonWriter json;
+  json.begin_object();
+  json.field("target_asn", static_cast<std::uint64_t>(graph.asn(report.target)));
+  json.field("attacker_asn",
+             static_cast<std::uint64_t>(graph.asn(report.attacker)));
+  json.field("polluted", report.polluted);
+  json.field("seed_len", static_cast<std::uint64_t>(report.seed_len));
+  json.field("max_depth", report.max_depth);
+  json.key("depth_histogram");
+  json.begin_array();
+  for (const std::uint32_t count : report.depth_histogram) json.value(count);
+  json.end_array();
+  json.key("choke_points");
+  json.begin_array();
+  for (const ChokePoint& cp : report.choke_points) {
+    json.begin_object();
+    json.field("asn", static_cast<std::uint64_t>(graph.asn(cp.as)));
+    json.field("subtree", cp.subtree);
+    if (cp.counterfactual_cut >= 0) {
+      json.field("counterfactual_cut",
+                 static_cast<std::uint64_t>(cp.counterfactual_cut));
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.key("frontier");
+  json.begin_object();
+  json.field("blocked_offers", report.blocked_offers);
+  json.field("blocked_sites", report.blocked_sites);
+  json.field("min_depth", report.frontier_min_depth);
+  json.field("mean_depth", report.frontier_mean_depth);
+  json.end_object();
+  json.field("traced", report.traced);
+  json.field("edges_recorded", report.edges_recorded);
+  json.field("edges_dropped", report.edges_dropped);
+  json.field("trace_complete", report.trace_complete);
+  json.end_object();
+  return std::move(json).str();
+}
+
+std::uint32_t attack_polluted_with_choke(
+    const AsGraph& graph, const SimConfig& config,
+    const std::optional<ValidatorSet>& validators, AsId target, AsId attacker,
+    AsId choke) {
+  BGPSIM_REQUIRE(choke < graph.num_ases(), "choke out of range");
+  ValidatorSet with_choke =
+      validators ? *validators : ValidatorSet(graph.num_ases(), 0);
+  with_choke[choke] = 1;
+  HijackSimulator sim(graph, config);
+  sim.set_validators(std::move(with_choke));
+  return sim.attack(target, attacker).polluted_ases;
+}
+
+void annotate_counterfactual_cuts(const AsGraph& graph, const SimConfig& config,
+                                  const std::optional<ValidatorSet>& validators,
+                                  AttributionReport& report, std::size_t top_k) {
+  const std::size_t limit = std::min(top_k, report.choke_points.size());
+  for (std::size_t i = 0; i < limit; ++i) {
+    ChokePoint& cp = report.choke_points[i];
+    const std::uint32_t with_choke = attack_polluted_with_choke(
+        graph, config, validators, report.target, report.attacker, cp.as);
+    cp.counterfactual_cut =
+        static_cast<std::int64_t>(report.polluted) -
+        static_cast<std::int64_t>(with_choke);
+  }
+}
+
+}  // namespace bgpsim

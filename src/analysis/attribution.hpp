@@ -1,0 +1,127 @@
+// Infection-tree attribution: turn a converged hijack route table (plus,
+// optionally, the provenance edges captured while it converged) into
+// operator-facing answers — how deep did the pollution spread, which transit
+// ASes carried most of it (choke points), and where did deployed validators
+// actually intercept it (the deployment frontier).
+//
+// The infection tree needs no trace to build: under the strict-total-order
+// preference model the stable state is unique, so each polluted AS's parent
+// is simply the via of its converged route, and the tree is identical across
+// engines (warm or cold). Provenance edges add what the table cannot show —
+// blocked offers and churn — and cross-check the tree (the last adopt per AS
+// must name the final parent; tests/provenance_test.cpp pins this).
+//
+// Choke-point rank is the infection-subtree size: the number of polluted
+// ASes whose bogus route passes through the AS (itself included). That is an
+// upper bound on what deploying validation there would save — descendants
+// may re-infect over other paths — so annotate_counterfactual_cuts() can
+// re-run the attack with the candidate added to the validator set and report
+// the exact cut.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/types.hpp"
+#include "hijack/hijack_simulator.hpp"
+#include "obs/provenance.hpp"
+#include "topology/as_graph.hpp"
+
+namespace bgpsim {
+
+/// The converged infection tree: parent[v] is the neighbor v's bogus route
+/// came through (the attacker for its direct adopters), kInvalidAs for
+/// uninfected ASes and for the attacker itself (the root).
+struct InfectionTree {
+  AsId attacker = kInvalidAs;
+  std::uint16_t seed_len = 1;    ///< attacker's announced path length
+  std::vector<AsId> parent;      ///< size num_ases; kInvalidAs = not infected
+  std::vector<AsId> infected;    ///< polluted ASes, ascending id, no attacker
+};
+
+/// Build the tree from a converged route table (any engine, traced or not).
+InfectionTree infection_tree_from_table(const AsGraph& graph,
+                                        const RouteTable& table, AsId attacker);
+
+/// Replay adopt/cure edges into per-AS final parents (kInvalidAs = never
+/// infected, or cured). Blocked edges are ignored. This is the trace-side
+/// view of the same tree; equality with the table-derived parents is the
+/// cross-engine trace-agreement invariant.
+std::vector<AsId> infection_parents_from_edges(const obs::InfectionEdge* edges,
+                                               std::uint64_t count,
+                                               std::uint32_t num_ases);
+
+/// One ranked transit candidate.
+struct ChokePoint {
+  AsId as = kInvalidAs;
+  std::uint32_t subtree = 0;  ///< polluted ASes routed through it (incl. self)
+  /// Exact polluted-AS reduction when this AS alone is added to the deployed
+  /// validator set (annotate_counterfactual_cuts); -1 = not computed.
+  std::int64_t counterfactual_cut = -1;
+};
+
+struct AttributionReport {
+  AsId target = kInvalidAs;
+  AsId attacker = kInvalidAs;
+  std::uint32_t polluted = 0;
+  std::uint16_t seed_len = 1;
+
+  /// depth_histogram[d] = polluted ASes at d hops from the attacker
+  /// (depth = path_len - seed_len; direct adopters are depth 1). Index 0 is
+  /// always 0 and the vector size is max_depth + 1 (empty when unpolluted).
+  std::uint32_t max_depth = 0;
+  std::vector<std::uint32_t> depth_histogram;
+
+  /// Top candidates by subtree size, descending (ties: lower AS id).
+  std::vector<ChokePoint> choke_points;
+
+  // Deployment frontier — where validators met the bogus announcement.
+  // Derived from Blocked edges, so all zero on an untraced run; the set of
+  // blocked offers is engine-specific (equilibrium skips offers a
+  // message-passing engine would deliver), unlike the tree above.
+  std::uint64_t blocked_offers = 0;   ///< Blocked edges in the trace
+  std::uint32_t blocked_sites = 0;    ///< distinct validator ASes among them
+  std::uint32_t frontier_min_depth = 0;   ///< shallowest blocked offer
+  double frontier_mean_depth = 0.0;
+
+  // Trace accounting (zero / false on an untraced run).
+  bool traced = false;
+  std::uint64_t edges_recorded = 0;
+  std::uint64_t edges_dropped = 0;
+  bool trace_complete = false;  ///< traced and nothing dropped
+};
+
+/// Compute attribution for the converged attack in `table`. `prov` (the
+/// recorder the attack traced into) is optional: without it the report still
+/// carries the tree-derived sections, with frontier/accounting zeroed.
+/// Keeps at most `max_choke_points` ranked candidates.
+AttributionReport compute_attribution(const AsGraph& graph,
+                                      const RouteTable& table, AsId target,
+                                      AsId attacker,
+                                      const obs::ProvenanceRecorder* prov,
+                                      std::size_t max_choke_points = 10);
+
+/// Exact counterfactual: polluted-AS count of the same exact-prefix attack
+/// when `choke` is added to `validators`. Runs a fresh simulator — O(attack),
+/// for reports and tests, not for per-request serve paths.
+std::uint32_t attack_polluted_with_choke(
+    const AsGraph& graph, const SimConfig& config,
+    const std::optional<ValidatorSet>& validators, AsId target, AsId attacker,
+    AsId choke);
+
+/// Fill counterfactual_cut (= report.polluted - polluted-with-choke) for the
+/// first `top_k` choke points by exact re-runs.
+void annotate_counterfactual_cuts(const AsGraph& graph, const SimConfig& config,
+                                  const std::optional<ValidatorSet>& validators,
+                                  AttributionReport& report, std::size_t top_k);
+
+/// The canonical JSON rendering of a report: the CLI's `pollution_trace`
+/// block and the serve `/v1/attack` response's `trace` section are the same
+/// object, so one schema serves both (validated in CI's serve smoke test).
+/// Choke points omit `counterfactual_cut` when it was not computed.
+std::string attribution_trace_json(const AsGraph& graph,
+                                   const AttributionReport& report);
+
+}  // namespace bgpsim

@@ -137,6 +137,11 @@ void EquilibriumEngine::stage1_customer_routes(AsId primary, Origin primary_tag,
           if (origin == Origin::Attacker) {
             if (validators != nullptr && (*validators)[w] != 0) {
               ++validator_drop_count_;
+              if (prov_ != nullptr) {
+                prov_->record_edge(obs::make_edge(
+                    obs::InfectionEdgeKind::Blocked, w, u,
+                    static_cast<std::uint32_t>(next_len), next_len));
+              }
               continue;
             }
             if (stub_filter_attacker && u == attacker_seed) continue;
@@ -217,6 +222,12 @@ void EquilibriumEngine::stage2_peer_routes(const ValidatorSet* validators) {
       if (offer.origin == Origin::Attacker && validators != nullptr &&
           (*validators)[v] != 0) {
         ++validator_drop_count_;
+        if (prov_ != nullptr) {
+          const auto blocked_len = static_cast<std::uint16_t>(offer.len + 1);
+          prov_->record_edge(obs::make_edge(
+              obs::InfectionEdgeKind::Blocked, v, nbr.id,
+              static_cast<std::uint32_t>(blocked_len), blocked_len));
+        }
         continue;
       }
       const auto cand_len = static_cast<std::uint16_t>(offer.len + 1);
@@ -264,6 +275,14 @@ void EquilibriumEngine::stage3_select_and_descend(AsId primary, Origin primary_t
       }
     }
     if (sel.valid()) max_len = std::max(max_len, sel.path_len);
+    // Every route is written exactly once, so each adopt edge is final.
+    // Self routes (the origins themselves) are not recorded, matching the
+    // message-passing engines where origination is not a delivery.
+    if (prov_ != nullptr && sel.origin == Origin::Attacker &&
+        sel.via != kInvalidAs) {
+      prov_->record_edge(obs::make_edge(obs::InfectionEdgeKind::Adopt, v,
+                                        sel.via, sel.path_len, sel.path_len));
+    }
   }
 
   // Bucket BFS down provider->customer links in ascending route length.
@@ -293,10 +312,20 @@ void EquilibriumEngine::stage3_select_and_descend(AsId primary, Origin primary_t
         if (route.origin == Origin::Attacker && validators != nullptr &&
             (*validators)[v] != 0) {
           ++validator_drop_count_;
+          if (prov_ != nullptr) {
+            const auto blocked_len = static_cast<std::uint16_t>(len + 1);
+            prov_->record_edge(obs::make_edge(
+                obs::InfectionEdgeKind::Blocked, v, w,
+                static_cast<std::uint32_t>(blocked_len), blocked_len));
+          }
           continue;
         }
         const auto new_len = static_cast<std::uint16_t>(len + 1);
         out.routes[v] = Route{route.origin, RouteClass::Provider, new_len, w};
+        if (prov_ != nullptr && route.origin == Origin::Attacker) {
+          prov_->record_edge(obs::make_edge(obs::InfectionEdgeKind::Adopt, v,
+                                            w, new_len, new_len));
+        }
         buckets_[new_len].push_back(v);
         highest = std::max<std::size_t>(highest, new_len);
       }

@@ -29,6 +29,10 @@
 
 namespace bgpsim {
 
+namespace obs {
+class ProvenanceRecorder;  // obs/provenance.hpp
+}  // namespace obs
+
 class EquilibriumEngine {
  public:
   /// The graph must be sibling-free (see contract_siblings).
@@ -53,6 +57,12 @@ class EquilibriumEngine {
                       std::uint16_t attacker_seed_len = 1);
 
   const AsGraph& graph() const { return graph_; }
+
+  /// Record infection edges (see obs/provenance.hpp) during subsequent
+  /// compute calls; nullptr stops recording. The equilibrium engine writes
+  /// each AS's route exactly once, so every recorded adopt is final; the
+  /// edge `generation` field carries the adopted route's path-length level.
+  void set_provenance(obs::ProvenanceRecorder* recorder) { prov_ = recorder; }
 
  private:
   struct Claim {
@@ -81,6 +91,9 @@ class EquilibriumEngine {
   // Validator rejections during the current run(); flushed to the
   // defense.validator_drops counter when it returns.
   std::uint64_t validator_drop_count_ = 0;
+
+  // Pollution provenance (see set_provenance / obs/provenance.hpp).
+  obs::ProvenanceRecorder* prov_ = nullptr;
 
   // Scratch (sized once, reused per run).
   std::vector<Claim> customer_;

@@ -107,6 +107,10 @@ bool EventEngine::deliver(const Message& msg, const ValidatorSet* validators) {
   if (msg.origin == Origin::Attacker && validators != nullptr &&
       (*validators)[to] != 0) {
     ++validator_drop_count_;
+    if (prov_ != nullptr) {
+      prov_->record_edge(obs::make_edge(obs::InfectionEdgeKind::Blocked, to,
+                                        msg.from, 0, msg.len));
+    }
     return false;
   }
   if (std::find(msg.path.begin(), msg.path.end(), to) != msg.path.end()) {
@@ -129,11 +133,13 @@ bool EventEngine::deliver(const Message& msg, const ValidatorSet* validators) {
     if (replaced_same) return false;
     if (!rank_better(best.cls, best.path_len, cls, msg.len, is_t1,
                      config_.policy.tier1_shortest_path)) {
+      const Route before = best;
       best.origin = msg.origin;
       best.cls = cls;
       best.path_len = msg.len;
       best_path_[to].assign(1, to);
       best_path_[to].insert(best_path_[to].end(), msg.path.begin(), msg.path.end());
+      record_provenance(to, best, before);
       return true;
     }
     reselect(to);
@@ -142,16 +148,19 @@ bool EventEngine::deliver(const Message& msg, const ValidatorSet* validators) {
 
   if (strictly_better(best.cls, best.path_len, cls, msg.len, is_t1,
                       config_.policy.tier1_shortest_path)) {
+    const Route before = best;
     best = Route{msg.origin, cls, msg.len, msg.from};
     best_slot_[to] = rib_idx;
     best_path_[to].assign(1, to);
     best_path_[to].insert(best_path_[to].end(), msg.path.begin(), msg.path.end());
+    record_provenance(to, best, before);
     return true;
   }
   return false;
 }
 
 void EventEngine::reselect(AsId v) {
+  const Route before = best_[v];
   const bool is_t1 = config_.policy.as_is_tier1(v);
   const std::uint32_t base = edge_offset_[v];
   const auto nbrs = graph_.neighbors(v);
@@ -176,6 +185,23 @@ void EventEngine::reselect(AsId v) {
   } else {
     best_path_[v].clear();
   }
+  record_provenance(v, best_[v], before);
+}
+
+void EventEngine::record_provenance(AsId to, const Route& now,
+                                    const Route& before) {
+  if (prov_ == nullptr) return;
+  const bool now_bad = now.origin == Origin::Attacker;
+  const bool was_bad = before.origin == Origin::Attacker;
+  if (!now_bad && !was_bad) return;
+  if (now_bad && was_bad && now.via == before.via &&
+      now.path_len == before.path_len) {
+    return;  // still the same bogus route; nothing changed materially
+  }
+  prov_->record_edge(obs::make_edge(
+      now_bad ? obs::InfectionEdgeKind::Adopt : obs::InfectionEdgeKind::Cure,
+      to, now.valid() ? now.via : to, 0, now.path_len, before.path_len,
+      static_cast<std::uint8_t>(before.origin)));
 }
 
 EventRunStats EventEngine::announce(AsId origin, Origin tag, double at_time,

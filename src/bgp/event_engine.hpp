@@ -22,6 +22,10 @@
 
 namespace bgpsim {
 
+namespace obs {
+class ProvenanceRecorder;  // obs/provenance.hpp
+}  // namespace obs
+
 struct EventEngineConfig {
   PolicyConfig policy;
 
@@ -68,6 +72,12 @@ class EventEngine {
     return delay_[edge_offset_[u] + slot];
   }
 
+  /// Record infection edges (adopt/cure/blocked; see obs/provenance.hpp)
+  /// into `recorder` during subsequent announce() calls; nullptr stops
+  /// recording. The event engine has no generation clock, so the edge
+  /// `generation` field is always 0. Recording never changes routing.
+  void set_provenance(obs::ProvenanceRecorder* recorder) { prov_ = recorder; }
+
  private:
   struct Message {
     double time = 0.0;
@@ -94,6 +104,9 @@ class EventEngine {
   void schedule_exports(AsId v, double now);
   bool deliver(const Message& msg, const ValidatorSet* validators);
   void reselect(AsId v);
+  /// Provenance hook: emit an adopt/cure edge when `now` differs materially
+  /// from `before` and either side is Attacker-origin. No-op when unarmed.
+  void record_provenance(AsId to, const Route& now, const Route& before);
 
   const AsGraph& graph_;
   EventEngineConfig config_;
@@ -117,6 +130,9 @@ class EventEngine {
   // Validator rejections during the current announce(); flushed to the
   // defense.validator_drops counter when it returns.
   std::uint64_t validator_drop_count_ = 0;
+
+  // Pollution provenance (see set_provenance / obs/provenance.hpp).
+  obs::ProvenanceRecorder* prov_ = nullptr;
 };
 
 }  // namespace bgpsim

@@ -79,6 +79,22 @@ std::uint32_t GenerationEngine::count_origin(Origin origin) const {
   return count;
 }
 
+void GenerationEngine::record_provenance(AsId to, const Route& now,
+                                         const Route& before) {
+  if (prov_ == nullptr) return;
+  const bool now_bad = now.origin == Origin::Attacker;
+  const bool was_bad = before.origin == Origin::Attacker;
+  if (!now_bad && !was_bad) return;
+  if (now_bad && was_bad && now.via == before.via &&
+      now.path_len == before.path_len) {
+    return;  // still the same bogus route; nothing changed materially
+  }
+  prov_->record_edge(obs::make_edge(
+      now_bad ? obs::InfectionEdgeKind::Adopt : obs::InfectionEdgeKind::Cure,
+      to, now.valid() ? now.via : to, current_generation_, now.path_len,
+      before.path_len, static_cast<std::uint8_t>(before.origin)));
+}
+
 bool GenerationEngine::withdraw(AsId to, std::uint32_t rib_idx) {
   if (rib_[rib_idx].cls == RouteClass::None) return false;
   rib_[rib_idx] = RibEntry{};
@@ -106,6 +122,10 @@ bool GenerationEngine::deliver(AsId from, AsId to, std::uint32_t to_slot,
   if (entry.origin == Origin::Attacker && validators != nullptr &&
       (*validators)[to] != 0) {
     ++validator_drop_count_;
+    if (prov_ != nullptr) {
+      prov_->record_edge(obs::make_edge(obs::InfectionEdgeKind::Blocked, to,
+                                        from, current_generation_, entry.len));
+    }
     return withdraw(to, rib_idx);
   }
   // Loop rejection: the receiver appears in the announced AS path.
@@ -138,11 +158,13 @@ bool GenerationEngine::deliver(AsId from, AsId to, std::uint32_t to_slot,
     if (improved ||
         (!degraded && (entry.origin == best.origin ||
                        entry.origin == Origin::Legit))) {
+      const Route before = best;
       best.origin = entry.origin;
       best.cls = entry.cls;
       best.path_len = entry.len;
       best_path_[to].assign(1, to);
       best_path_[to].insert(best_path_[to].end(), path.begin(), path.end());
+      record_provenance(to, best, before);
       return true;
     }
     // Degraded (or an equal-rank origin downgrade): fall back to the full
@@ -153,10 +175,12 @@ bool GenerationEngine::deliver(AsId from, AsId to, std::uint32_t to_slot,
 
   if (displaces(best.origin, best.cls, best.path_len, entry.origin, entry.cls,
                 entry.len, is_t1, config_.tier1_shortest_path)) {
+    const Route before = best;
     best = Route{entry.origin, entry.cls, entry.len, from};
     best_slot_[to] = rib_idx;
     best_path_[to].assign(1, to);
     best_path_[to].insert(best_path_[to].end(), path.begin(), path.end());
+    record_provenance(to, best, before);
     return true;
   }
   return false;
@@ -269,6 +293,7 @@ void GenerationEngine::reselect(AsId v) {
   const bool is_t1 = config_.as_is_tier1(v);
   const std::uint32_t base = edge_offset_[v];
   const auto nbrs = graph_.neighbors(v);
+  const Route before = best_[v];
   Route best{};
   std::uint32_t best_idx = kSelfSlot;
   for (std::uint32_t k = 0; k < nbrs.size(); ++k) {
@@ -292,6 +317,7 @@ void GenerationEngine::reselect(AsId v) {
   } else {
     best_path_[v].clear();
   }
+  record_provenance(v, best, before);
 }
 
 ConvergeStats GenerationEngine::announce(AsId origin, Origin tag,
@@ -308,6 +334,7 @@ ConvergeStats GenerationEngine::announce(AsId origin, Origin tag,
 
   BGPSIM_TIMED_SCOPE("generation.announce");
   validator_drop_count_ = 0;
+  current_generation_ = 0;
 
   BGPSIM_EVENT(::bgpsim::obs::EventRecord ev("run_start");
                ev.str("engine", "generation");
@@ -346,6 +373,7 @@ ConvergeStats GenerationEngine::announce(AsId origin, Origin tag,
 
   while (!frontier_.empty() && stats.generations < generation_cap) {
     ++stats.generations;
+    current_generation_ = stats.generations;
     next_frontier_.clear();
     std::sort(frontier_.begin(), frontier_.end());
 

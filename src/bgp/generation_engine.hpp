@@ -22,6 +22,10 @@
 
 namespace bgpsim {
 
+namespace obs {
+class ProvenanceRecorder;  // obs/provenance.hpp
+}  // namespace obs
+
 struct DecisionHistory;  // bgp/introspect.hpp
 
 /// One observed message delivery, for visualization and detection replay.
@@ -107,6 +111,12 @@ class GenerationEngine {
   /// no-op) under -DBGPSIM_OBS=OFF.
   void set_decision_watch(AsId watched, DecisionHistory* history);
 
+  /// Record infection edges (adopt/cure/blocked; see obs/provenance.hpp)
+  /// into `recorder` during subsequent announce() calls; nullptr stops
+  /// recording. Recording never changes routing decisions — traced and
+  /// untraced runs converge bit-identically.
+  void set_provenance(obs::ProvenanceRecorder* recorder) { prov_ = recorder; }
+
  private:
   struct RibEntry {
     Origin origin = Origin::None;
@@ -121,6 +131,9 @@ class GenerationEngine {
   bool withdraw(AsId to, std::uint32_t rib_idx);
   void reselect(AsId v);
   void snapshot_watch(std::uint32_t generation);
+  /// Provenance hook: emit an adopt/cure edge when `now` differs materially
+  /// from `before` and either side is Attacker-origin. No-op when unarmed.
+  void record_provenance(AsId to, const Route& now, const Route& before);
 
   const AsGraph& graph_;
   PolicyConfig config_;
@@ -153,6 +166,10 @@ class GenerationEngine {
   // Validator rejections during the current announce(); flushed to the
   // defense.validator_drops counter when it returns.
   std::uint64_t validator_drop_count_ = 0;
+
+  // Pollution provenance (see set_provenance / obs/provenance.hpp).
+  obs::ProvenanceRecorder* prov_ = nullptr;
+  std::uint32_t current_generation_ = 0;  ///< for edge records; 0 = origination
 
   // Decision introspection (see set_decision_watch / bgp/introspect.hpp).
   DecisionHistory* watch_history_ = nullptr;

@@ -85,7 +85,8 @@ Route reselect(const RepairContext& ctx, AsId w, bool tier1_len_first,
 bool warm_hijack_repair(const AsGraph& graph, const PolicyConfig& config,
                         AsId target, AsId attacker,
                         std::uint16_t attacker_seed_len,
-                        const ValidatorSet* validators, RouteTable& table) {
+                        const ValidatorSet* validators, RouteTable& table,
+                        obs::ProvenanceRecorder* prov) {
   const std::uint32_t n = graph.num_ases();
   BGPSIM_REQUIRE(target < n, "target out of range");
   BGPSIM_REQUIRE(attacker < n, "attacker out of range");
@@ -124,6 +125,25 @@ bool warm_hijack_repair(const AsGraph& graph, const PolicyConfig& config,
   // Budget: the repair touches O(changed region); 64 pops per AS plus slack
   // is orders of magnitude above anything observed. Exhaustion means the
   // caller recomputes cold — slower, never wrong.
+  // Provenance hook: emit an adopt/cure edge when `now` differs materially
+  // from `before` and either side is Attacker-origin — the same rule the
+  // message-passing engines apply, with generation 0 (no clock here).
+  const auto record_prov = [prov](AsId w, const Route& now,
+                                  const Route& before) {
+    if (prov == nullptr) return;
+    const bool now_bad = now.origin == Origin::Attacker;
+    const bool was_bad = before.origin == Origin::Attacker;
+    if (!now_bad && !was_bad) return;
+    if (now_bad && was_bad && now.via == before.via &&
+        now.path_len == before.path_len) {
+      return;  // still the same bogus route; nothing changed materially
+    }
+    prov->record_edge(obs::make_edge(
+        now_bad ? obs::InfectionEdgeKind::Adopt : obs::InfectionEdgeKind::Cure,
+        w, now.valid() ? now.via : w, 0, now.path_len, before.path_len,
+        static_cast<std::uint8_t>(before.origin)));
+  };
+
   const std::uint64_t budget = 64ull * n + 1024;
   std::uint64_t pops = 0;
   std::uint64_t reselects = 0;
@@ -197,13 +217,22 @@ bool warm_hijack_repair(const AsGraph& graph, const PolicyConfig& config,
       const bool w_t1len = tier1 != nullptr && tier1[w] != 0 && t1sp;
       // Per-receiver blocks: split horizon and origin validation.
       std::uint64_t cand_key = w_t1len ? key_t1[rel] : key_plain[rel];
-      if (sent.via == w || (bogus && vmask != nullptr && vmask[w] != 0)) {
+      if (sent.via == w) {
+        cand_key = 0;
+      } else if (bogus && vmask != nullptr && vmask[w] != 0) {
+        if (prov != nullptr && cand_key != 0) {
+          prov->record_edge(obs::make_edge(
+              obs::InfectionEdgeKind::Blocked, w, v, 0,
+              static_cast<std::uint16_t>(sent.path_len + 1)));
+        }
         cand_key = 0;
       }
       const Route& cur = table.routes[w];
       const std::uint64_t cur_key = pref_key(cur, w_t1len);
       if (cand_key > cur_key) {
+        const Route before = cur;  // cur aliases table.routes[w]; copy first
         table.routes[w] = offered[rel];
+        record_prov(w, table.routes[w], before);
         if (!queued[w]) {
           queue.push_back(w);
           queued[w] = 1;
@@ -217,7 +246,9 @@ bool warm_hijack_repair(const AsGraph& graph, const PolicyConfig& config,
         const Route sel = reselect(ctx, w, w_t1len, reselect_scanned);
         if (sel.origin != cur.origin || sel.cls != cur.cls ||
             sel.path_len != cur.path_len || sel.via != cur.via) {
+          const Route before = cur;  // cur aliases table.routes[w]; copy first
           table.routes[w] = sel;
+          record_prov(w, table.routes[w], before);
           if (!queued[w]) {
             queue.push_back(w);
             queued[w] = 1;

@@ -26,6 +26,10 @@
 
 namespace bgpsim {
 
+namespace obs {
+class ProvenanceRecorder;  // obs/provenance.hpp
+}  // namespace obs
+
 /// Repair `table` — which must hold the converged *legitimate-only* routing
 /// state for `target` (as produced by EquilibriumEngine::compute with no
 /// validators) — into the joint hijack equilibrium for `attacker` announcing
@@ -43,9 +47,17 @@ namespace bgpsim {
 /// cold computation. The budget is generous (dozens of pops per AS); no
 /// fallback has been observed on generated topologies, but correctness must
 /// not depend on that.
+///
+/// `prov`, when given, records infection edges (adopt/cure/blocked; see
+/// obs/provenance.hpp) as the relaxation runs. The warm path has no
+/// generation clock, so the edge `generation` field is always 0; because the
+/// stable state is unique, the *final* parent per AS derived from these
+/// edges matches a cold traced run exactly (asserted in
+/// tests/provenance_test.cpp). Recording never changes repair decisions.
 bool warm_hijack_repair(const AsGraph& graph, const PolicyConfig& config,
                         AsId target, AsId attacker,
                         std::uint16_t attacker_seed_len,
-                        const ValidatorSet* validators, RouteTable& table);
+                        const ValidatorSet* validators, RouteTable& table,
+                        obs::ProvenanceRecorder* prov = nullptr);
 
 }  // namespace bgpsim

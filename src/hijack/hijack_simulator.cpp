@@ -34,7 +34,22 @@ void log_attack_injected(const AsGraph& graph, AsId target, AsId attacker,
 
 HijackSimulator::HijackSimulator(const AsGraph& graph, SimConfig config)
     : graph_(graph), config_(std::move(config)),
-      equilibrium_(graph_, config_.policy) {}
+      equilibrium_(graph_, config_.policy) {
+  if (obs::provenance_armed_from_env()) {
+    env_prov_ = std::make_unique<obs::ProvenanceRecorder>();
+  }
+}
+
+obs::ProvenanceRecorder* HijackSimulator::arm_trace() {
+  obs::ProvenanceRecorder* prov =
+      external_prov_ != nullptr ? external_prov_ : env_prov_.get();
+  if (prov != nullptr) prov->begin_attack();
+  last_prov_ = prov;
+  equilibrium_.set_provenance(prov);
+  // generation_engine() re-applies last_prov_ on every access, so a lazily
+  // constructed engine cannot miss the arming.
+  return prov;
+}
 
 void HijackSimulator::set_validators(std::optional<ValidatorSet> validators) {
   BGPSIM_REQUIRE(!validators || validators->size() == graph_.num_ases(),
@@ -57,7 +72,7 @@ bool HijackSimulator::try_warm_attack(AsId target, AsId attacker,
                  "attached baseline does not match the topology");
   table_ = *baseline;
   if (!warm_hijack_repair(graph_, config_.policy, target, attacker,
-                          attacker_seed_len, validators, table_)) {
+                          attacker_seed_len, validators, table_, last_prov_)) {
     return false;  // budget tripped; caller reconverges cold
   }
   BGPSIM_COUNTER_ADD("warm.attacks", 1);
@@ -66,6 +81,7 @@ bool HijackSimulator::try_warm_attack(AsId target, AsId attacker,
 
 GenerationEngine& HijackSimulator::generation_engine() {
   if (!generation_) generation_.emplace(graph_, config_.policy);
+  generation_->set_provenance(last_prov_);
   return *generation_;
 }
 
@@ -75,6 +91,7 @@ AttackResult HijackSimulator::attack(AsId target, AsId attacker) {
   BGPSIM_REQUIRE(target != attacker, "attacker must differ from target");
 
   last_attack_warm_ = false;
+  obs::ProvenanceRecorder* prov = arm_trace();
   const ValidatorSet* validators = validators_ ? &*validators_ : nullptr;
   const bool is_eq = config_.engine == EngineKind::Equilibrium;
   log_attack_injected(graph_, target, attacker, "exact", false,
@@ -84,6 +101,9 @@ AttackResult HijackSimulator::attack(AsId target, AsId attacker) {
     if (try_warm_attack(target, attacker, /*attacker_seed_len=*/1, validators)) {
       last_attack_warm_ = true;
     } else {
+      // Drop any edges a budget-tripped warm repair recorded: the cold
+      // engine re-derives the full infection history from scratch.
+      if (prov != nullptr) prov->begin_attack();
       equilibrium_.compute_hijack(target, attacker, validators, table_);
     }
     return summarize(target, attacker, 0);
@@ -104,6 +124,7 @@ ExtendedAttackResult HijackSimulator::attack_ex(AsId target, AsId attacker,
   BGPSIM_REQUIRE(target != attacker, "attacker must differ from target");
 
   last_attack_warm_ = false;
+  obs::ProvenanceRecorder* prov = arm_trace();
   ExtendedAttackResult result;
   result.target = target;
   result.attacker = attacker;
@@ -167,6 +188,8 @@ ExtendedAttackResult HijackSimulator::attack_ex(AsId target, AsId attacker,
       if (try_warm_attack(target, attacker, attacker_seed_len, validators)) {
         last_attack_warm_ = true;
       } else {
+        // See attack(): discard partial warm-repair edges before the cold run.
+        if (prov != nullptr) prov->begin_attack();
         equilibrium_.compute_hijack(target, attacker, validators, table_,
                                     attacker_seed_len);
       }
@@ -193,6 +216,7 @@ AttackResult HijackSimulator::attack_with_trace(AsId target, AsId attacker,
   BGPSIM_REQUIRE(target != attacker, "attacker must differ from target");
 
   last_attack_warm_ = false;
+  arm_trace();
   const ValidatorSet* validators = validators_ ? &*validators_ : nullptr;
   log_attack_injected(graph_, target, attacker, "exact", false, "generation",
                       validators != nullptr);
@@ -216,6 +240,7 @@ AttackResult HijackSimulator::attack_explained(AsId target, AsId attacker,
   history.snapshots.clear();
 
   last_attack_warm_ = false;
+  arm_trace();
   const ValidatorSet* validators = validators_ ? &*validators_ : nullptr;
   log_attack_injected(graph_, target, attacker, "exact", false, "generation",
                       validators != nullptr);
@@ -262,6 +287,55 @@ AttackResult HijackSimulator::summarize(AsId target, AsId attacker,
       "hijack.polluted_ases",
       ::bgpsim::obs::HistogramSpec::exponential(1.0, 2.0, 24),
       result.polluted_ases);
+
+  const bool traced = last_prov_ != nullptr;
+  const std::uint64_t prov_dropped = traced ? last_prov_->dropped() : 0;
+#if !defined(BGPSIM_OBS_DISABLED)
+  if (traced) {
+    BGPSIM_COUNTER_ADD("provenance.traced_attacks", 1);
+    BGPSIM_COUNTER_ADD("provenance.edges_recorded", last_prov_->committed());
+    if (prov_dropped != 0) {
+      BGPSIM_COUNTER_ADD("provenance.edges_dropped", prov_dropped);
+    }
+    // Pollution reach per traced attack: hops from the bogus origin to each
+    // polluted AS. path_len is absolute, so subtract the attacker's seed
+    // length (1, or 2 for forged-origin) — depth 1 = attacker's neighbor.
+    const std::uint16_t seed_len = table_.routes[attacker].path_len;
+    for (AsId v = 0; v < graph_.num_ases(); ++v) {
+      const Route& route = table_.routes[v];
+      if (route.origin != Origin::Attacker || v == attacker) continue;
+      BGPSIM_HISTOGRAM_OBSERVE(
+          "engine.infection_depth",
+          ::bgpsim::obs::HistogramSpec::linear(0.0, 64.0, 64),
+          route.path_len - seed_len);
+    }
+    // Narrate the kept edges — to the dedicated BGPSIM_PROVENANCE=<path>
+    // sink when one is configured, otherwise into the main event log.
+    ::bgpsim::obs::EventLogSink* psink = ::bgpsim::obs::provenance_sink();
+    if (psink != nullptr || ::bgpsim::obs::eventlog_enabled()) {
+      const ::bgpsim::obs::InfectionEdge* edges = last_prov_->edges();
+      const std::uint64_t kept = last_prov_->committed();
+      for (std::uint64_t i = 0; i < kept; ++i) {
+        const ::bgpsim::obs::InfectionEdge& e = edges[i];
+        ::bgpsim::obs::EventRecord ev("infection_edge", psink);
+        ev.u64("target_asn", graph_.asn(target));
+        ev.u64("attacker_asn", graph_.asn(attacker));
+        ev.str("kind", to_string(::bgpsim::obs::edge_kind(e)));
+        ev.u64("to_asn", graph_.asn(e.to));
+        ev.u64("from_asn", graph_.asn(e.from));
+        ev.u64("generation", e.generation);
+        ev.u64("path_len", e.path_len);
+        if (::bgpsim::obs::edge_kind(e) !=
+            ::bgpsim::obs::InfectionEdgeKind::Blocked) {
+          ev.u64("displaced_len", e.displaced_len);
+          ev.u64("displaced_origin", e.displaced_origin);
+        }
+        ev.emit();
+      }
+    }
+  }
+#endif  // BGPSIM_OBS_DISABLED
+
   attack_span.arg("target", target);
   attack_span.arg("attacker", attacker);
   attack_span.arg("polluted_ases", result.polluted_ases);
@@ -272,12 +346,16 @@ AttackResult HijackSimulator::summarize(AsId target, AsId attacker,
                ev.f64("polluted_fraction", result.polluted_address_fraction);
                ev.u64("routed_ases", result.routed_ases);
                ev.u64("generations", result.generations);
+               ev.boolean("trace_enabled", traced);
+               ev.u64("provenance_dropped", prov_dropped);
                // Under serve, the request id joins this record to its
                // access-log line; empty outside a request scope.
                if (!::bgpsim::obs::thread_request_id().empty()) {
                  ev.str("request_id", ::bgpsim::obs::thread_request_id());
                }
                ev.emit());
+  (void)traced;  // unused under -DBGPSIM_OBS=OFF
+  (void)prov_dropped;
   return result;
 }
 

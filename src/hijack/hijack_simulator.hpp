@@ -12,6 +12,7 @@
 #include "bgp/policy.hpp"
 #include "bgp/types.hpp"
 #include "net/allocation.hpp"
+#include "obs/provenance.hpp"
 #include "rpki/roa.hpp"
 #include "store/baseline.hpp"
 #include "topology/as_graph.hpp"
@@ -94,6 +95,23 @@ class HijackSimulator {
 
   bool has_validators() const { return validators_.has_value(); }
 
+  /// The deployed origin-validation set, if any (read-only; counterfactual
+  /// choke-point analysis re-runs attacks with one AS added to this set).
+  const std::optional<ValidatorSet>& validators() const { return validators_; }
+
+  /// Record pollution provenance (infection edges; obs/provenance.hpp) for
+  /// every subsequent attack into `recorder`; nullptr reverts to the
+  /// environment arming (BGPSIM_PROVENANCE), or to no tracing. The recorder
+  /// is reset (begin_attack) per attack, so after an attack it holds that
+  /// attack's edges only. Tracing never changes results: traced and
+  /// untraced attacks produce bit-identical route tables.
+  void set_provenance(obs::ProvenanceRecorder* recorder) {
+    external_prov_ = recorder;
+  }
+
+  /// Recorder the most recent attack traced into (nullptr when untraced).
+  obs::ProvenanceRecorder* last_provenance() const { return last_prov_; }
+
   /// Attach precomputed legitimate-only baselines (typically loaded from a
   /// snapshot). Exact-prefix equilibrium attacks against a target with a
   /// stored baseline then warm-start: the baseline table is cloned, the
@@ -142,6 +160,12 @@ class HijackSimulator {
   AttackResult summarize(AsId target, AsId attacker, std::uint32_t generations) const;
   GenerationEngine& generation_engine();
 
+  /// Resolve the effective provenance recorder for one attack (external >
+  /// env-armed > none), reset it, arm the engines, and remember it for
+  /// summarize(). Every attack entry point calls this exactly once, before
+  /// any engine runs.
+  obs::ProvenanceRecorder* arm_trace();
+
   /// Try to answer an exact-prefix equilibrium attack from the attached
   /// baseline. On success table_ holds the stable hijacked state; on false
   /// (no baseline for the target, or repair budget exceeded) table_ is
@@ -157,6 +181,13 @@ class HijackSimulator {
   std::shared_ptr<const store::BaselineStore> baselines_;
   bool last_attack_warm_ = false;
   RouteTable table_;
+
+  // Pollution provenance (see set_provenance). env_prov_ is created once in
+  // the constructor when BGPSIM_PROVENANCE arms tracing process-wide;
+  // external_prov_ (CLI flag, serve per-request recorder) overrides it.
+  obs::ProvenanceRecorder* external_prov_ = nullptr;
+  std::unique_ptr<obs::ProvenanceRecorder> env_prov_;
+  obs::ProvenanceRecorder* last_prov_ = nullptr;
 };
 
 }  // namespace bgpsim

@@ -68,6 +68,7 @@ void EventLogSink::set_output(const std::string& path) {
     out_.flush();
     out_.close();
   }
+  path_.clear();
   if (path.empty()) {
     enabled_.store(false, std::memory_order_relaxed);
     return;
@@ -81,7 +82,15 @@ void EventLogSink::set_output(const std::string& path) {
   }
   out_.open(target, std::ios::binary | std::ios::trunc);
   enabled_.store(out_.is_open(), std::memory_order_relaxed);
-  if (out_.is_open()) install_crash_safety_handlers();
+  if (out_.is_open()) {
+    path_ = path;
+    install_crash_safety_handlers();
+  }
+}
+
+std::string EventLogSink::path() const {
+  MutexLock lock(&mutex_);
+  return path_;
 }
 
 double EventLogSink::now_seconds() const {

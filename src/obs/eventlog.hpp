@@ -46,6 +46,10 @@ class EventLogSink {
   /// log documents one run, not a history of runs.
   void set_output(const std::string& path) BGPSIM_EXCLUDES(mutex_);
 
+  /// Path of the currently open output ("" when disabled) — what /statusz
+  /// reports so operators can find the artifact without reading env vars.
+  std::string path() const BGPSIM_EXCLUDES(mutex_);
+
   /// Seconds since the sink epoch (steady clock).
   double now_seconds() const;
 
@@ -70,6 +74,7 @@ class EventLogSink {
   std::atomic<bool> enabled_{false};
   mutable Mutex mutex_;
   std::ofstream out_ BGPSIM_GUARDED_BY(mutex_);
+  std::string path_ BGPSIM_GUARDED_BY(mutex_);
   std::uint64_t next_seq_ BGPSIM_GUARDED_BY(mutex_) = 0;
   std::int64_t epoch_ns_ = 0;  // set once in the constructor, then read-only
 };

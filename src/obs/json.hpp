@@ -86,6 +86,15 @@ class JsonWriter {
     value(v);
   }
 
+  /// Splice a pre-rendered JSON value (object, array, or scalar) in value
+  /// position. The fragment must itself be well-formed — the writer only
+  /// handles the surrounding commas. Lets composed responses embed blocks
+  /// rendered elsewhere (e.g. the attribution trace) without re-walking them.
+  void raw(std::string_view fragment) {
+    separate();
+    out_ += fragment;
+  }
+
   std::string str() && { return std::move(out_); }
   const std::string& str() const& { return out_; }
 

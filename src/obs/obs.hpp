@@ -26,6 +26,7 @@
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/progress.hpp"
+#include "obs/provenance.hpp"
 #include "obs/report.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"

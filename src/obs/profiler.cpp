@@ -229,6 +229,7 @@ class Profiler {
     ProfilerStatus out;
     out.active = active_;
     out.hz = hz_;
+    out.path = path_;
     if (active_ && ring_ != nullptr) {
       out.samples = ring_->committed();
       out.dropped = ring_->dropped();

@@ -45,6 +45,9 @@ struct ProfilerStatus {
   unsigned hz = 0;
   std::uint64_t samples = 0;
   std::uint64_t dropped = 0;
+  /// Folded-output path of the running (or last finished) session; "" when
+  /// never armed. /statusz reports it in the sinks block.
+  std::string path;
 };
 
 /// Default sample rate: 151 Hz — prime (avoids sampling in lockstep with

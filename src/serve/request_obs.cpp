@@ -127,6 +127,8 @@ std::uint64_t AccessLog::slow_threshold_us() const {
   return slow_threshold_us_.load(std::memory_order_relaxed);
 }
 
+std::string AccessLog::path() const { return sink_.path(); }
+
 ScopedRequestId::ScopedRequestId(const std::string& id) {
   obs::set_thread_request_id(id);
 }
@@ -172,7 +174,10 @@ void record_request(const RequestContext& ctx, int status,
       .u64("write_us", timer.write_us())
       .u64("total_us", timer.total_us());
   if (ctx.attack) {
-    ev.boolean("warm", ctx.warm).u64("generations", ctx.generations);
+    ev.boolean("warm", ctx.warm)
+        .u64("generations", ctx.generations)
+        .boolean("trace_enabled", ctx.trace_enabled)
+        .u64("provenance_dropped", ctx.provenance_dropped);
   }
   if (slow) {
     // Slow-request capture: keep the full attack parameters so the exact
@@ -193,6 +198,8 @@ bool AccessLog::enabled() const { return false; }
 void AccessLog::set_slow_threshold_us(std::uint64_t) {}
 
 std::uint64_t AccessLog::slow_threshold_us() const { return 0; }
+
+std::string AccessLog::path() const { return {}; }
 
 ScopedRequestId::ScopedRequestId(const std::string&) {}
 

@@ -42,6 +42,10 @@ struct RequestContext {
   bool attack = false;          ///< true once /v1/attack ran the engine
   bool warm = false;
   std::uint64_t generations = 0;
+  bool trace_enabled = false;  ///< request asked for pollution provenance
+  /// Provenance edges lost to ring overflow (0 when untraced or complete);
+  /// logged so a truncated trace is visible at the access-log layer too.
+  std::uint64_t provenance_dropped = 0;
 };
 
 /// Always-compiled request totals behind GET /statusz. Separate from the
@@ -150,6 +154,10 @@ class AccessLog {
   /// plus the raw request body ("params") attached. 0 disables capture.
   void set_slow_threshold_us(std::uint64_t us);
   std::uint64_t slow_threshold_us() const;
+
+  /// Destination path of the access log ("" when disabled, and always under
+  /// -DBGPSIM_OBS=OFF). /statusz reports it in the sinks block.
+  std::string path() const;
 
 #if !defined(BGPSIM_OBS_DISABLED)
   obs::EventLogSink& sink() { return sink_; }

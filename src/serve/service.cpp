@@ -4,6 +4,7 @@
 #include <optional>
 #include <utility>
 
+#include "analysis/attribution.hpp"
 #include "defense/deployment.hpp"
 #include "defense/filter_set.hpp"
 #include "detect/detector.hpp"
@@ -12,6 +13,7 @@
 #include "obs/json_parse.hpp"
 #include "obs/obs.hpp"
 #include "obs/promtext.hpp"
+#include "obs/provenance.hpp"
 #include "support/error.hpp"
 
 namespace bgpsim::serve {
@@ -154,12 +156,42 @@ HttpResponse WhatIfService::handle_attack(const net::HttpRequest& request,
     }
     probe_count = static_cast<std::uint32_t>(probes->as_u64());
   }
+  bool trace_requested = false;
+  if (const obs::JsonValue* trace = doc.find("trace")) {
+    if (!trace->is_bool()) {
+      return error_response(400, "trace must be a boolean");
+    }
+    trace_requested = trace->as_bool();
+  }
+
+  // Per-request provenance ring: worker sims are reused across requests, so
+  // the recorder must be detached again before this frame unwinds.
+  std::optional<obs::ProvenanceRecorder> recorder;
+  if (trace_requested) {
+    recorder.emplace();
+    sim.set_provenance(&*recorder);
+  }
 
   const ExtendedAttackResult result = sim.attack_ex(victim, attacker, options);
   const bool warm = sim.last_attack_warm();
   ctx.attack = true;
   ctx.warm = warm;
   ctx.generations = result.generations;
+
+  // Attribution reads the converged table, so it must run before the
+  // detection branch below replays the attack (attack_with_trace overwrites
+  // sim.routes()). Counterfactual cuts are deliberately skipped here — each
+  // one costs a full cold attack, too slow for a query path; use the
+  // `bgpsim attribution` CLI for exact cuts.
+  std::string trace_json;
+  if (trace_requested) {
+    const AttributionReport report = compute_attribution(
+        graph, sim.routes(), victim, attacker, &*recorder);
+    trace_json = attribution_trace_json(graph, report);
+    ctx.trace_enabled = true;
+    ctx.provenance_dropped = recorder->dropped();
+    sim.set_provenance(nullptr);
+  }
 
   // Detection runs against the converged table before any trace replay
   // (attack_with_trace reconverges on the generation engine and would
@@ -198,6 +230,10 @@ HttpResponse WhatIfService::handle_attack(const net::HttpRequest& request,
     json.field("detected", detected);
     json.field("first_generation", static_cast<std::uint64_t>(first_generation));
     json.end_object();
+  }
+  if (!trace_json.empty()) {
+    json.key("trace");
+    json.raw(trace_json);
   }
   json.end_object();
   BGPSIM_COUNTER_ADD(warm ? "serve.attacks_warm" : "serve.attacks_cold", 1);
@@ -275,6 +311,16 @@ HttpResponse WhatIfService::handle_statusz() const {
     json.field("hz", static_cast<std::uint64_t>(prof.hz));
     json.field("samples", prof.samples);
     json.field("samples_dropped", prof.dropped);
+    json.end_object();
+    // Where each NDJSON/folded sink is writing, "" when unconfigured (and
+    // always under -DBGPSIM_OBS=OFF). One glance answers "is this server
+    // actually logging, and to which files?" without grepping the env.
+    json.key("sinks");
+    json.begin_object();
+    json.field("access_log", AccessLog::instance().path());
+    json.field("eventlog", obs::EventLogSink::instance().path());
+    json.field("profile", prof.path);
+    json.field("provenance", obs::provenance_sink_path());
     json.end_object();
   }
   json.field("in_flight", static_cast<std::uint64_t>(std::max<std::int64_t>(

@@ -1,0 +1,211 @@
+// Attribution math on a hand-computed fixture, plus a scale check that the
+// top choke point's counterfactual cut matches an independent brute-force
+// re-run of the attack.
+#include "analysis/attribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "core/scenario.hpp"
+#include "obs/json_parse.hpp"
+#include "support/rng.hpp"
+#include "topology/graph_builder.hpp"
+
+namespace bgpsim {
+namespace {
+
+// Six ASes, hand-solvable. Provider chain 1 > 2 > 3 > 4 with a second
+// customer 6 under 3, and the victim 5 under 1:
+//
+//            1 ── 5 (victim)
+//            │
+//            2
+//            │
+//            3 ── 6
+//            │
+//            4 (attacker)
+//
+// When 4 forges 5's prefix: 3 adopts (customer route beats its provider
+// route to the victim), 2 adopts via 3 (customer beats provider), 6 adopts
+// via 3 (provider route, but len 3 < len 4 of its legit path), and 1 keeps
+// its direct customer route to 5. Infection tree: 4 -> 3 -> {2, 6}.
+AsGraph six_as_fixture() {
+  GraphBuilder b;
+  b.add_provider_customer(1, 2);
+  b.add_provider_customer(2, 3);
+  b.add_provider_customer(3, 4);
+  b.add_provider_customer(3, 6);
+  b.add_provider_customer(1, 5);
+  for (Asn asn = 1; asn <= 6; ++asn) b.set_address_space(asn, 1);
+  return b.build();
+}
+
+SimConfig config_for(const AsGraph& g) {
+  SimConfig cfg;
+  cfg.policy.is_tier1.assign(g.num_ases(), 0);
+  return cfg;
+}
+
+TEST(Attribution, SixAsFixtureMathByHand) {
+  const AsGraph g = six_as_fixture();
+  const SimConfig cfg = config_for(g);
+  const AsId victim = g.require(5);
+  const AsId attacker = g.require(4);
+
+  HijackSimulator sim(g, cfg);
+  obs::ProvenanceRecorder recorder;
+  sim.set_provenance(&recorder);
+  const AttackResult result = sim.attack(victim, attacker);
+  ASSERT_EQ(result.polluted_ases, 3u);
+
+  const InfectionTree tree = infection_tree_from_table(g, sim.routes(), attacker);
+  EXPECT_EQ(tree.parent[g.require(3)], attacker);
+  EXPECT_EQ(tree.parent[g.require(2)], g.require(3));
+  EXPECT_EQ(tree.parent[g.require(6)], g.require(3));
+  EXPECT_EQ(tree.parent[g.require(1)], kInvalidAs);
+  EXPECT_EQ(tree.parent[victim], kInvalidAs);
+
+  AttributionReport report = compute_attribution(
+      g, sim.routes(), victim, attacker, sim.last_provenance());
+  EXPECT_EQ(report.polluted, 3u);
+  EXPECT_EQ(report.max_depth, 2u);
+  // depth 1: {3}; depth 2: {2, 6}.
+  ASSERT_EQ(report.depth_histogram.size(), 3u);
+  EXPECT_EQ(report.depth_histogram[0], 0u);
+  EXPECT_EQ(report.depth_histogram[1], 1u);
+  EXPECT_EQ(report.depth_histogram[2], 2u);
+
+  // Choke ranking: 3 carries everything (subtree 3); 2 and 6 are leaves
+  // (subtree 1), ordered by AS id.
+  ASSERT_EQ(report.choke_points.size(), 3u);
+  EXPECT_EQ(report.choke_points[0].as, g.require(3));
+  EXPECT_EQ(report.choke_points[0].subtree, 3u);
+  EXPECT_EQ(report.choke_points[1].subtree, 1u);
+  EXPECT_EQ(report.choke_points[2].subtree, 1u);
+  EXPECT_LT(g.asn(report.choke_points[1].as), g.asn(report.choke_points[2].as));
+
+  // Validating at 3 severs the only path out of the attacker: cut = 3.
+  // Validating at a leaf saves exactly that leaf: cut = 1.
+  annotate_counterfactual_cuts(g, cfg, std::nullopt, report, 3);
+  EXPECT_EQ(report.choke_points[0].counterfactual_cut, 3);
+  EXPECT_EQ(report.choke_points[1].counterfactual_cut, 1);
+  EXPECT_EQ(report.choke_points[2].counterfactual_cut, 1);
+
+  if (obs::kProvenanceCompiled) {
+    EXPECT_TRUE(report.traced);
+    EXPECT_TRUE(report.trace_complete);
+    EXPECT_GE(report.edges_recorded, 3u);  // at least one adopt per infected
+    EXPECT_EQ(report.edges_dropped, 0u);
+  } else {
+    EXPECT_FALSE(report.traced);
+  }
+}
+
+TEST(Attribution, FrontierCountsBlockedOffersAtValidator) {
+  if (!obs::kProvenanceCompiled) GTEST_SKIP() << "built with -DBGPSIM_OBS=OFF";
+  const AsGraph g = six_as_fixture();
+  HijackSimulator sim(g, config_for(g));
+  ValidatorSet validators(g.num_ases(), 0);
+  validators[g.require(3)] = 1;
+  sim.set_validators(validators);
+  obs::ProvenanceRecorder recorder;
+  sim.set_provenance(&recorder);
+
+  const AttackResult result = sim.attack(g.require(5), g.require(4));
+  EXPECT_EQ(result.polluted_ases, 0u);
+
+  const AttributionReport report = compute_attribution(
+      g, sim.routes(), g.require(5), g.require(4), sim.last_provenance());
+  EXPECT_EQ(report.polluted, 0u);
+  EXPECT_TRUE(report.depth_histogram.empty());
+  EXPECT_TRUE(report.choke_points.empty());
+  // The bogus announcement died at AS 3, one hop from the attacker.
+  EXPECT_GE(report.blocked_offers, 1u);
+  EXPECT_EQ(report.blocked_sites, 1u);
+  EXPECT_EQ(report.frontier_min_depth, 1u);
+  EXPECT_DOUBLE_EQ(report.frontier_mean_depth, 1.0);
+}
+
+TEST(Attribution, TraceJsonIsWellFormedAndComplete) {
+  const AsGraph g = six_as_fixture();
+  const SimConfig cfg = config_for(g);
+  HijackSimulator sim(g, cfg);
+  obs::ProvenanceRecorder recorder;
+  sim.set_provenance(&recorder);
+  sim.attack(g.require(5), g.require(4));
+
+  AttributionReport report = compute_attribution(
+      g, sim.routes(), g.require(5), g.require(4), sim.last_provenance());
+  annotate_counterfactual_cuts(g, cfg, std::nullopt, report, 1);
+
+  const obs::JsonValue doc =
+      obs::JsonValue::parse(attribution_trace_json(g, report));
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("target_asn")->as_u64(), 5u);
+  EXPECT_EQ(doc.find("attacker_asn")->as_u64(), 4u);
+  EXPECT_EQ(doc.find("polluted")->as_u64(), 3u);
+  EXPECT_EQ(doc.find("max_depth")->as_u64(), 2u);
+  ASSERT_TRUE(doc.find("depth_histogram")->is_array());
+  const obs::JsonValue* chokes = doc.find("choke_points");
+  ASSERT_TRUE(chokes != nullptr && chokes->is_array());
+  const obs::JsonValue& top = chokes->items().front();
+  EXPECT_EQ(top.find("asn")->as_u64(), 3u);
+  EXPECT_EQ(top.find("subtree")->as_u64(), 3u);
+  // Annotated for the top choke only; the rest omit the key entirely.
+  EXPECT_EQ(top.find("counterfactual_cut")->as_u64(), 3u);
+  EXPECT_EQ(chokes->items()[1].find("counterfactual_cut"), nullptr);
+  const obs::JsonValue* frontier = doc.find("frontier");
+  ASSERT_TRUE(frontier != nullptr && frontier->is_object());
+  EXPECT_NE(frontier->find("blocked_offers"), nullptr);
+  EXPECT_NE(doc.find("trace_complete"), nullptr);
+}
+
+/// At scale, the exact counterfactual for the top choke point must equal an
+/// independent brute-force re-run (fresh simulator, choke added by hand).
+TEST(Attribution, TopChokeCounterfactualMatchesBruteForce) {
+  const Scenario scenario = [] {
+    ScenarioParams params;
+    params.topology.total_ases = 2000;
+    params.topology.seed = 303;
+    return Scenario::generate(params);
+  }();
+  const AsGraph& g = scenario.graph();
+
+  Rng rng(9001);
+  int exercised = 0;
+  while (exercised < 3) {
+    const AsId target = rng.bounded(g.num_ases());
+    const AsId attacker = rng.bounded(g.num_ases());
+    if (target == attacker) continue;
+
+    HijackSimulator sim = scenario.make_simulator();
+    AttackResult result = sim.attack(target, attacker);
+    if (result.polluted_ases < 10) continue;  // want a non-trivial tree
+    ++exercised;
+
+    AttributionReport report = compute_attribution(
+        g, sim.routes(), target, attacker, nullptr, /*max_choke_points=*/3);
+    annotate_counterfactual_cuts(g, scenario.sim_config(), std::nullopt,
+                                 report, 1);
+    ASSERT_FALSE(report.choke_points.empty());
+    const ChokePoint& top = report.choke_points.front();
+    ASSERT_GE(top.counterfactual_cut, 0);
+
+    // Brute force: same attack, validator set = {top choke}, fresh sim.
+    ValidatorSet only_choke(g.num_ases(), 0);
+    only_choke[top.as] = 1;
+    HijackSimulator check = scenario.make_simulator();
+    check.set_validators(only_choke);
+    const AttackResult cut_result = check.attack(target, attacker);
+    EXPECT_EQ(top.counterfactual_cut,
+              static_cast<std::int64_t>(result.polluted_ases) -
+                  static_cast<std::int64_t>(cut_result.polluted_ases));
+    // The subtree size bounds the exact cut from above.
+    EXPECT_LE(top.counterfactual_cut,
+              static_cast<std::int64_t>(top.subtree));
+  }
+}
+
+}  // namespace
+}  // namespace bgpsim

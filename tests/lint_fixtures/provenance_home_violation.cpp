@@ -1,0 +1,18 @@
+// Deliberate provenance-home violation: a record_edge call outside the
+// engines (src/bgp/) and the obs layer. Provenance edges are the engines'
+// ground truth — every edge corresponds to an actual route-selection change
+// at an instrumented decision point, which is what lets the attribution
+// layer assert trace == table. Analysis or tool code fabricating edges, as
+// below, would inject "infections" the converged route table cannot
+// corroborate. The lint_detects_provenance_home test expects a nonzero exit
+// on this file.
+#include "obs/provenance.hpp"
+
+namespace bgpsim {
+
+inline void fabricate_infection_edge(obs::ProvenanceRecorder& recorder) {
+  recorder.record_edge(
+      obs::make_edge(obs::InfectionEdgeKind::Adopt, 1, 2, 0, 3));
+}
+
+}  // namespace bgpsim

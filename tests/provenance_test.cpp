@@ -1,0 +1,248 @@
+// Pollution provenance: edge packing, ring overflow semantics, and the
+// cross-engine trace-agreement invariant — the infection tree reconstructed
+// from adopt/cure edges must equal the tree read off the converged table,
+// whether the attack ran cold (equilibrium), warm (incremental repair), or
+// on the asynchronous event engine. PR1's uniqueness theorem makes these
+// hard equalities: one stable state, one tree.
+#include "obs/provenance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "analysis/attribution.hpp"
+#include "bgp/event_engine.hpp"
+#include "core/scenario.hpp"
+#include "defense/deployment.hpp"
+#include "defense/filter_set.hpp"
+#include "hijack/hijack_simulator.hpp"
+#include "store/baseline.hpp"
+#include "support/rng.hpp"
+
+namespace bgpsim {
+namespace {
+
+Scenario make_scenario(std::uint32_t scale, std::uint64_t seed) {
+  ScenarioParams params;
+  params.topology.total_ases = scale;
+  params.topology.seed = seed;
+  return Scenario::generate(params);
+}
+
+void expect_tables_equal(const RouteTable& a, const RouteTable& b) {
+  ASSERT_EQ(a.routes.size(), b.routes.size());
+  for (std::size_t v = 0; v < a.routes.size(); ++v) {
+    const Route& x = a.routes[v];
+    const Route& y = b.routes[v];
+    ASSERT_TRUE(x.origin == y.origin && x.cls == y.cls &&
+                x.path_len == y.path_len && x.via == y.via)
+        << "route tables diverge at AS " << v;
+  }
+}
+
+TEST(InfectionEdge, PacksAndRoundTrips) {
+  const obs::InfectionEdge adopt = obs::make_edge(
+      obs::InfectionEdgeKind::Adopt, 7, 3, 42, 5, /*displaced_len=*/9,
+      /*displaced_origin=*/1);
+  EXPECT_EQ(sizeof(obs::InfectionEdge), 16u);
+  EXPECT_EQ(obs::edge_kind(adopt), obs::InfectionEdgeKind::Adopt);
+  EXPECT_EQ(adopt.to, 7u);
+  EXPECT_EQ(adopt.from, 3u);
+  EXPECT_EQ(adopt.generation, 42u);
+  EXPECT_EQ(adopt.path_len, 5u);
+  EXPECT_EQ(adopt.displaced_len, 9u);
+  EXPECT_EQ(adopt.displaced_origin, 1u);
+
+  const obs::InfectionEdge cure =
+      obs::make_edge(obs::InfectionEdgeKind::Cure, 1, 2, 0, 3);
+  EXPECT_EQ(obs::edge_kind(cure), obs::InfectionEdgeKind::Cure);
+
+  // Blocked rides the displaced_origin sentinel, so kind survives packing.
+  const obs::InfectionEdge blocked =
+      obs::make_edge(obs::InfectionEdgeKind::Blocked, 9, 4, 0, 6);
+  EXPECT_EQ(obs::edge_kind(blocked), obs::InfectionEdgeKind::Blocked);
+  EXPECT_EQ(blocked.path_len, 6u);
+
+  EXPECT_STREQ(obs::to_string(obs::InfectionEdgeKind::Adopt), "adopt");
+  EXPECT_STREQ(obs::to_string(obs::InfectionEdgeKind::Cure), "cure");
+  EXPECT_STREQ(obs::to_string(obs::InfectionEdgeKind::Blocked), "blocked");
+}
+
+TEST(ProvenanceRecorder, RingOverflowDropsAndCounts) {
+  if (!obs::kProvenanceCompiled) GTEST_SKIP() << "built with -DBGPSIM_OBS=OFF";
+  obs::ProvenanceRecorder recorder(4);
+  EXPECT_EQ(recorder.capacity(), 4u);
+  recorder.begin_attack();
+
+  for (std::uint32_t i = 0; i < 7; ++i) {
+    const bool kept = recorder.record_edge(obs::make_edge(
+        obs::InfectionEdgeKind::Adopt, i, i + 100, i, 2));
+    EXPECT_EQ(kept, i < 4) << "edge " << i;
+  }
+  EXPECT_EQ(recorder.committed(), 4u);
+  EXPECT_EQ(recorder.dropped(), 3u);
+  // The kept edges are the chronological prefix, not an arbitrary sample.
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(recorder.edges()[i].to, i);
+    EXPECT_EQ(recorder.edges()[i].from, i + 100);
+  }
+
+  // begin_attack() recycles the ring for the next attack.
+  recorder.begin_attack();
+  EXPECT_EQ(recorder.committed(), 0u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  EXPECT_TRUE(recorder.record_edge(
+      obs::make_edge(obs::InfectionEdgeKind::Cure, 1, 2, 0, 3)));
+  EXPECT_EQ(recorder.committed(), 1u);
+}
+
+/// The tree the trace implies: last adopt/cure per AS, as final parents.
+std::vector<AsId> parents_of(const obs::ProvenanceRecorder& recorder,
+                             std::uint32_t num_ases) {
+  return infection_parents_from_edges(recorder.edges(), recorder.committed(),
+                                      num_ases);
+}
+
+/// Warm and cold attacks over the audit matrix must agree on the infection
+/// tree three ways: warm trace == cold trace == table-derived tree. Blocked
+/// edges are engine-specific (the incremental repair never even generates
+/// offers the equilibrium engine would filter), so only the tree is pinned.
+TEST(ProvenanceTrace, WarmMatchesColdAcrossSeedMatrix) {
+  if (!obs::kProvenanceCompiled) GTEST_SKIP() << "built with -DBGPSIM_OBS=OFF";
+  const struct {
+    std::uint32_t scale;
+    std::uint64_t seed;
+  } matrix[] = {{1000, 101}, {1500, 202}, {2000, 303}};
+
+  for (const auto& [scale, seed] : matrix) {
+    const Scenario scenario = make_scenario(scale, seed);
+    const AsGraph& g = scenario.graph();
+
+    Rng rng(seed * 7 + 1);
+    std::vector<AsId> targets, attackers;
+    for (int i = 0; i < 4; ++i) {
+      targets.push_back(rng.bounded(g.num_ases()));
+      attackers.push_back(rng.bounded(g.num_ases()));
+    }
+    const auto baselines = std::make_shared<const store::BaselineStore>(
+        store::BaselineStore::compute(g, scenario.policy(), targets));
+
+    HijackSimulator warm_sim = scenario.make_simulator();
+    warm_sim.attach_baseline(baselines);
+    HijackSimulator cold_sim = scenario.make_simulator();
+
+    obs::ProvenanceRecorder warm_rec;
+    obs::ProvenanceRecorder cold_rec;
+    warm_sim.set_provenance(&warm_rec);
+    cold_sim.set_provenance(&cold_rec);
+
+    const FilterSet top = to_filter_set(g, top_k_deployment(g, 20));
+    const std::optional<ValidatorSet> deployments[] = {std::nullopt,
+                                                       top.bitset()};
+
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      const AsId target = targets[i];
+      const AsId attacker = attackers[i];
+      if (target == attacker) continue;
+      for (const auto& validators : deployments) {
+        warm_sim.set_validators(validators);
+        cold_sim.set_validators(validators);
+
+        warm_sim.attack(target, attacker);
+        ASSERT_TRUE(warm_sim.last_attack_warm());
+        cold_sim.attack(target, attacker);
+        ASSERT_FALSE(cold_sim.last_attack_warm());
+
+        ASSERT_EQ(warm_rec.dropped(), 0u);
+        ASSERT_EQ(cold_rec.dropped(), 0u);
+
+        const std::vector<AsId> warm_parents =
+            parents_of(warm_rec, g.num_ases());
+        const std::vector<AsId> cold_parents =
+            parents_of(cold_rec, g.num_ases());
+        const InfectionTree tree =
+            infection_tree_from_table(g, cold_sim.routes(), attacker);
+        for (AsId v = 0; v < g.num_ases(); ++v) {
+          if (v == attacker) continue;  // the root needs no adopt edge
+          ASSERT_EQ(warm_parents[v], cold_parents[v])
+              << "warm/cold trace parents diverge at AS " << v << " (scale "
+              << scale << ")";
+          ASSERT_EQ(cold_parents[v], tree.parent[v])
+              << "trace/table parents diverge at AS " << v << " (scale "
+              << scale << ")";
+        }
+        expect_tables_equal(warm_sim.routes(), cold_sim.routes());
+      }
+    }
+  }
+}
+
+/// Tracing must be pure observation: the traced attack's result and route
+/// table are bit-identical to the untraced attack's.
+TEST(ProvenanceTrace, TracedAttackIsBitIdenticalToUntraced) {
+  const Scenario scenario = make_scenario(2000, 303);
+  const AsGraph& g = scenario.graph();
+
+  HijackSimulator traced_sim = scenario.make_simulator();
+  HijackSimulator plain_sim = scenario.make_simulator();
+  obs::ProvenanceRecorder recorder;
+  traced_sim.set_provenance(&recorder);
+
+  Rng rng(42);
+  for (int i = 0; i < 5; ++i) {
+    const AsId target = rng.bounded(g.num_ases());
+    const AsId attacker = rng.bounded(g.num_ases());
+    if (target == attacker) continue;
+    const AttackResult traced = traced_sim.attack(target, attacker);
+    const AttackResult plain = plain_sim.attack(target, attacker);
+    EXPECT_EQ(traced.polluted_ases, plain.polluted_ases);
+    EXPECT_EQ(traced.polluted_address_space, plain.polluted_address_space);
+    EXPECT_DOUBLE_EQ(traced.polluted_address_fraction,
+                     plain.polluted_address_fraction);
+    EXPECT_EQ(traced.routed_ases, plain.routed_ases);
+    expect_tables_equal(traced_sim.routes(), plain_sim.routes());
+  }
+}
+
+/// The asynchronous event engine reaches the same unique stable state, so
+/// its trace must imply the same tree — even though it can churn (adopt,
+/// then cure, then re-adopt) on the way there.
+TEST(ProvenanceTrace, EventEngineTraceAgreesWithEndState) {
+  if (!obs::kProvenanceCompiled) GTEST_SKIP() << "built with -DBGPSIM_OBS=OFF";
+  const Scenario scenario = make_scenario(900, 17);
+  const AsGraph& g = scenario.graph();
+
+  EventEngineConfig cfg;
+  cfg.policy = scenario.policy();
+  cfg.delay_seed = 5;
+  EventEngine engine(g, cfg);
+  obs::ProvenanceRecorder recorder;
+  engine.set_provenance(&recorder);
+
+  const AsId target = scenario.transit()[0];
+  const AsId attacker = scenario.transit()[1];
+  const auto legit = engine.announce(target, Origin::Legit, 0.0);
+  ASSERT_TRUE(legit.converged);
+  const auto bogus =
+      engine.announce(attacker, Origin::Attacker, legit.quiescent_time + 1.0);
+  ASSERT_TRUE(bogus.converged);
+  ASSERT_EQ(recorder.dropped(), 0u);
+
+  RouteTable table;
+  table.routes.reserve(g.num_ases());
+  for (AsId v = 0; v < g.num_ases(); ++v) table.routes.push_back(engine.route(v));
+
+  const InfectionTree tree = infection_tree_from_table(g, table, attacker);
+  const std::vector<AsId> traced = parents_of(recorder, g.num_ases());
+  for (AsId v = 0; v < g.num_ases(); ++v) {
+    if (v == attacker) continue;
+    ASSERT_EQ(traced[v], tree.parent[v])
+        << "event trace parent diverges at AS " << v;
+  }
+  ASSERT_FALSE(tree.infected.empty());
+}
+
+}  // namespace
+}  // namespace bgpsim

@@ -6,10 +6,19 @@
 //       topology statistics: tiers, transit share, depth histogram
 //   bgpsim attack (--topo file | --ases N) --victim ASN --attacker ASN
 //                 [--subprefix] [--forged] [--core K] [--explain ASN]
+//                 [--trace-pollution]
 //       simulate one hijack, optionally with ROV deployed at the top-K core;
 //       --explain replays it on the generation engine and prints the named
 //       AS's per-generation route-decision history (candidates, rank, why
-//       displaced)
+//       displaced); --trace-pollution records infection provenance and
+//       appends a pollution_trace JSON block (depth histogram, choke
+//       points, deployment frontier) — equivalent to BGPSIM_PROVENANCE=1
+//   bgpsim attribution (--topo file | --ases N) --victim ASN --attacker ASN
+//                      [--core K] [--top K] [--cuts N] [--json]
+//       traced exact-prefix hijack plus choke-point attribution: rank
+//       transit ASes by infection-subtree size and (for the top N, default
+//       3) re-run the attack with each added to the validator set to report
+//       the exact counterfactual pollution cut
 //   bgpsim sweep (--topo file | --ases N) --victim ASN [--core K]
 //       attack the victim from every transit AS; print the profile
 //   bgpsim detect (--topo file | --ases N) [--attacks N] [--probes K]
@@ -63,6 +72,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/attribution.hpp"
 #include "analysis/detector_experiment.hpp"
 #include "analysis/vulnerability.hpp"
 #include "bgp/introspect.hpp"
@@ -175,6 +185,16 @@ int cmd_info(const Args& args) {
   return 0;
 }
 
+/// The attack commands' `pollution_trace` block: attribution of the most
+/// recent (traced) attack, rendered as one JSON line on stdout.
+void print_pollution_trace(const AsGraph& g, const HijackSimulator& sim,
+                           AsId target, AsId attacker) {
+  const AttributionReport report = compute_attribution(
+      g, sim.routes(), target, attacker, sim.last_provenance());
+  std::printf("pollution_trace: %s\n",
+              attribution_trace_json(g, report).c_str());
+}
+
 int cmd_attack(const Args& args) {
   const Scenario scenario = load_scenario(args);
   const AsGraph& g = scenario.graph();
@@ -189,6 +209,12 @@ int cmd_attack(const Args& args) {
   if (const auto core = args.number("core")) {
     sim.set_validators(
         to_filter_set(g, top_k_deployment(g, *core)).bitset());
+  }
+  // Constructed only when tracing (the edge buffer is megabytes).
+  std::optional<obs::ProvenanceRecorder> recorder;
+  if (args.flag("trace-pollution")) {
+    recorder.emplace();
+    sim.set_provenance(&*recorder);
   }
   AttackOptions options;
   if (args.flag("subprefix")) options.kind = AttackKind::SubPrefix;
@@ -212,6 +238,10 @@ int cmd_attack(const Args& args) {
     std::printf("  polluted: %u of %u ASes (%.1f%%)\n\n", result.polluted_ases,
                 g.num_ases(), 100.0 * result.polluted_ases / g.num_ases());
     std::fputs(render_decision_history(g, history).c_str(), stdout);
+    if (recorder) {
+      print_pollution_trace(g, sim, g.require(static_cast<Asn>(*victim_asn)),
+                            g.require(static_cast<Asn>(*attacker_asn)));
+    }
     return 0;
   }
 
@@ -227,6 +257,79 @@ int cmd_attack(const Args& args) {
               result.polluted_ases, g.num_ases(),
               100.0 * result.polluted_ases / g.num_ases(),
               100.0 * result.polluted_address_fraction);
+  if (recorder) {
+    print_pollution_trace(g, sim, result.target, result.attacker);
+  }
+  return 0;
+}
+
+int cmd_attribution(const Args& args) {
+  const Scenario scenario = load_scenario(args);
+  const AsGraph& g = scenario.graph();
+  const auto victim_asn = args.number("victim");
+  const auto attacker_asn = args.number("attacker");
+  if (!victim_asn || !attacker_asn) {
+    throw ConfigError("attribution requires --victim and --attacker ASNs");
+  }
+  const auto top = static_cast<std::size_t>(args.number("top").value_or(10));
+  const auto cuts = static_cast<std::size_t>(args.number("cuts").value_or(3));
+  const AsId victim = g.require(static_cast<Asn>(*victim_asn));
+  const AsId attacker = g.require(static_cast<Asn>(*attacker_asn));
+
+  // The traced attack plus one exact counterfactual re-run per cut.
+  BGPSIM_PROGRESS(1 + (cuts < top ? cuts : top));
+  BGPSIM_PROGRESS_PHASE("cli.attribution");
+  HijackSimulator sim = scenario.make_simulator();
+  if (const auto core = args.number("core")) {
+    sim.set_validators(
+        to_filter_set(g, top_k_deployment(g, *core)).bitset());
+  }
+  obs::ProvenanceRecorder recorder;
+  sim.set_provenance(&recorder);
+  sim.attack(victim, attacker);
+
+  AttributionReport report = compute_attribution(
+      g, sim.routes(), victim, attacker, sim.last_provenance(), top);
+  annotate_counterfactual_cuts(g, scenario.sim_config(), sim.validators(),
+                               report, cuts);
+
+  if (args.flag("json")) {
+    std::printf("%s\n", attribution_trace_json(g, report).c_str());
+    return 0;
+  }
+
+  std::printf("attribution: AS%llu hijacked by AS%llu — %u polluted ASes, "
+              "max depth %u\n",
+              static_cast<unsigned long long>(*victim_asn),
+              static_cast<unsigned long long>(*attacker_asn), report.polluted,
+              report.max_depth);
+  std::printf("  trace: %llu edges recorded, %llu dropped%s\n",
+              static_cast<unsigned long long>(report.edges_recorded),
+              static_cast<unsigned long long>(report.edges_dropped),
+              report.trace_complete ? "" : "  (incomplete: raise "
+                                           "BGPSIM_PROVENANCE_RING)");
+  std::printf("  depth histogram:");
+  for (std::uint32_t d = 1; d < report.depth_histogram.size(); ++d) {
+    std::printf("  %u:%u", d, report.depth_histogram[d]);
+  }
+  std::printf("\n");
+  if (report.blocked_offers != 0) {
+    std::printf("  deployment frontier: %llu bogus offers blocked at %u "
+                "validators (min depth %u, mean %.1f)\n",
+                static_cast<unsigned long long>(report.blocked_offers),
+                report.blocked_sites, report.frontier_min_depth,
+                report.frontier_mean_depth);
+  }
+  std::printf("  choke points (subtree = polluted ASes routed through):\n");
+  for (const ChokePoint& cp : report.choke_points) {
+    if (cp.counterfactual_cut >= 0) {
+      std::printf("    AS%-10u subtree %-8u exact cut if validating: %lld\n",
+                  g.asn(cp.as), cp.subtree,
+                  static_cast<long long>(cp.counterfactual_cut));
+    } else {
+      std::printf("    AS%-10u subtree %-8u\n", g.asn(cp.as), cp.subtree);
+    }
+  }
   return 0;
 }
 
@@ -451,8 +554,9 @@ int cmd_serve(const Args& args) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: bgpsim <generate|info|attack|sweep|detect|promcheck"
-               "|snapshot save|snapshot info|snapshot load|serve> [options]\n"
+               "usage: bgpsim <generate|info|attack|attribution|sweep|detect"
+               "|promcheck|snapshot save|snapshot info|snapshot load|serve>"
+               " [options]\n"
                "see the header of tools/bgpsim_cli.cpp for details\n");
   return 2;
 }
@@ -503,6 +607,7 @@ int run_command(const Args& args) {
   if (args.command == "generate") return cmd_generate(args);
   if (args.command == "info") return cmd_info(args);
   if (args.command == "attack") return cmd_attack(args);
+  if (args.command == "attribution") return cmd_attribution(args);
   if (args.command == "sweep") return cmd_sweep(args);
   if (args.command == "detect") return cmd_detect(args);
   if (args.command == "promcheck") return cmd_promcheck(args);

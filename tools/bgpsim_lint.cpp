@@ -118,6 +118,10 @@ constexpr RuleInfo kRules[] = {
      "signal/timer/unwind APIs (signal, sigaction, setitimer, backtrace, "
      "...) live only in src/obs/profiler*; ad-hoc handlers dodge the "
      "async-signal-safety contract"},
+    {"provenance-home",
+     "provenance edges are emitted only by the engines (src/bgp/) and the "
+     "obs layer itself; record_edge calls elsewhere would fork the "
+     "infection-tree ground truth"},
     {"self-contained", "every public header under src/ compiles standalone"},
     {"io", "linted file could not be read"},
 };
@@ -393,6 +397,7 @@ struct FileContext {
   bool is_serve = false;       // src/serve/: the serve-logging rule applies
   bool is_lock_home = false;   // the annotated Mutex/MutexLock live here
   bool is_profiler_home = false;  // src/obs/profiler*: signal APIs allowed
+  bool is_provenance_home = false;  // src/bgp/ + src/obs/: record_edge allowed
 };
 
 FileContext classify(const fs::path& path, const fs::path& root) {
@@ -412,6 +417,8 @@ FileContext classify(const fs::path& path, const fs::path& root) {
                  starts_with(ctx.rel, "tests/lint_fixtures/serve_logging");
   ctx.is_lock_home = ctx.rel == "src/support/thread_annotations.hpp";
   ctx.is_profiler_home = starts_with(ctx.rel, "src/obs/profiler");
+  ctx.is_provenance_home =
+      starts_with(ctx.rel, "src/bgp/") || ctx.is_obs_home;
   return ctx;
 }
 
@@ -552,6 +559,21 @@ void run_line_rules(const FileContext& ctx, const LexedFile& lexed,
                                   "async-signal-safety contract"});
         }
       }
+    }
+
+    // has_identifier, not has_call: the emitting sites are member calls
+    // (recorder.record_edge / prov_->record_edge), which has_call's
+    // free-function shape deliberately skips.
+    if (!ctx.is_provenance_home && has_identifier(line, "record_edge")) {
+      // One writer per invariant: infection edges come from the engines'
+      // instrumented selection points (src/bgp/) or the obs layer's own
+      // plumbing. A record_edge call anywhere else (analysis, serve, tools)
+      // would inject edges the route table cannot corroborate, breaking the
+      // trace-equals-table invariant the provenance tests pin.
+      findings.push_back({ctx.rel, lineno, "provenance-home",
+                          "record_edge outside src/bgp/ + src/obs/; "
+                          "provenance edges are emitted only where the "
+                          "engines change route selections"});
     }
 
     if (ctx.is_library) {
