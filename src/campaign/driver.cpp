@@ -1,0 +1,375 @@
+#include "campaign/driver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <utility>
+
+#include "defense/deployment.hpp"
+#include "defense/filter_set.hpp"
+#include "detect/probe_set.hpp"
+#include "hijack/hijack_simulator.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+#include "obs/timer.hpp"
+#include "support/assert.hpp"
+#include "support/parallel.hpp"
+
+namespace bgpsim::campaign {
+
+namespace {
+
+/// Converged-table analogue of detect::first_detection_generation: the
+/// bogus route reaches path length L at generation L-1 (the attacker
+/// self-originates at length 1, generation 0), so the earliest tick a
+/// probe could alarm is min over triggered probes of (path_len - 1).
+struct DetectionProxy {
+  std::uint32_t triggered = 0;
+  std::uint32_t first_gen = 0;
+};
+
+DetectionProxy detection_proxy(const RouteTable& routes, const ProbeSet& probes) {
+  DetectionProxy out;
+  for (const AsId probe : probes.probes()) {
+    const Route& route = routes.routes[probe];
+    if (route.origin != Origin::Attacker) continue;
+    const std::uint32_t gen = route.path_len > 0 ? route.path_len - 1U : 0U;
+    if (out.triggered == 0 || gen < out.first_gen) out.first_gen = gen;
+    ++out.triggered;
+  }
+  return out;
+}
+
+/// Mutable per-stratum campaign state. Touched by exactly one worker per
+/// round (parallel_chunks hands each worker a disjoint stratum range) and
+/// only read between rounds, after the join — no locking needed.
+struct StratumRun {
+  const Stratum* stratum = nullptr;
+  std::uint32_t index = 0;       ///< stratum index (RNG stream id)
+  std::uint64_t budget = 0;      ///< this stratum's slice of the sample budget
+  std::uint64_t round_quota = 0; ///< samples added per round
+  std::uint64_t next = 0;        ///< first unprocessed sample index
+  StratumEstimator est;
+  /// Closed per-round moment shards; folded with MomentAccumulator::merge
+  /// (exactly associative) into the reported per-stratum moments.
+  std::vector<MomentAccumulator> polluted_shards;
+  std::unique_ptr<HijackSimulator> sim;
+};
+
+struct Pooled {
+  double mean = 0.0;
+  double ci_half_width = 0.0;
+};
+
+/// Stratified pooling over the per-stratum moment folds, in fixed stratum
+/// order so the floating-point result is identical for every worker count.
+Pooled pool_fraction(const std::vector<StratumRun>& runs, double inv_ases) {
+  Pooled out;
+  double variance = 0.0;
+  for (const StratumRun& run : runs) {
+    MomentAccumulator folded;
+    for (const MomentAccumulator& shard : run.polluted_shards) {
+      folded.merge(shard);
+    }
+    if (folded.count() == 0) continue;
+    const double w = run.stratum->weight;
+    out.mean += w * folded.mean() * inv_ases;
+    variance += w * w * (folded.variance() * inv_ases * inv_ases) /
+                static_cast<double>(folded.count());
+  }
+  out.ci_half_width = kZ95 * std::sqrt(variance);
+  return out;
+}
+
+std::uint64_t total_samples(const std::vector<StratumRun>& runs) {
+  std::uint64_t total = 0;
+  for (const StratumRun& run : runs) total += run.est.samples;
+  return total;
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const Scenario& scenario,
+                            std::shared_ptr<const store::BaselineStore> baselines,
+                            const CampaignSpec& spec,
+                            const std::atomic<bool>* cancel,
+                            const ProgressFn& progress) {
+  BGPSIM_REQUIRE(baselines != nullptr, "campaign needs a baseline store");
+  BGPSIM_REQUIRE(spec.sample_budget > 0, "campaign needs a sample budget");
+  const obs::StopWatch wall;
+  const AsGraph& graph = scenario.graph();
+  const double inv_ases = 1.0 / static_cast<double>(graph.num_ases());
+
+  const std::vector<Stratum> strata = build_attacker_strata(scenario);
+  BGPSIM_REQUIRE(!strata.empty(), "topology produced no attacker strata");
+  const CampaignSampler sampler(spec.seed, baselines->targets());
+
+  // Optional ROV deployment and detection probes, shared read-only.
+  std::optional<ValidatorSet> validators;
+  if (spec.deployment_top > 0) {
+    FilterSet filters(graph.num_ases());
+    for (const AsId id : top_k_deployment(graph, spec.deployment_top).deployers) {
+      filters.add(id);
+    }
+    validators = filters.bitset();
+  }
+  std::optional<ProbeSet> probes;
+  if (spec.probes > 0) probes.emplace(ProbeSet::top_k(graph, spec.probes));
+
+  const std::uint64_t batch =
+      spec.batch > 0 ? spec.batch
+                     : std::clamp<std::uint64_t>(spec.sample_budget / 16, 256, 8192);
+  const std::uint64_t min_floor = std::max<std::uint64_t>(spec.min_samples_per_stratum, 1);
+
+  // Proportional budget allocation by largest remainder, so the per-stratum
+  // budgets sum to the sample budget exactly. The per-stratum floor is then
+  // applied on top (variance estimates must be usable when the stop rule
+  // fires), which can push the total a few samples past the budget on tiny
+  // budgets — never by more than strata × floor.
+  std::vector<std::uint64_t> alloc(strata.size(), 0);
+  {
+    std::uint64_t allocated = 0;
+    std::vector<std::pair<double, std::size_t>> remainders;
+    for (std::size_t s = 0; s < strata.size(); ++s) {
+      const double exact =
+          strata[s].weight * static_cast<double>(spec.sample_budget);
+      alloc[s] = static_cast<std::uint64_t>(exact);
+      allocated += alloc[s];
+      remainders.push_back({exact - static_cast<double>(alloc[s]), s});
+    }
+    std::sort(remainders.begin(), remainders.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;  // deterministic tie-break
+              });
+    for (std::size_t i = 0;
+         allocated < spec.sample_budget && i < remainders.size(); ++i) {
+      ++alloc[remainders[i].second];
+      ++allocated;
+    }
+  }
+
+  std::vector<StratumRun> runs(strata.size());
+  for (std::size_t s = 0; s < strata.size(); ++s) {
+    StratumRun& run = runs[s];
+    run.stratum = &strata[s];
+    run.index = static_cast<std::uint32_t>(s);
+    run.budget = std::max<std::uint64_t>(min_floor, alloc[s]);
+    run.round_quota = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::llround(
+               strata[s].weight * static_cast<double>(batch))));
+    run.sim = std::make_unique<HijackSimulator>(graph, scenario.sim_config());
+    run.sim->attach_baseline(baselines);
+    if (validators) run.sim->set_validators(*validators);
+  }
+
+  BGPSIM_PROGRESS(spec.sample_budget);
+  BGPSIM_PROGRESS_PHASE("campaign");
+
+  CampaignResult result;
+  result.sample_budget = spec.sample_budget;
+  result.target_ci = spec.target_ci;
+  result.workers = std::max(1u, spec.workers);
+  result.seed = spec.seed;
+  result.victim_pool = static_cast<std::uint32_t>(sampler.victims().size());
+  result.deployment_top = spec.deployment_top;
+  result.probes = spec.probes;
+
+  bool cancelled = false;
+  for (;;) {
+    bool any_work = false;
+    for (StratumRun& run : runs) any_work |= run.next < run.budget;
+    if (!any_work) {
+      result.stop_reason = "budget_exhausted";
+      break;
+    }
+
+    // One round: every stratum advances by its quota; strata fan out over
+    // the workers. Exceptions must not escape parallel_chunks' fn, and the
+    // engine calls below don't throw on any in-range input, so the body is
+    // plain straight-line code.
+    parallel_chunks(
+        runs.size(), result.workers,
+        [&](unsigned /*worker*/, std::size_t begin, std::size_t end) {
+          for (std::size_t s = begin; s < end; ++s) {
+            StratumRun& run = runs[s];
+            const std::uint64_t stop =
+                std::min(run.budget, run.next + run.round_quota);
+            if (run.next >= stop) continue;
+            MomentAccumulator shard;
+            for (std::uint64_t i = run.next; i < stop; ++i) {
+              if (cancel != nullptr &&
+                  cancel->load(std::memory_order_relaxed)) {
+                break;
+              }
+              const SamplePair pair = sampler.draw(*run.stratum, run.index, i);
+              const AttackResult attack = run.sim->attack(pair.victim, pair.attacker);
+              bool detected = false;
+              std::uint32_t first_gen = 0;
+              if (probes) {
+                const DetectionProxy d = detection_proxy(run.sim->routes(), *probes);
+                detected = d.triggered > 0;
+                first_gen = d.first_gen;
+              }
+              shard.add(attack.polluted_ases);
+              run.est.add_sample(attack.polluted_ases, run.sim->last_attack_warm(),
+                                 detected, first_gen, pair.reservoir_word);
+              run.next = i + 1;
+              BGPSIM_PROGRESS_TICK();
+            }
+            if (shard.count() > 0) run.polluted_shards.push_back(shard);
+          }
+        });
+    result.rounds += 1;
+    BGPSIM_COUNTER_ADD("campaign.rounds", 1);
+
+    const std::uint64_t done = total_samples(runs);
+    const Pooled pooled = pool_fraction(runs, inv_ases);
+    result.trajectory.push_back({done, pooled.ci_half_width});
+    BGPSIM_GAUGE_SET("campaign.ci_half_width", pooled.ci_half_width);
+    if (progress) {
+      progress({done, spec.sample_budget, result.rounds, pooled.mean,
+                pooled.ci_half_width});
+    }
+
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      cancelled = true;
+      result.stop_reason = "cancelled";
+      break;
+    }
+    if (spec.target_ci > 0.0 && pooled.ci_half_width <= spec.target_ci) {
+      bool floors_met = true;
+      for (const StratumRun& run : runs) {
+        floors_met &= run.est.samples >= std::min(min_floor, run.budget);
+      }
+      if (floors_met) {
+        result.early_stopped = true;
+        result.stop_reason = "target_ci_reached";
+        BGPSIM_COUNTER_ADD("campaign.early_stops", 1);
+        break;
+      }
+    }
+  }
+  (void)cancelled;
+
+  // Final fold + report rows, in stratum order (deterministic FP).
+  const Pooled pooled = pool_fraction(runs, inv_ases);
+  result.pooled_mean = pooled.mean;
+  result.pooled_ci_half_width = pooled.ci_half_width;
+
+  std::vector<WeightedValue> union_points;
+  double detect_rate = 0.0;
+  double detect_gen_num = 0.0;
+  double detect_gen_den = 0.0;
+  for (const StratumRun& run : runs) {
+    const StratumEstimator& est = run.est;
+    StratumResult row;
+    row.label = run.stratum->label;
+    row.attacker_count = run.stratum->attackers.size();
+    row.weight = run.stratum->weight;
+    row.samples = est.samples;
+    row.warm = est.warm;
+    row.mean_fraction = est.polluted.mean() * inv_ases;
+    row.ci_half_width =
+        est.polluted.ci_half_width() * inv_ases;
+    row.p50_fraction = est.polluted_p50.value() * inv_ases;
+    row.p90_fraction = est.polluted_p90.value() * inv_ases;
+    row.detected = est.detected;
+    row.detection_rate =
+        est.samples > 0
+            ? static_cast<double>(est.detected) / static_cast<double>(est.samples)
+            : 0.0;
+    row.mean_detection_gen = est.detection_gen.mean();
+    result.samples_used += est.samples;
+    result.warm_samples += est.warm;
+    detect_rate += run.stratum->weight * row.detection_rate;
+    if (est.detected > 0) {
+      detect_gen_num += run.stratum->weight * row.detection_rate *
+                        est.detection_gen.mean();
+      detect_gen_den += run.stratum->weight * row.detection_rate;
+    }
+    if (!est.reservoir.values().empty()) {
+      const double w = run.stratum->weight /
+                       static_cast<double>(est.reservoir.values().size());
+      for (const double v : est.reservoir.values()) {
+        union_points.push_back({v * inv_ases, w});
+      }
+    }
+    result.strata.push_back(std::move(row));
+  }
+  result.pooled_p50 = weighted_quantile(union_points, 0.5);
+  result.pooled_p90 = weighted_quantile(union_points, 0.9);
+  result.pooled_detection_rate = detect_rate;
+  result.pooled_mean_detection_gen =
+      detect_gen_den > 0.0 ? detect_gen_num / detect_gen_den : 0.0;
+
+  result.wall_seconds = wall.elapsed_seconds();
+  result.samples_per_second =
+      result.wall_seconds > 0.0
+          ? static_cast<double>(result.samples_used) / result.wall_seconds
+          : 0.0;
+  BGPSIM_COUNTER_ADD("campaign.samples", result.samples_used);
+  BGPSIM_COUNTER_ADD("campaign.samples_warm", result.warm_samples);
+  return result;
+}
+
+std::string campaign_report_json(const CampaignResult& result) {
+  obs::JsonWriter json;
+  json.begin_object();
+  json.field("schema", "bgpsim.campaign.v1");
+  json.field("seed", result.seed);
+  json.field("samples_used", result.samples_used);
+  json.field("sample_budget", result.sample_budget);
+  json.field("warm_samples", result.warm_samples);
+  json.field("rounds", result.rounds);
+  json.field("early_stopped", result.early_stopped);
+  json.field("stop_reason", result.stop_reason);
+  json.field("target_ci", result.target_ci);
+  json.field("workers", static_cast<std::uint64_t>(result.workers));
+  json.field("victim_pool", static_cast<std::uint64_t>(result.victim_pool));
+  json.field("deployment_top", static_cast<std::uint64_t>(result.deployment_top));
+  json.field("probes", static_cast<std::uint64_t>(result.probes));
+  json.field("wall_seconds", result.wall_seconds);
+  json.field("samples_per_second", result.samples_per_second);
+  json.key("pooled");
+  json.begin_object();
+  json.field("mean_fraction", result.pooled_mean);
+  json.field("ci_half_width", result.pooled_ci_half_width);
+  json.field("p50_fraction", result.pooled_p50);
+  json.field("p90_fraction", result.pooled_p90);
+  json.field("detection_rate", result.pooled_detection_rate);
+  json.field("mean_detection_generation", result.pooled_mean_detection_gen);
+  json.end_object();
+  json.key("strata");
+  json.begin_array();
+  for (const StratumResult& row : result.strata) {
+    json.begin_object();
+    json.field("label", row.label);
+    json.field("attackers", row.attacker_count);
+    json.field("weight", row.weight);
+    json.field("samples", row.samples);
+    json.field("warm", row.warm);
+    json.field("mean_fraction", row.mean_fraction);
+    json.field("ci_half_width", row.ci_half_width);
+    json.field("p50_fraction", row.p50_fraction);
+    json.field("p90_fraction", row.p90_fraction);
+    json.field("detected", row.detected);
+    json.field("detection_rate", row.detection_rate);
+    json.field("mean_detection_generation", row.mean_detection_gen);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("ci_trajectory");
+  json.begin_array();
+  for (const TrajectoryPoint& point : result.trajectory) {
+    json.begin_object();
+    json.field("samples", point.samples);
+    json.field("ci_half_width", point.ci_half_width);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return std::move(json).str();
+}
+
+}  // namespace bgpsim::campaign

@@ -1,0 +1,125 @@
+#include "campaign/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bgpsim::campaign {
+
+double MomentAccumulator::ci_half_width(double z) const {
+  if (count_ < 2) return 0.0;
+  return z * std::sqrt(variance() / static_cast<double>(count_));
+}
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  BGPSIM_REQUIRE(q > 0.0 && q < 1.0, "quantile must be in (0, 1)");
+  desired_[0] = 1;
+  desired_[1] = 1 + 2 * q;
+  desired_[2] = 1 + 4 * q;
+  desired_[3] = 3 + 2 * q;
+  desired_[4] = 5;
+  increments_[0] = 0;
+  increments_[1] = q / 2;
+  increments_[2] = q;
+  increments_[3] = (1 + q) / 2;
+  increments_[4] = 1;
+}
+
+void P2Quantile::add(double value) {
+  if (count_ < 5) {
+    heights_[count_] = value;
+    ++count_;
+    if (count_ == 5) std::sort(heights_, heights_ + 5);
+    return;
+  }
+
+  // Cell the new observation falls into; stretch the extreme markers.
+  std::size_t k;
+  if (value < heights_[0]) {
+    heights_[0] = value;
+    k = 0;
+  } else if (value >= heights_[4]) {
+    heights_[4] = value;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && value >= heights_[k + 1]) ++k;
+  }
+
+  for (std::size_t i = k + 1; i < 5; ++i) positions_[i] += 1;
+  for (std::size_t i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  // Nudge the three interior markers toward their desired positions with
+  // the parabolic (P²) formula, falling back to linear when the parabola
+  // would cross a neighbor.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double below = positions_[i] - positions_[i - 1];
+    const double above = positions_[i + 1] - positions_[i];
+    if ((d >= 1.0 && above > 1.0) || (d <= -1.0 && below > 1.0)) {
+      const double sign = d >= 0 ? 1.0 : -1.0;
+      const double span = positions_[i + 1] - positions_[i - 1];
+      const double parabolic =
+          heights_[i] +
+          (sign / span) *
+              ((below + sign) * (heights_[i + 1] - heights_[i]) / above +
+               (above - sign) * (heights_[i] - heights_[i - 1]) / below);
+      if (heights_[i - 1] < parabolic && parabolic < heights_[i + 1]) {
+        heights_[i] = parabolic;
+      } else if (sign > 0) {
+        heights_[i] += (heights_[i + 1] - heights_[i]) / above;
+      } else {
+        heights_[i] -= (heights_[i] - heights_[i - 1]) / below;
+      }
+      positions_[i] += sign;
+    }
+  }
+  ++count_;
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ >= 5) return heights_[2];
+  // Fewer than five observations: exact quantile of the sorted buffer
+  // (nearest-rank with linear interpolation).
+  double sorted[5];
+  std::copy(heights_, heights_ + count_, sorted);
+  std::sort(sorted, sorted + count_);
+  const double rank = q_ * static_cast<double>(count_ - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min<std::size_t>(lo + 1, count_ - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+void QuantileReservoir::add(double value, std::uint64_t rand_word) {
+  ++seen_;
+  if (values_.size() < capacity_) {
+    values_.push_back(value);
+    return;
+  }
+  // Replace slot j with probability capacity/seen: j uniform in [0, seen)
+  // via Lemire's multiply-shift (no modulo bias), keep when j < capacity.
+  const auto j = static_cast<std::uint64_t>(
+      (static_cast<__uint128_t>(rand_word) * seen_) >> 64);
+  if (j < capacity_) values_[static_cast<std::size_t>(j)] = value;
+}
+
+double weighted_quantile(std::vector<WeightedValue>& points, double q) {
+  if (points.empty()) return 0.0;
+  std::sort(points.begin(), points.end(),
+            [](const WeightedValue& a, const WeightedValue& b) {
+              return a.value < b.value;
+            });
+  double total = 0.0;
+  for (const WeightedValue& p : points) total += p.weight;
+  if (total <= 0.0) return points.front().value;
+  const double threshold = q * total;
+  double cumulative = 0.0;
+  for (const WeightedValue& p : points) {
+    cumulative += p.weight;
+    if (cumulative >= threshold) return p.value;
+  }
+  return points.back().value;
+}
+
+}  // namespace bgpsim::campaign

@@ -1,0 +1,68 @@
+// Stratified (attacker, victim) sampling for Monte-Carlo hijack campaigns.
+//
+// Attackers are partitioned into strata by the topology metrics the paper's
+// per-class analysis already uses — tier membership, degree, and depth —
+// because hijack impact varies far more *across* those classes than within
+// them; stratifying over them is what lets the pooled estimator hit a
+// target CI half-width with a fraction of the uniform-sampling budget.
+//
+// Reproducibility contract: every sample is keyed by its coordinates alone.
+// draw(stratum s, index i) seeds a fresh Rng from
+// derive_seed(derive_seed(seed, s), i), so the pair (and the reservoir
+// randomness derived from the same stream) is a pure function of
+// (campaign seed, stratum, sample index) — bit-identical whether the
+// campaign runs on one worker or eight, and stable under any future
+// re-sharding of a stratum's index range.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "support/rng.hpp"
+#include "topology/as_graph.hpp"
+
+namespace bgpsim::campaign {
+
+/// One attacker class: a label, its member ASes, and its share of the
+/// attacker population (the weight of its mean in the pooled estimate).
+struct Stratum {
+  std::string label;
+  std::vector<AsId> attackers;
+  double weight = 0.0;
+};
+
+/// Partition every AS into attacker strata by tier/degree/depth:
+/// tier1, tier2, transit split by depth, stubs split by degree (multi-
+/// connected vs single-homed) and the single-homed further by depth.
+/// Empty buckets are dropped; weights sum to 1 over the returned strata.
+std::vector<Stratum> build_attacker_strata(const Scenario& scenario);
+
+/// One drawn sample plus the random word the estimator's reservoir consumes
+/// (drawn from the same per-sample stream, so it shares the determinism).
+struct SamplePair {
+  AsId attacker = kInvalidAs;
+  AsId victim = kInvalidAs;
+  std::uint64_t reservoir_word = 0;
+};
+
+/// Counter-based pair sampler over a fixed victim pool (the baseline
+/// targets, so every drawn attack warm-starts).
+class CampaignSampler {
+ public:
+  CampaignSampler(std::uint64_t seed, std::vector<AsId> victims);
+
+  /// The sample at coordinates (stratum_index, sample_index); stateless
+  /// between calls (see the file comment for the reproducibility contract).
+  SamplePair draw(const Stratum& stratum, std::uint32_t stratum_index,
+                  std::uint64_t sample_index) const;
+
+  const std::vector<AsId>& victims() const { return victims_; }
+
+ private:
+  std::uint64_t seed_;
+  std::vector<AsId> victims_;
+};
+
+}  // namespace bgpsim::campaign

@@ -1,0 +1,255 @@
+#include "serve/campaign_jobs.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace bgpsim::serve {
+
+const char* to_string(CampaignJobState state) {
+  switch (state) {
+    case CampaignJobState::Queued: return "queued";
+    case CampaignJobState::Running: return "running";
+    case CampaignJobState::Done: return "done";
+    case CampaignJobState::Cancelled: return "cancelled";
+    case CampaignJobState::Failed: return "failed";
+  }
+  return "?";
+}
+
+struct CampaignJobRunner::Impl {
+  const Scenario& scenario;
+  std::shared_ptr<const store::BaselineStore> baselines;
+
+  /// One registry row. `cancel` is shared with the driver so DELETE (and
+  /// stop()) reach a running campaign without holding the registry lock.
+  struct Job {
+    std::uint64_t id = 0;
+    CampaignJobState state = CampaignJobState::Queued;
+    campaign::CampaignSpec spec;
+    std::shared_ptr<std::atomic<bool>> cancel =
+        std::make_shared<std::atomic<bool>>(false);
+    std::uint64_t samples_done = 0;
+    std::uint64_t rounds = 0;
+    double pooled_mean = 0.0;
+    double ci_half_width = 0.0;
+    std::string error;
+    std::string result_json;
+  };
+
+  mutable Mutex mutex;
+  std::condition_variable_any cv;
+  bool running BGPSIM_GUARDED_BY(mutex) = false;
+  bool stop_requested BGPSIM_GUARDED_BY(mutex) = false;
+  std::thread runner BGPSIM_GUARDED_BY(mutex);
+  std::vector<Job> jobs BGPSIM_GUARDED_BY(mutex);  ///< index = id - 1
+  std::deque<std::uint64_t> queue BGPSIM_GUARDED_BY(mutex);
+
+  Impl(const Scenario& scenario_in,
+       std::shared_ptr<const store::BaselineStore> baselines_in)
+      : scenario(scenario_in), baselines(std::move(baselines_in)) {}
+
+  Job* find(std::uint64_t id) BGPSIM_REQUIRES(mutex) {
+    if (id == 0 || id > jobs.size()) return nullptr;
+    return &jobs[id - 1];
+  }
+
+  void loop() BGPSIM_EXCLUDES(mutex) {
+    for (;;) {
+      std::uint64_t id = 0;
+      campaign::CampaignSpec spec;
+      std::shared_ptr<std::atomic<bool>> cancel;
+      {
+        MutexLock lock(&mutex);
+        while (!stop_requested && queue.empty()) cv.wait(mutex);
+        if (stop_requested) return;
+        id = queue.front();
+        queue.pop_front();
+        Job* job = find(id);
+        if (job == nullptr || job->state != CampaignJobState::Queued) {
+          continue;  // cancelled while queued
+        }
+        job->state = CampaignJobState::Running;
+        spec = job->spec;
+        cancel = job->cancel;
+      }
+      BGPSIM_GAUGE_SET("campaign.jobs_running", 1);
+      run_one(id, spec, cancel);
+      BGPSIM_GAUGE_SET("campaign.jobs_running", 0);
+    }
+  }
+
+  void run_one(std::uint64_t id, const campaign::CampaignSpec& spec,
+               const std::shared_ptr<std::atomic<bool>>& cancel)
+      BGPSIM_EXCLUDES(mutex) {
+    // The progress callback fires after each round barrier, off the
+    // campaign's worker threads — one short critical section per round.
+    const campaign::ProgressFn on_progress =
+        [this, id](const campaign::CampaignProgress& p) {
+          MutexLock lock(&mutex);
+          Job* job = find(id);
+          if (job == nullptr) return;
+          job->samples_done = p.samples_done;
+          job->rounds = p.rounds;
+          job->pooled_mean = p.pooled_mean;
+          job->ci_half_width = p.ci_half_width;
+        };
+
+    CampaignJobState final_state = CampaignJobState::Done;
+    std::string error;
+    std::string report;
+    std::uint64_t samples_done = 0;
+    try {
+      const campaign::CampaignResult result = campaign::run_campaign(
+          scenario, baselines, spec, cancel.get(), on_progress);
+      report = campaign::campaign_report_json(result);
+      samples_done = result.samples_used;
+      if (result.stop_reason == "cancelled") {
+        final_state = CampaignJobState::Cancelled;
+      }
+    } catch (const std::exception& e) {
+      final_state = CampaignJobState::Failed;
+      error = e.what();
+    }
+
+    {
+      MutexLock lock(&mutex);
+      Job* job = find(id);
+      if (job != nullptr) {
+        job->state = final_state;
+        job->error = error;
+        job->result_json = std::move(report);
+        if (samples_done > 0) job->samples_done = samples_done;
+      }
+    }
+    switch (final_state) {
+      case CampaignJobState::Done:
+        BGPSIM_COUNTER_ADD("campaign.jobs_completed", 1);
+        break;
+      case CampaignJobState::Cancelled:
+        BGPSIM_COUNTER_ADD("campaign.jobs_cancelled", 1);
+        break;
+      case CampaignJobState::Failed:
+        BGPSIM_COUNTER_ADD("campaign.jobs_failed", 1);
+        break;
+      default:
+        break;
+    }
+  }
+};
+
+CampaignJobRunner::CampaignJobRunner(
+    const Scenario& scenario,
+    std::shared_ptr<const store::BaselineStore> baselines)
+    : impl_(std::make_unique<Impl>(scenario, std::move(baselines))) {}
+
+CampaignJobRunner::~CampaignJobRunner() { stop(); }
+
+void CampaignJobRunner::start() {
+  MutexLock lock(&impl_->mutex);
+  if (impl_->running) return;
+  impl_->running = true;
+  impl_->stop_requested = false;
+  impl_->runner = std::thread([impl = impl_.get()] { impl->loop(); });
+}
+
+void CampaignJobRunner::stop() {
+  std::thread runner;
+  {
+    MutexLock lock(&impl_->mutex);
+    if (!impl_->running) return;
+    impl_->stop_requested = true;
+    impl_->running = false;
+    // Wake a campaign in flight: the driver polls the flag between samples,
+    // so shutdown is bounded by one sample, not one campaign.
+    for (Impl::Job& job : impl_->jobs) {
+      if (job.state == CampaignJobState::Running) {
+        job.cancel->store(true, std::memory_order_relaxed);
+      }
+    }
+    runner = std::move(impl_->runner);
+  }
+  impl_->cv.notify_all();
+  if (runner.joinable()) runner.join();
+}
+
+std::uint64_t CampaignJobRunner::submit(const campaign::CampaignSpec& spec) {
+  std::uint64_t id = 0;
+  {
+    MutexLock lock(&impl_->mutex);
+    Impl::Job job;
+    job.id = impl_->jobs.size() + 1;
+    job.spec = spec;
+    id = job.id;
+    impl_->jobs.push_back(std::move(job));
+    impl_->queue.push_back(id);
+  }
+  impl_->cv.notify_all();
+  BGPSIM_COUNTER_ADD("campaign.jobs_submitted", 1);
+  return id;
+}
+
+std::optional<CampaignJobSnapshot> CampaignJobRunner::get(
+    std::uint64_t id) const {
+  MutexLock lock(&impl_->mutex);
+  const Impl::Job* job = impl_->find(id);
+  if (job == nullptr) return std::nullopt;
+  CampaignJobSnapshot snap;
+  snap.id = job->id;
+  snap.state = job->state;
+  snap.samples_done = job->samples_done;
+  snap.sample_budget = job->spec.sample_budget;
+  snap.rounds = job->rounds;
+  snap.pooled_mean = job->pooled_mean;
+  snap.ci_half_width = job->ci_half_width;
+  snap.target_ci = job->spec.target_ci;
+  snap.error = job->error;
+  snap.result_json = job->result_json;
+  return snap;
+}
+
+CancelOutcome CampaignJobRunner::cancel(std::uint64_t id) {
+  MutexLock lock(&impl_->mutex);
+  Impl::Job* job = impl_->find(id);
+  if (job == nullptr) return CancelOutcome::NotFound;
+  switch (job->state) {
+    case CampaignJobState::Queued:
+      // Retire it before the runner ever sees it; the queue entry is
+      // skipped by the state check in loop().
+      job->state = CampaignJobState::Cancelled;
+      BGPSIM_COUNTER_ADD("campaign.jobs_cancelled", 1);
+      return CancelOutcome::Cancelled;
+    case CampaignJobState::Running:
+      job->cancel->store(true, std::memory_order_relaxed);
+      return CancelOutcome::Cancelled;
+    case CampaignJobState::Done:
+    case CampaignJobState::Cancelled:
+    case CampaignJobState::Failed:
+      return CancelOutcome::AlreadyFinished;
+  }
+  return CancelOutcome::NotFound;
+}
+
+CampaignRegistryStats CampaignJobRunner::stats() const {
+  MutexLock lock(&impl_->mutex);
+  CampaignRegistryStats out;
+  out.submitted = impl_->jobs.size();
+  for (const Impl::Job& job : impl_->jobs) {
+    switch (job.state) {
+      case CampaignJobState::Queued: out.queued += 1; break;
+      case CampaignJobState::Running: out.running += 1; break;
+      case CampaignJobState::Done: out.done += 1; break;
+      case CampaignJobState::Cancelled: out.cancelled += 1; break;
+      case CampaignJobState::Failed: out.failed += 1; break;
+    }
+  }
+  return out;
+}
+
+}  // namespace bgpsim::serve

@@ -1,0 +1,101 @@
+// Async campaign jobs behind `bgpsim serve`: a mutex-guarded job registry
+// plus one background runner thread that executes queued campaigns against
+// the service's shared snapshot state.
+//
+// Lifecycle: POST /v1/campaign submits a spec and returns an id; the runner
+// picks jobs up FIFO, streams post-round progress into the registry
+// (GET /v1/campaign/<id> polls it), and stores the canonical JSON report on
+// completion. DELETE sets the job's cancel flag — the driver notices it
+// between samples and returns the partial estimates, which the registry
+// keeps so a cancelled job's progress is still inspectable.
+//
+// Concurrency: all registry state lives behind one bgpsim::Mutex inside the
+// Impl (kept out of this header so the annotated members stay next to the
+// locking code). The runner uses the QueryServer stop idiom: flip the stop
+// flag under the lock, notify, move the thread handle out, join outside the
+// lock. stop() also raises the running job's cancel flag, so shutdown never
+// waits for a long campaign to finish. Campaigns execute one at a time —
+// each is internally parallel (spec.workers), so queueing jobs rather than
+// racing them keeps the worker budget predictable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "campaign/driver.hpp"
+#include "core/scenario.hpp"
+#include "store/baseline.hpp"
+
+namespace bgpsim::serve {
+
+enum class CampaignJobState : std::uint8_t {
+  Queued,
+  Running,
+  Done,
+  Cancelled,
+  Failed,
+};
+
+const char* to_string(CampaignJobState state);
+
+/// Point-in-time copy of one job's registry row (what GET serves).
+struct CampaignJobSnapshot {
+  std::uint64_t id = 0;
+  CampaignJobState state = CampaignJobState::Queued;
+  std::uint64_t samples_done = 0;
+  std::uint64_t sample_budget = 0;
+  std::uint64_t rounds = 0;
+  double pooled_mean = 0.0;
+  double ci_half_width = 0.0;
+  double target_ci = 0.0;
+  std::string error;        ///< Failed only
+  std::string result_json;  ///< campaign_report_json, once finished
+};
+
+enum class CancelOutcome : std::uint8_t {
+  Cancelled,        ///< flag raised (or a queued job retired directly)
+  AlreadyFinished,  ///< job already Done/Cancelled/Failed — 409 territory
+  NotFound,
+};
+
+/// Registry totals for /statusz.
+struct CampaignRegistryStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t queued = 0;
+  std::uint64_t running = 0;
+  std::uint64_t done = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t failed = 0;
+};
+
+class CampaignJobRunner {
+ public:
+  /// `scenario` and `baselines` must outlive the runner (the owning
+  /// WhatIfService guarantees both).
+  CampaignJobRunner(const Scenario& scenario,
+                    std::shared_ptr<const store::BaselineStore> baselines);
+  ~CampaignJobRunner();  ///< stops the runner (cancel + drain + join)
+
+  CampaignJobRunner(const CampaignJobRunner&) = delete;
+  CampaignJobRunner& operator=(const CampaignJobRunner&) = delete;
+
+  void start();
+  void stop();
+
+  /// Enqueue a campaign; returns its job id (ids are dense from 1).
+  std::uint64_t submit(const campaign::CampaignSpec& spec);
+
+  std::optional<CampaignJobSnapshot> get(std::uint64_t id) const;
+
+  CancelOutcome cancel(std::uint64_t id);
+
+  CampaignRegistryStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace bgpsim::serve

@@ -50,6 +50,12 @@ const char* route_slug(std::string_view target) {
   const std::string_view path = path_of(target);
   if (path == "/v1/attack") return "attack";
   if (path == "/v1/topology") return "topology";
+  if (path == "/v1/campaign") return "campaign";
+  // One slug for every /v1/campaign/<id> target: per-id slugs would mint a
+  // metric series (and histogram) per job and explode cardinality.
+  if (path.size() > 13 && path.substr(0, 13) == "/v1/campaign/") {
+    return "campaign_job";
+  }
   if (path == "/metrics") return "metrics";
   if (path == "/healthz") return "healthz";
   if (path == "/statusz") return "statusz";

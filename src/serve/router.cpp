@@ -25,12 +25,24 @@ HttpResponse error_response(int status, std::string_view message) {
 
 void Router::add(std::string method, std::string path, Handler handler) {
   for (Entry& entry : routes_) {
-    if (entry.method == method && entry.path == path) {
+    if (!entry.prefix && entry.method == method && entry.path == path) {
       entry.handler = std::move(handler);
       return;
     }
   }
-  routes_.push_back(Entry{std::move(method), std::move(path), std::move(handler)});
+  routes_.push_back(
+      Entry{std::move(method), std::move(path), std::move(handler), false});
+}
+
+void Router::add_prefix(std::string method, std::string prefix, Handler handler) {
+  for (Entry& entry : routes_) {
+    if (entry.prefix && entry.method == method && entry.path == prefix) {
+      entry.handler = std::move(handler);
+      return;
+    }
+  }
+  routes_.push_back(
+      Entry{std::move(method), std::move(prefix), std::move(handler), true});
 }
 
 HttpResponse Router::dispatch(const net::HttpRequest& request,
@@ -38,11 +50,32 @@ HttpResponse Router::dispatch(const net::HttpRequest& request,
   const std::string_view path = path_of(request.target);
   bool path_known = false;
   for (const Entry& entry : routes_) {
-    if (entry.path != path) continue;
+    if (entry.prefix || entry.path != path) continue;
     path_known = true;
     if (entry.method != request.method) continue;
     try {
       return entry.handler(request, ctx);
+    } catch (const std::exception& e) {
+      return error_response(500, e.what());
+    }
+  }
+  // Prefix routes: exact matches above win; among prefixes the longest
+  // matching one does. A prefix hit with the wrong method still reports 405
+  // so clients learn the verb set, like exact routes do.
+  const Entry* best = nullptr;
+  for (const Entry& entry : routes_) {
+    if (!entry.prefix) continue;
+    if (path.size() < entry.path.size() ||
+        path.substr(0, entry.path.size()) != entry.path) {
+      continue;
+    }
+    path_known = true;
+    if (entry.method != request.method) continue;
+    if (best == nullptr || entry.path.size() > best->path.size()) best = &entry;
+  }
+  if (best != nullptr) {
+    try {
+      return best->handler(request, ctx);
     } catch (const std::exception& e) {
       return error_response(500, e.what());
     }

@@ -36,6 +36,13 @@ class Router {
   /// the same (method, path) pair win — there is no route shadowing to debug.
   void add(std::string method, std::string path, Handler handler);
 
+  /// Register `method` + a path *prefix* (e.g. "/v1/campaign/"): any target
+  /// whose path starts with the prefix dispatches here, and the handler
+  /// parses the tail (a job id) itself. Exact routes win over prefixes, and
+  /// longer prefixes over shorter, so wildcard ids can coexist with fixed
+  /// sub-paths.
+  void add_prefix(std::string method, std::string prefix, Handler handler);
+
   /// Match and invoke. 405 on a known path with the wrong method, 404
   /// otherwise. Never throws: a handler exception becomes a 500.
   HttpResponse dispatch(const net::HttpRequest& request,
@@ -48,6 +55,7 @@ class Router {
     std::string method;
     std::string path;
     Handler handler;
+    bool prefix = false;
   };
   std::vector<Entry> routes_;
 };

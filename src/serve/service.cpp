@@ -1,7 +1,10 @@
 #include "serve/service.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <utility>
 
 #include "analysis/attribution.hpp"
@@ -36,6 +39,39 @@ AsId resolve_asn(const AsGraph& graph, const obs::JsonValue& value,
   return *id;
 }
 
+/// Extract the numeric job id from a /v1/campaign/<id> target ("c7" or
+/// bare "7"); 0 = malformed (never a valid id — ids are dense from 1).
+std::uint64_t parse_job_id(std::string_view target) {
+  const std::size_t query = target.find('?');
+  std::string_view path =
+      query == std::string_view::npos ? target : target.substr(0, query);
+  constexpr std::string_view kPrefix = "/v1/campaign/";
+  if (path.size() <= kPrefix.size()) return 0;
+  std::string_view tail = path.substr(kPrefix.size());
+  if (!tail.empty() && tail.front() == 'c') tail.remove_prefix(1);
+  if (tail.empty() || tail.size() > 18) return 0;
+  std::uint64_t id = 0;
+  for (const char c : tail) {
+    if (c < '0' || c > '9') return 0;
+    id = id * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return id;
+}
+
+/// Read an optional non-negative number member; false + `error` on type
+/// mismatch, true (leaving `out` untouched) when the member is absent.
+bool read_u64(const obs::JsonValue& doc, const char* name, std::uint64_t& out,
+              std::string& error) {
+  const obs::JsonValue* field = doc.find(name);
+  if (field == nullptr) return true;
+  if (!field->is_number()) {
+    error = std::string(name) + " must be a number";
+    return false;
+  }
+  out = field->as_u64();
+  return true;
+}
+
 }  // namespace
 
 WhatIfService::WhatIfService(store::Snapshot snapshot, unsigned workers)
@@ -50,6 +86,8 @@ WhatIfService::WhatIfService(store::Snapshot snapshot, unsigned workers)
                                                       scenario_.sim_config()));
     sims_.back()->attach_baseline(baselines_);
   }
+  campaigns_ = std::make_unique<CampaignJobRunner>(scenario_, baselines_);
+  campaigns_->start();
   BGPSIM_GAUGE_SET("serve.baseline_targets", baselines_->size());
   BGPSIM_GAUGE_SET("mem.baseline_bytes", baselines_->memory_bytes());
 }
@@ -64,6 +102,18 @@ Router WhatIfService::make_router() {
              [this](const net::HttpRequest&, RequestContext&) {
                return handle_topology();
              });
+  router.add("POST", "/v1/campaign",
+             [this](const net::HttpRequest& request, RequestContext&) {
+               return handle_campaign_submit(request);
+             });
+  router.add_prefix("GET", "/v1/campaign/",
+                    [this](const net::HttpRequest& request, RequestContext&) {
+                      return handle_campaign_get(request);
+                    });
+  router.add_prefix("DELETE", "/v1/campaign/",
+                    [this](const net::HttpRequest& request, RequestContext&) {
+                      return handle_campaign_cancel(request);
+                    });
   router.add("GET", "/metrics", [](const net::HttpRequest&, RequestContext&) {
     return HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
                         obs::to_prom_text(obs::registry().snapshot())};
@@ -283,6 +333,124 @@ HttpResponse WhatIfService::handle_topology() const {
   return HttpResponse{200, "application/json", std::move(json).str()};
 }
 
+HttpResponse WhatIfService::handle_campaign_submit(
+    const net::HttpRequest& request) {
+  obs::JsonValue doc;
+  try {
+    doc = obs::JsonValue::parse(request.body);
+  } catch (const ParseError& e) {
+    return error_response(400, std::string("bad JSON: ") + e.what());
+  }
+  if (!doc.is_object()) {
+    return error_response(400, "request body must be a JSON object");
+  }
+
+  campaign::CampaignSpec spec;
+  std::string error;
+  std::uint64_t samples = spec.sample_budget;
+  std::uint64_t batch = spec.batch;
+  std::uint64_t seed = spec.seed;
+  std::uint64_t workers = 2;
+  std::uint64_t deployment_top = 0;
+  std::uint64_t probes = 0;
+  if (!read_u64(doc, "samples", samples, error) ||
+      !read_u64(doc, "batch", batch, error) ||
+      !read_u64(doc, "seed", seed, error) ||
+      !read_u64(doc, "workers", workers, error) ||
+      !read_u64(doc, "deployment_top", deployment_top, error) ||
+      !read_u64(doc, "probes", probes, error)) {
+    return error_response(400, error);
+  }
+  if (const obs::JsonValue* target = doc.find("target_ci")) {
+    if (!target->is_number()) {
+      return error_response(400, "target_ci must be a number");
+    }
+    spec.target_ci = target->as_number();
+    if (spec.target_ci < 0.0) {
+      return error_response(400, "target_ci must be >= 0");
+    }
+  }
+  if (samples == 0) return error_response(400, "samples must be > 0");
+  // Service-side guardrails: one request cannot pin the runner for hours or
+  // oversubscribe the host; bigger sweeps belong on the CLI.
+  spec.sample_budget = std::min<std::uint64_t>(samples, 10000000);
+  spec.batch = std::min<std::uint64_t>(batch, 1000000);
+  spec.seed = seed;
+  spec.workers = static_cast<unsigned>(std::clamp<std::uint64_t>(workers, 1, 16));
+  spec.deployment_top = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(deployment_top, scenario_.graph().num_ases()));
+  spec.probes = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(probes, scenario_.graph().num_ases()));
+
+  const std::uint64_t id = campaigns_->submit(spec);
+  // Appends, not operator+ chains: GCC 12's -Werror=restrict false-fires on
+  // the temporaries the chain creates at -O3 (same workaround as
+  // make_request_id in request_obs.cpp).
+  std::string job("c");
+  job += std::to_string(id);
+  std::string poll("/v1/campaign/");
+  poll += job;
+  obs::JsonWriter json;
+  json.begin_object();
+  json.field("job_id", job);
+  json.field("state", "queued");
+  json.field("samples", spec.sample_budget);
+  json.field("target_ci", spec.target_ci);
+  json.field("poll", poll);
+  json.end_object();
+  return HttpResponse{202, "application/json", std::move(json).str()};
+}
+
+HttpResponse WhatIfService::handle_campaign_get(const net::HttpRequest& request) {
+  const std::uint64_t id = parse_job_id(request.target);
+  const std::optional<CampaignJobSnapshot> snap =
+      id == 0 ? std::nullopt : campaigns_->get(id);
+  if (!snap) return error_response(404, "no such campaign job");
+
+  std::string job("c");
+  job += std::to_string(snap->id);
+  obs::JsonWriter json;
+  json.begin_object();
+  json.field("job_id", job);
+  json.field("state", to_string(snap->state));
+  json.field("samples_done", snap->samples_done);
+  json.field("sample_budget", snap->sample_budget);
+  json.field("rounds", snap->rounds);
+  json.field("pooled_mean", snap->pooled_mean);
+  json.field("ci_half_width", snap->ci_half_width);
+  json.field("target_ci", snap->target_ci);
+  if (!snap->error.empty()) json.field("error", snap->error);
+  if (!snap->result_json.empty()) {
+    json.key("result");
+    json.raw(snap->result_json);
+  }
+  json.end_object();
+  return HttpResponse{200, "application/json", std::move(json).str()};
+}
+
+HttpResponse WhatIfService::handle_campaign_cancel(
+    const net::HttpRequest& request) {
+  const std::uint64_t id = parse_job_id(request.target);
+  const CancelOutcome outcome =
+      id == 0 ? CancelOutcome::NotFound : campaigns_->cancel(id);
+  switch (outcome) {
+    case CancelOutcome::NotFound:
+      return error_response(404, "no such campaign job");
+    case CancelOutcome::AlreadyFinished:
+      return error_response(409, "campaign job already finished");
+    case CancelOutcome::Cancelled:
+      break;
+  }
+  std::string job("c");
+  job += std::to_string(id);
+  obs::JsonWriter json;
+  json.begin_object();
+  json.field("job_id", job);
+  json.field("state", "cancelling");
+  json.end_object();
+  return HttpResponse{200, "application/json", std::move(json).str()};
+}
+
 HttpResponse WhatIfService::handle_statusz() const {
   const ServeStats& stats = serve_stats();
   obs::JsonWriter json;
@@ -321,6 +489,18 @@ HttpResponse WhatIfService::handle_statusz() const {
     json.field("eventlog", obs::EventLogSink::instance().path());
     json.field("profile", prof.path);
     json.field("provenance", obs::provenance_sink_path());
+    json.end_object();
+  }
+  {
+    const CampaignRegistryStats jobs = campaigns_->stats();
+    json.key("campaign");
+    json.begin_object();
+    json.field("jobs", jobs.submitted);
+    json.field("queued", jobs.queued);
+    json.field("running", jobs.running);
+    json.field("done", jobs.done);
+    json.field("cancelled", jobs.cancelled);
+    json.field("failed", jobs.failed);
     json.end_object();
   }
   json.field("in_flight", static_cast<std::uint64_t>(std::max<std::int64_t>(

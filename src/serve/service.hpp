@@ -9,12 +9,19 @@
 //                       "forged_origin": false, "probes": 0}
 //                      -> pollution summary (+ detection when probes > 0)
 //   GET  /v1/topology  snapshot summary + sample ASNs for clients
+//   POST /v1/campaign  {"samples": N, "target_ci": x, "seed": s, ...}
+//                      -> 202 + job id (async Monte-Carlo campaign; see
+//                      serve/campaign_jobs.hpp for the lifecycle)
+//   GET  /v1/campaign/<id>    job state/progress/partial estimates; the
+//                      finished job carries the full campaign report
+//   DELETE /v1/campaign/<id>  cancel (404 unknown id, 409 already finished)
 //   GET  /metrics      Prometheus exposition of the obs registry
 //   GET  /healthz      cheap liveness probe ("ok")
 //   GET  /statusz      JSON debug status: uptime, git rev, snapshot
-//                      checksum, worker pool, request totals by class
+//                      checksum, worker pool, request totals by class,
+//                      campaign job registry totals
 //
-// Endpoint schemas are documented in DESIGN.md §9 and §12.
+// Endpoint schemas are documented in DESIGN.md §9, §12 and §15.
 #pragma once
 
 #include <memory>
@@ -22,6 +29,7 @@
 
 #include "core/scenario.hpp"
 #include "obs/timer.hpp"
+#include "serve/campaign_jobs.hpp"
 #include "serve/router.hpp"
 #include "store/snapshot.hpp"
 
@@ -33,22 +41,34 @@ class WhatIfService {
   /// indices address the per-worker simulators built here.
   WhatIfService(store::Snapshot snapshot, unsigned workers);
 
+  // The campaign runner holds a reference to scenario_: pin the address.
+  WhatIfService(const WhatIfService&) = delete;
+  WhatIfService& operator=(const WhatIfService&) = delete;
+
   /// Routes bound to this service; the service must outlive the server.
   Router make_router();
 
   const Scenario& scenario() const { return scenario_; }
   const store::SnapshotInfo& info() const { return info_; }
 
+  /// The campaign job registry/runner (started at construction). Exposed so
+  /// embedders and tests can reach jobs without going through HTTP.
+  CampaignJobRunner& campaigns() { return *campaigns_; }
+
  private:
   HttpResponse handle_attack(const net::HttpRequest& request,
                              RequestContext& ctx);
   HttpResponse handle_topology() const;
   HttpResponse handle_statusz() const;
+  HttpResponse handle_campaign_submit(const net::HttpRequest& request);
+  HttpResponse handle_campaign_get(const net::HttpRequest& request);
+  HttpResponse handle_campaign_cancel(const net::HttpRequest& request);
 
   Scenario scenario_;
   store::SnapshotInfo info_;
   std::shared_ptr<const store::BaselineStore> baselines_;
   std::vector<std::unique_ptr<HijackSimulator>> sims_;  // one per worker
+  std::unique_ptr<CampaignJobRunner> campaigns_;
   obs::StopWatch uptime_;  // since service construction, for /statusz
 };
 

@@ -1,0 +1,19 @@
+// Deliberate campaign-home violation: instantiating the campaign's
+// streaming estimator outside src/campaign/. The estimators' guarantees
+// (bit-exact shard merging via integer moments, counter-based reservoir
+// determinism) are verified for the one implementation in src/campaign/;
+// a second user holding a MomentAccumulator of its own — as below — would
+// fork that audit surface and drift from the campaign's pooling rules.
+// The lint_detects_campaign_home test expects a nonzero exit on this file.
+#include "campaign/estimator.hpp"
+
+namespace bgpsim {
+
+inline double rogue_mean_estimate() {
+  campaign::MomentAccumulator moments;
+  moments.add(7);
+  moments.add(11);
+  return moments.mean();
+}
+
+}  // namespace bgpsim

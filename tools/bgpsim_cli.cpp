@@ -36,6 +36,17 @@
 //   bgpsim snapshot load --file world.snap
 //       load + validate, then recompute one stored baseline cold and
 //       compare route-for-route (an end-to-end integrity check)
+//   bgpsim campaign (--snapshot world.snap | --topo file | --ases N)
+//                   [--samples N] [--target-ci X] [--batch N] [--workers N]
+//                   [--victims all|transit|ASN,ASN,...] [--deployment-top K]
+//                   [--probes K] [--sample-seed S]
+//       streaming Monte-Carlo hijack-impact campaign: stratified
+//       (attacker, victim) sampling over the warm-start engine, pooled
+//       pollution-fraction estimate with a normal-approximation CI, early
+//       stop once the CI half-width reaches --target-ci; prints the JSON
+//       report (schema bgpsim.campaign.v1) to stdout. With --snapshot the
+//       victim pool is the snapshot's baseline targets; otherwise baselines
+//       for --victims (default: every transit AS) are converged first
 //   bgpsim serve --snapshot world.snap [--port N] [--workers N]
 //                [--max-body BYTES] [--access-log file.ndjson]
 //       long-lived loopback query service: POST /v1/attack, GET
@@ -64,6 +75,7 @@
 
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -73,6 +85,7 @@
 #include <vector>
 
 #include "analysis/attribution.hpp"
+#include "campaign/driver.hpp"
 #include "analysis/detector_experiment.hpp"
 #include "analysis/vulnerability.hpp"
 #include "bgp/introspect.hpp"
@@ -507,6 +520,81 @@ int cmd_snapshot_load(const Args& args) {
   return 0;
 }
 
+/// Parse a decimal option (e.g. --target-ci 0.005); absent -> fallback.
+double parse_fraction_option(const Args& args, const std::string& key,
+                             double fallback) {
+  const auto text = args.text(key);
+  if (!text || text->empty()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(text->c_str(), &end);
+  if (end == nullptr || *end != '\0' || value < 0.0 || value > 1.0) {
+    throw ConfigError("bad --" + key + " value: " + *text +
+                      " (want a fraction in [0, 1])");
+  }
+  return value;
+}
+
+int cmd_campaign(const Args& args) {
+  campaign::CampaignSpec spec;
+  spec.seed = args.number("sample-seed").value_or(1);
+  spec.sample_budget = args.number("samples").value_or(100000);
+  spec.target_ci = parse_fraction_option(args, "target-ci", 0.0);
+  spec.batch = args.number("batch").value_or(0);
+  spec.workers = static_cast<unsigned>(args.number("workers").value_or(1));
+  spec.deployment_top =
+      static_cast<std::uint32_t>(args.number("deployment-top").value_or(0));
+  spec.probes = static_cast<std::uint32_t>(args.number("probes").value_or(0));
+  if (spec.sample_budget == 0) throw ConfigError("--samples must be positive");
+  if (spec.workers == 0) spec.workers = 1;
+
+  // Scenario + victim-pool baselines: reuse a snapshot's stored baselines
+  // verbatim, or converge them here for the generated/loaded topology.
+  std::optional<Scenario> scenario;
+  std::shared_ptr<const store::BaselineStore> baselines;
+  if (const auto snapshot_path = args.text("snapshot")) {
+    store::Snapshot snapshot = store::load_snapshot(*snapshot_path);
+    scenario.emplace(Scenario::from_snapshot(snapshot));
+    baselines = std::make_shared<const store::BaselineStore>(
+        std::move(snapshot.baselines));
+  } else {
+    scenario.emplace(load_scenario(args));
+    std::vector<AsId> victims;
+    {
+      const std::string spec_text = args.text("victims").value_or("transit");
+      if (spec_text == "transit" || spec_text.empty()) {
+        victims = scenario->transit();
+      } else if (spec_text == "all") {
+        victims.resize(scenario->graph().num_ases());
+        for (AsId v = 0; v < scenario->graph().num_ases(); ++v) victims[v] = v;
+      } else {
+        for (const std::string_view field : split(spec_text, ',')) {
+          const auto asn = parse_u64(trim(field));
+          if (!asn) {
+            throw ConfigError("bad --victims entry: " + std::string(field));
+          }
+          victims.push_back(
+              scenario->graph().require(static_cast<Asn>(*asn)));
+        }
+      }
+    }
+    BGPSIM_PROGRESS(victims.size());
+    BGPSIM_PROGRESS_PHASE("campaign.baselines");
+    baselines = std::make_shared<const store::BaselineStore>(
+        store::BaselineStore::compute(scenario->graph(), scenario->policy(),
+                                      victims));
+  }
+  if (baselines->size() == 0) {
+    throw ConfigError("victim pool is empty — nothing to sample");
+  }
+
+  BGPSIM_PROGRESS(spec.sample_budget);
+  BGPSIM_PROGRESS_PHASE("campaign.samples");
+  const campaign::CampaignResult result =
+      campaign::run_campaign(*scenario, baselines, spec);
+  std::printf("%s\n", campaign::campaign_report_json(result).c_str());
+  return 0;
+}
+
 volatile std::sig_atomic_t g_serve_stop = 0;
 
 void serve_signal_handler(int) { g_serve_stop = 1; }
@@ -555,8 +643,8 @@ int cmd_serve(const Args& args) {
 int usage() {
   std::fprintf(stderr,
                "usage: bgpsim <generate|info|attack|attribution|sweep|detect"
-               "|promcheck|snapshot save|snapshot info|snapshot load|serve>"
-               " [options]\n"
+               "|promcheck|snapshot save|snapshot info|snapshot load|campaign"
+               "|serve> [options]\n"
                "see the header of tools/bgpsim_cli.cpp for details\n");
   return 2;
 }
@@ -614,6 +702,7 @@ int run_command(const Args& args) {
   if (args.command == "snapshot-save") return cmd_snapshot_save(args);
   if (args.command == "snapshot-info") return cmd_snapshot_info(args);
   if (args.command == "snapshot-load") return cmd_snapshot_load(args);
+  if (args.command == "campaign") return cmd_campaign(args);
   if (args.command == "serve") return cmd_serve(args);
   return usage();
 }

@@ -122,6 +122,11 @@ constexpr RuleInfo kRules[] = {
      "provenance edges are emitted only by the engines (src/bgp/) and the "
      "obs layer itself; record_edge calls elsewhere would fork the "
      "infection-tree ground truth"},
+    {"campaign-home",
+     "the campaign estimator/sampler types (MomentAccumulator, P2Quantile, "
+     "QuantileReservoir, CampaignSampler, StratumEstimator) live only in "
+     "src/campaign/; other code consumes campaigns through the driver API so "
+     "there is exactly one implementation of the statistics to audit"},
     {"self-contained", "every public header under src/ compiles standalone"},
     {"io", "linted file could not be read"},
 };
@@ -398,6 +403,7 @@ struct FileContext {
   bool is_lock_home = false;   // the annotated Mutex/MutexLock live here
   bool is_profiler_home = false;  // src/obs/profiler*: signal APIs allowed
   bool is_provenance_home = false;  // src/bgp/ + src/obs/: record_edge allowed
+  bool is_campaign_home = false;    // src/campaign/: estimator/sampler types
 };
 
 FileContext classify(const fs::path& path, const fs::path& root) {
@@ -419,6 +425,7 @@ FileContext classify(const fs::path& path, const fs::path& root) {
   ctx.is_profiler_home = starts_with(ctx.rel, "src/obs/profiler");
   ctx.is_provenance_home =
       starts_with(ctx.rel, "src/bgp/") || ctx.is_obs_home;
+  ctx.is_campaign_home = starts_with(ctx.rel, "src/campaign/");
   return ctx;
 }
 
@@ -574,6 +581,25 @@ void run_line_rules(const FileContext& ctx, const LexedFile& lexed,
                           "record_edge outside src/bgp/ + src/obs/; "
                           "provenance edges are emitted only where the "
                           "engines change route selections"});
+    }
+
+    // Same one-home principle for the campaign statistics: the streaming
+    // estimators and the stratified sampler are subtle enough (exact-integer
+    // merging, counter-based reproducibility) that a second user copying or
+    // re-instantiating them outside src/campaign/ would split the audit
+    // surface. Everything else goes through run_campaign()'s report.
+    if (!ctx.is_campaign_home) {
+      for (const char* banned :
+           {"MomentAccumulator", "P2Quantile", "QuantileReservoir",
+            "CampaignSampler", "StratumEstimator"}) {
+        if (has_identifier(line, banned)) {
+          findings.push_back({ctx.rel, lineno, "campaign-home",
+                              std::string(banned) +
+                                  " outside src/campaign/; campaign "
+                                  "statistics have exactly one home — "
+                                  "consume them via the driver API"});
+        }
+      }
     }
 
     if (ctx.is_library) {
